@@ -1,0 +1,136 @@
+//! The appendix concentration bounds (Theorems A.3 and A.4).
+
+/// Upper-tail Chernoff bound (Theorem A.3, eq. 4):
+/// `P[X > (1+δ)μ] ≤ exp(−δ²μ/2)` for sums of independent 0/1 variables.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ δ ≤ 1` and `μ ≥ 0`.
+pub fn upper_tail(mu: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&delta), "Chernoff requires 0 <= delta <= 1");
+    assert!(mu >= 0.0);
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// Lower-tail Chernoff bound (Theorem A.3, eq. 5):
+/// `P[X < (1−δ)μ] ≤ exp(−δ²μ/3)`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ δ ≤ 1` and `μ ≥ 0`.
+pub fn lower_tail(mu: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&delta), "Chernoff requires 0 <= delta <= 1");
+    assert!(mu >= 0.0);
+    (-delta * delta * mu / 3.0).exp()
+}
+
+/// Two-sided Chernoff bound (Theorem A.4, eq. 6):
+/// `P[|X − μ| > δμ] ≤ 2·exp(−δ²μ/3)`.
+pub fn two_sided(mu: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&delta), "Chernoff requires 0 <= delta <= 1");
+    assert!(mu >= 0.0);
+    2.0 * (-delta * delta * mu / 3.0).exp()
+}
+
+/// The `δ` used in Lemma 4.9's concentration step:
+/// `δ = sqrt(3c·ln D / μ)` (clamped to 1), chosen so the failure
+/// probability is `≤ 2/D^c`.
+pub fn lemma_4_9_delta(mu: f64, c: f64, d: u64) -> f64 {
+    assert!(mu > 0.0 && c > 0.0);
+    (3.0 * c * (d.max(2) as f64).ln() / mu).sqrt().min(1.0)
+}
+
+/// The deviation scale of Lemma 4.9: `δ·μ = sqrt(3c·ln D·μ)` when the
+/// clamp is inactive — the `o(D/|S|)` quantity the proof compares against.
+pub fn lemma_4_9_deviation(mu: f64, c: f64, d: u64) -> f64 {
+    lemma_4_9_delta(mu, c, d) * mu
+}
+
+/// Empirical validation helper: estimate `P[|X − μ| > δμ]` for a binomial
+/// `X ~ Bin(k, p)` by Monte-Carlo, to compare against [`two_sided`].
+pub fn empirical_two_sided<R: ants_rng::Rng64 + ?Sized>(
+    k: u64,
+    p: f64,
+    delta: f64,
+    trials: u64,
+    rng: &mut R,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    let mu = k as f64 * p;
+    let mut exceed = 0u64;
+    for _ in 0..trials {
+        let mut x = 0u64;
+        for _ in 0..k {
+            if rng.next_f64() < p {
+                x += 1;
+            }
+        }
+        if (x as f64 - mu).abs() > delta * mu {
+            exceed += 1;
+        }
+    }
+    exceed as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_rng::{SeedableRng64, Xoshiro256PlusPlus};
+
+    #[test]
+    fn bounds_decrease_in_mu_and_delta() {
+        assert!(upper_tail(100.0, 0.5) < upper_tail(10.0, 0.5));
+        assert!(upper_tail(100.0, 0.5) < upper_tail(100.0, 0.1));
+        assert!(lower_tail(100.0, 0.5) < lower_tail(10.0, 0.5));
+        assert!(two_sided(100.0, 0.5) < two_sided(10.0, 0.5));
+    }
+
+    #[test]
+    fn two_sided_is_sum_of_tails_scale() {
+        // two_sided = 2 * exp(-d^2 mu / 3) = 2 * lower_tail.
+        let (mu, d) = (50.0, 0.3);
+        assert!((two_sided(mu, d) - 2.0 * lower_tail(mu, d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_delta_gives_trivial_bound() {
+        assert_eq!(upper_tail(100.0, 0.0), 1.0);
+        assert_eq!(lower_tail(100.0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn delta_above_one_rejected() {
+        let _ = upper_tail(10.0, 1.5);
+    }
+
+    #[test]
+    fn lemma_4_9_delta_shrinks_with_mu() {
+        let d1 = lemma_4_9_delta(100.0, 1.0, 1024);
+        let d2 = lemma_4_9_delta(10_000.0, 1.0, 1024);
+        assert!(d2 < d1);
+        // Deviation grows only like sqrt(mu).
+        let dev1 = lemma_4_9_deviation(100.0, 1.0, 1024);
+        let dev2 = lemma_4_9_deviation(10_000.0, 1.0, 1024);
+        assert!(dev2 / dev1 < 11.0); // sqrt(100) = 10 plus clamping slack
+    }
+
+    #[test]
+    fn chernoff_bound_holds_empirically() {
+        // Binomial(200, 0.5), delta = 0.2: bound = 2 exp(-0.04*100/3) ~ 0.527.
+        // Empirical probability is ~0.004 — far below the bound.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let emp = empirical_two_sided(200, 0.5, 0.2, 2000, &mut rng);
+        let bound = two_sided(100.0, 0.2);
+        assert!(emp <= bound, "empirical {emp} exceeds Chernoff bound {bound}");
+    }
+
+    #[test]
+    fn chernoff_bound_holds_for_small_p() {
+        // Binomial(10_000, 0.01): mu = 100, delta = 0.5 -> bound ~ 4.6e-4·2.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let emp = empirical_two_sided(10_000, 0.01, 0.5, 500, &mut rng);
+        let bound = two_sided(100.0, 0.5);
+        assert!(emp <= bound + 0.01, "empirical {emp} vs bound {bound}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Corollary 4.10 as an experiment: trajectories hug drift lines.
+//!
+//! For an agent whose state has mixed into recurrent class `C` with drift
+//! vector `~p`, the position after `r` further steps satisfies
+//! `‖X_{≤r} − r·~p‖ = o(D/|S|)` w.h.p. — concretely, the deviation grows
+//! like `√(r·log D)`, not like `r`. [`measure`] burns an agent in, runs it
+//! `r` steps, and reports the observed deviation from the *predicted* line
+//! of whichever class it landed in.
+
+use ants_automaton::{markov, GridAction, Pfa, StateId, Walker};
+use ants_grid::Point;
+use ants_rng::{derive_rng, stats::Accumulator};
+
+/// Deviation statistics from a drift-line measurement.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Steps measured after burn-in.
+    pub steps: u64,
+    /// Trials (trajectories) measured.
+    pub trials: u64,
+    /// `‖X_r − r·~p‖_∞` accumulator (one observation per trial).
+    pub deviation: Accumulator,
+    /// Fraction of trials that had not entered any recurrent class after
+    /// burn-in (should be ~0 for reasonable burn-in, per Corollary 4.3).
+    pub unmixed_fraction: f64,
+}
+
+impl DriftReport {
+    /// Mean deviation normalised by the step count — converges to zero as
+    /// `r` grows iff the trajectory is line-concentrated.
+    pub fn relative_deviation(&self) -> f64 {
+        self.deviation.mean() / self.steps as f64
+    }
+}
+
+/// Measure drift-line concentration for a PFA.
+///
+/// Each trial: run `burn_in` steps (the paper's `R₀`), determine the
+/// recurrent class of the current state, then run `steps` more and record
+/// `‖(X_end − X_start) − steps·~p‖_∞`.
+pub fn measure(pfa: &Pfa, burn_in: u64, steps: u64, trials: u64, base_seed: u64) -> DriftReport {
+    let analysis = markov::analyze(pfa);
+    let mut deviation = Accumulator::new();
+    let mut unmixed = 0u64;
+    for t in 0..trials {
+        let mut rng = derive_rng(base_seed, t);
+        let mut w = Walker::new(pfa);
+        for _ in 0..burn_in {
+            w.step(&mut rng);
+        }
+        let Some(class) = analysis.class_of(w.state()) else {
+            unmixed += 1;
+            continue;
+        };
+        // Classes that reset to the origin or stop moving have no
+        // meaningful line; their deviation is measured against zero drift.
+        let drift = if class.has_origin { (0.0, 0.0) } else { class.drift };
+        let start = w.position();
+        for _ in 0..steps {
+            w.step(&mut rng);
+        }
+        let moved = w.position() - start;
+        let expect_x = drift.0 * steps as f64;
+        let expect_y = drift.1 * steps as f64;
+        let dev = (moved.x as f64 - expect_x)
+            .abs()
+            .max((moved.y as f64 - expect_y).abs());
+        deviation.push(dev);
+    }
+    DriftReport {
+        steps,
+        trials,
+        deviation,
+        unmixed_fraction: unmixed as f64 / trials as f64,
+    }
+}
+
+/// Predicted deviation scale of Lemma 4.9 for `r` steps:
+/// `O(sqrt(r · ln D))`. Constants are unity; callers compare shapes.
+pub fn predicted_deviation(steps: u64, d: u64) -> f64 {
+    ((steps as f64) * (d.max(2) as f64).ln()).sqrt()
+}
+
+/// Check that an agent that lands in an all-`none` recurrent class stops
+/// moving (Corollary 4.11 case 2). Returns the number of moves made in
+/// `steps` steps after burn-in.
+pub fn moves_after_burn_in(pfa: &Pfa, burn_in: u64, steps: u64, seed: u64) -> u64 {
+    let mut rng = derive_rng(seed, 0);
+    let mut w = Walker::new(pfa);
+    for _ in 0..burn_in {
+        w.step(&mut rng);
+    }
+    let before = w.moves();
+    for _ in 0..steps {
+        w.step(&mut rng);
+    }
+    w.moves() - before
+}
+
+/// Positions visited by one walker, for tube-membership tests.
+pub fn trajectory(pfa: &Pfa, steps: u64, seed: u64) -> Vec<Point> {
+    let mut rng = derive_rng(seed, 0);
+    let mut w = Walker::new(pfa);
+    let mut out = Vec::with_capacity(steps as usize + 1);
+    out.push(w.position());
+    for _ in 0..steps {
+        let o = w.step(&mut rng);
+        if o.action != GridAction::None {
+            out.push(o.position);
+        }
+    }
+    out
+}
+
+/// Which recurrent class a walker occupies after `burn_in` steps, if any.
+pub fn class_after_burn_in(pfa: &Pfa, burn_in: u64, seed: u64) -> Option<Vec<StateId>> {
+    let analysis = markov::analyze(pfa);
+    let mut rng = derive_rng(seed, 0);
+    let mut w = Walker::new(pfa);
+    for _ in 0..burn_in {
+        w.step(&mut rng);
+    }
+    analysis.class_of(w.state()).map(|c| c.states.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_automaton::library;
+
+    #[test]
+    fn straight_line_has_zero_deviation() {
+        let pfa = library::straight_line();
+        let r = measure(&pfa, 10, 1000, 20, 1);
+        assert_eq!(r.deviation.mean(), 0.0);
+        assert_eq!(r.unmixed_fraction, 0.0);
+    }
+
+    #[test]
+    fn drift_walk_deviation_is_sublinear() {
+        let pfa = library::drift_walk(3).unwrap();
+        let short = measure(&pfa, 50, 400, 200, 2);
+        let long = measure(&pfa, 50, 6400, 200, 3);
+        // Relative deviation shrinks as r grows (sqrt(r)/r = r^{-1/2}):
+        // ratio of relative deviations should be ~1/4, allow < 0.6.
+        let ratio = long.relative_deviation() / short.relative_deviation();
+        assert!(
+            ratio < 0.6,
+            "relative deviation did not shrink: short {} long {}",
+            short.relative_deviation(),
+            long.relative_deviation()
+        );
+    }
+
+    #[test]
+    fn deviation_matches_sqrt_scale() {
+        let pfa = library::drift_walk(2).unwrap();
+        let steps = 4096;
+        let r = measure(&pfa, 50, steps, 300, 4);
+        let predicted = predicted_deviation(steps, 64);
+        // Mean observed deviation should be within a small constant of the
+        // sqrt(r log D) scale (not, say, linear in r).
+        assert!(
+            r.deviation.mean() < 4.0 * predicted,
+            "deviation {} far above predicted scale {predicted}",
+            r.deviation.mean()
+        );
+        assert!(
+            r.deviation.mean() > predicted / 16.0,
+            "deviation {} suspiciously small vs {predicted}",
+            r.deviation.mean()
+        );
+    }
+
+    #[test]
+    fn random_walk_centers_on_zero_drift() {
+        let pfa = library::random_walk();
+        let steps = 2500;
+        let r = measure(&pfa, 10, steps, 200, 5);
+        // Zero drift: deviation = |position change| ~ sqrt(steps) = 50.
+        let typical = (steps as f64).sqrt();
+        assert!(r.deviation.mean() < 3.0 * typical);
+        assert!(r.deviation.mean() > typical / 4.0);
+    }
+
+    #[test]
+    fn all_none_class_stops_moving() {
+        // Build a PFA whose recurrent class is a none-state self-loop.
+        use ants_automaton::{GridAction, PfaBuilder};
+        use ants_rng::DyadicProb;
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        let s1 = b.add_state(GridAction::Move(ants_grid::Direction::Up)); // transient mover
+        let s2 = b.add_state(GridAction::None); // absorbing rest state
+        b.add_transition(s0, s1, DyadicProb::ONE);
+        b.add_transition(s1, s1, DyadicProb::half());
+        b.add_transition(s1, s2, DyadicProb::half());
+        b.add_transition(s2, s2, DyadicProb::ONE);
+        let pfa = b.build().unwrap();
+        // After generous burn-in the agent is asleep w.h.p.
+        let moved = moves_after_burn_in(&pfa, 200, 10_000, 6);
+        assert_eq!(moved, 0, "agent in an all-none class must not move");
+    }
+
+    #[test]
+    fn trajectory_records_positions() {
+        let pfa = library::straight_line();
+        let t = trajectory(&pfa, 5, 7);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[5], Point::new(5, 0));
+    }
+
+    #[test]
+    fn class_after_burn_in_lands_in_recurrent_class() {
+        let pfa = library::random_walk();
+        let c = class_after_burn_in(&pfa, 10, 8).expect("walker must mix");
+        assert_eq!(c.len(), 4);
+    }
+}

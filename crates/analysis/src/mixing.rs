@@ -1,0 +1,191 @@
+//! Mixing curves: Corollary 4.6 / Lemma A.2 empirically.
+//!
+//! The lower bound hinges on low-χ chains forgetting their state within
+//! `β = D^{o(1)}` rounds. This module measures the total-variation
+//! distance to stationarity as a function of the round number and checks
+//! it against the Rosenthal envelope `(1 − p₀^{|S|})^{⌊k/|S|⌋}` the proof
+//! uses.
+
+use ants_automaton::{markov, Pfa};
+
+/// One point on a mixing curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixingPoint {
+    /// Round number `k`.
+    pub k: u64,
+    /// Measured TV distance between the `k`-step distribution (restricted
+    /// to the class) and the stationary distribution.
+    pub tv: f64,
+    /// The Rosenthal bound at `k`.
+    pub rosenthal: f64,
+}
+
+/// Measured mixing behaviour of a chain's (first) recurrent class.
+#[derive(Debug, Clone)]
+pub struct MixingCurve {
+    /// Curve points at the sampled round numbers.
+    pub points: Vec<MixingPoint>,
+    /// `ε = p₀^{|S|}` used by the Rosenthal envelope.
+    pub epsilon: f64,
+}
+
+impl MixingCurve {
+    /// The smallest sampled `k` at which the measured distance falls
+    /// below `threshold` (`None` if never).
+    pub fn mixing_time(&self, threshold: f64) -> Option<u64> {
+        self.points.iter().find(|p| p.tv <= threshold).map(|p| p.k)
+    }
+
+    /// Does the Rosenthal envelope dominate the measurement at every
+    /// sampled point (up to numerical slack)?
+    ///
+    /// Note: for *periodic* chains the bound applies to the chain induced
+    /// by `P^t` on a cyclic class; the curve is computed accordingly.
+    pub fn envelope_holds(&self) -> bool {
+        self.points.iter().all(|p| p.tv <= p.rosenthal + 1e-9)
+    }
+}
+
+/// Measure the mixing curve of the recurrent class reachable from the
+/// start state, at the given round numbers.
+///
+/// For a class with period `t`, distances are measured along multiples of
+/// `t` (the `P^t`-chain of Corollary 4.6); sampled `k` values are rounded
+/// up to the next multiple.
+///
+/// # Panics
+///
+/// Panics if the chain has no recurrent class reachable in `|S|` steps
+/// from the start (impossible for valid PFAs).
+pub fn mixing_curve(pfa: &Pfa, ks: &[u64]) -> MixingCurve {
+    let analysis = markov::analyze(pfa);
+    let class = analysis
+        .recurrent_classes
+        .first()
+        .expect("every finite chain has a recurrent class");
+    let t = class.period.max(1) as u64;
+    let p0 = pfa.min_probability().to_f64();
+    let epsilon = p0.powi(pfa.num_states() as i32);
+    let k0 = pfa.num_states() as u64;
+    let points = ks
+        .iter()
+        .map(|&k| {
+            let k_aligned = k.div_ceil(t) * t;
+            let tv = if t == 1 {
+                markov::mixing_distance(pfa, class, k_aligned)
+            } else {
+                cyclic_mixing_distance(pfa, class, k_aligned)
+            };
+            MixingPoint {
+                k: k_aligned,
+                tv,
+                rosenthal: markov::rosenthal_bound(epsilon, k_aligned, k0),
+            }
+        })
+        .collect();
+    MixingCurve { points, epsilon }
+}
+
+/// TV distance for periodic classes, per Corollary 4.6: compare the
+/// `k`-step distribution (a multiple of the period `t`) against the
+/// stationary distribution of the `P^t` chain on the cyclic class the
+/// mass currently occupies — `t·π` restricted to that class.
+fn cyclic_mixing_distance(
+    pfa: &Pfa,
+    class: &ants_automaton::markov::RecurrentClass,
+    k: u64,
+) -> f64 {
+    let dist = markov::distribution_after(pfa, k);
+    let t = class.period as f64;
+    // Find the cyclic class carrying the most mass at time k.
+    let (tau, _) = class
+        .cyclic_classes
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (i, g.iter().map(|s| dist[s.0]).sum::<f64>()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .expect("periodic class has cyclic classes");
+    let g = &class.cyclic_classes[tau];
+    let mass: f64 = g.iter().map(|s| dist[s.0]).sum();
+    if mass <= 0.0 {
+        return 1.0;
+    }
+    // P^t-stationary on G_tau is t * pi restricted to G_tau.
+    0.5 * g
+        .iter()
+        .map(|s| {
+            let pi = class.stationary_of(*s).expect("member state") * t;
+            (dist[s.0] / mass - pi).abs()
+        })
+        .sum::<f64>()
+}
+
+/// The paper's block length `β = c·|S|·ln D / p₀^{|S|}` (Section 4.2.2):
+/// the spacing at which rounds within a group become effectively
+/// independent.
+pub fn block_length(pfa: &Pfa, c: f64, d: u64) -> f64 {
+    let p0 = pfa.min_probability().to_f64();
+    let s = pfa.num_states() as f64;
+    c * s * (d.max(2) as f64).ln() / p0.powi(pfa.num_states() as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_automaton::library;
+
+    #[test]
+    fn lazy_walk_mixes_fast_and_under_envelope() {
+        let pfa = library::lazy_random_walk();
+        let curve = mixing_curve(&pfa, &[1, 2, 4, 8, 16, 32, 64]);
+        assert!(curve.envelope_holds(), "Rosenthal envelope violated: {curve:?}");
+        // Lazy walk mixes in a handful of steps.
+        assert!(curve.mixing_time(1e-6).unwrap() <= 64);
+        // The curve is monotone decreasing (within numerics).
+        for w in curve.points.windows(2) {
+            assert!(w[1].tv <= w[0].tv + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_walk_mixes_in_one_step() {
+        // The uniform walk's rows are identical: TV distance is 0 after
+        // one step from anywhere in the class.
+        let pfa = library::random_walk();
+        let curve = mixing_curve(&pfa, &[1, 2]);
+        assert!(curve.points[0].tv < 1e-12);
+    }
+
+    #[test]
+    fn periodic_chain_measured_along_period() {
+        let pfa = library::cycle(3);
+        let curve = mixing_curve(&pfa, &[1, 4, 7]);
+        // Sampled ks rounded up to multiples of 3.
+        assert_eq!(curve.points[0].k, 3);
+        assert_eq!(curve.points[1].k, 6);
+        assert_eq!(curve.points[2].k, 9);
+        // Deterministic cycle: the P^t chain is the identity on a single
+        // state per cyclic class: distance 0.
+        for p in &curve.points {
+            assert!(p.tv < 1e-12);
+        }
+    }
+
+    #[test]
+    fn algorithm1_mixing_time_grows_with_d() {
+        // Finer coins (larger D) -> slower forgetting. Compare mixing
+        // times at a fixed threshold.
+        let fast = mixing_curve(&library::algorithm1(2).unwrap(), &[1, 2, 4, 8, 16, 32, 64, 128]);
+        let slow = mixing_curve(&library::algorithm1(5).unwrap(), &[1, 2, 4, 8, 16, 32, 64, 128]);
+        let t_fast = fast.mixing_time(0.05).expect("mixes within 128");
+        let t_slow = slow.mixing_time(0.05).unwrap_or(u64::MAX);
+        assert!(t_slow > t_fast, "mixing times: D=4 -> {t_fast}, D=32 -> {t_slow}");
+    }
+
+    #[test]
+    fn block_length_scales_with_resolution() {
+        let coarse = block_length(&library::random_walk(), 1.0, 256);
+        let fine = block_length(&library::algorithm1(4).unwrap(), 1.0, 256);
+        assert!(fine > coarse, "finer probabilities must need longer blocks");
+    }
+}

@@ -1,0 +1,107 @@
+//! Speed-up ceilings and threshold classification.
+//!
+//! The paper's headline trade-off, made checkable:
+//!
+//! * above the threshold (`χ ≥ log log D + O(1)`), speed-up `min{n, D}`
+//!   is achievable (Theorems 3.5/3.7/3.14);
+//! * uniform random walks achieve only `min{log n, D}` (the paper cites
+//!   Alon et al. (ref. 3));
+//! * below the threshold (`χ ≤ log log D − ω(1)`), speed-up is capped at
+//!   `min{n, D^{o(1)}}` (Theorem 4.1).
+
+use ants_core::SelectionComplexity;
+
+/// Which side of the paper's `log log D` threshold an algorithm falls on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// `χ(A) ≤ log log D − slack`: Theorem 4.1 applies; speed-up is
+    /// capped at `min{n, D^{o(1)}}`.
+    BelowThreshold,
+    /// `χ(A) ≥ log log D − slack`: the upper bounds are available.
+    AboveThreshold,
+}
+
+/// Classify an algorithm at a given target distance, using `slack` as the
+/// finite-size stand-in for the theorem's `ω(1)` margin.
+pub fn classify(chi: &SelectionComplexity, d: u64, slack: f64) -> Regime {
+    if chi.is_below_threshold(d, slack) {
+        Regime::BelowThreshold
+    } else {
+        Regime::AboveThreshold
+    }
+}
+
+/// The optimal achievable speed-up with `n` agents at distance `d`:
+/// `min{n, d}` (from the `Ω(D + D²/n)` lower bound).
+pub fn optimal_ceiling(n: u64, d: u64) -> f64 {
+    (n as f64).min(d as f64)
+}
+
+/// The uniform-random-walk ceiling: `min{ln n, d}` — the paper's ref.&nbsp;3.
+pub fn random_walk_ceiling(n: u64, d: u64) -> f64 {
+    (n.max(1) as f64).ln().max(1.0).min(d as f64)
+}
+
+/// The below-threshold ceiling at a finite scale: `min{n, d^eps}` for the
+/// experiment's effective epsilon (`D^{o(1)}` in the theorem).
+pub fn below_threshold_ceiling(n: u64, d: u64, eps: f64) -> f64 {
+    (n as f64).min((d as f64).powf(eps))
+}
+
+/// Measured speed-up: `t1 / tn`, guarded against degenerate inputs.
+pub fn measured(t1: f64, tn: f64) -> Option<f64> {
+    if t1 <= 0.0 || tn <= 0.0 || !t1.is_finite() || !tn.is_finite() {
+        None
+    } else {
+        Some(t1 / tn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_threshold() {
+        // D = 2^16: threshold log log D = 4.
+        let low = SelectionComplexity::new(2, 1); // chi = 2
+        let high = SelectionComplexity::new(6, 2); // chi = 7
+        assert_eq!(classify(&low, 1 << 16, 0.5), Regime::BelowThreshold);
+        assert_eq!(classify(&high, 1 << 16, 0.5), Regime::AboveThreshold);
+    }
+
+    #[test]
+    fn ceilings_ordering() {
+        // For meaningful n, d: random walk << optimal.
+        let (n, d) = (1024u64, 512u64);
+        assert!(random_walk_ceiling(n, d) < optimal_ceiling(n, d));
+        // Both capped by d.
+        assert_eq!(optimal_ceiling(1 << 30, 100), 100.0);
+        assert!(random_walk_ceiling(1 << 30, 10) <= 10.0);
+    }
+
+    #[test]
+    fn below_threshold_ceiling_is_weak() {
+        let c = below_threshold_ceiling(1 << 20, 1 << 20, 0.25);
+        // d^0.25 = 2^5 = 32 << n.
+        assert_eq!(c, 32.0);
+    }
+
+    #[test]
+    fn measured_guards() {
+        assert_eq!(measured(100.0, 25.0), Some(4.0));
+        assert_eq!(measured(0.0, 25.0), None);
+        assert_eq!(measured(100.0, 0.0), None);
+        assert_eq!(measured(f64::NAN, 1.0), None);
+    }
+
+    #[test]
+    fn random_walk_ceiling_grows_logarithmically() {
+        let s1 = random_walk_ceiling(16, 1 << 20);
+        let s2 = random_walk_ceiling(256, 1 << 20);
+        let s3 = random_walk_ceiling(65536, 1 << 20);
+        // Doubling the exponent doubles the ceiling (ln n linearity).
+        assert!((s2 / s1 - 2.0).abs() < 0.01);
+        assert!((s3 / s2 - 2.0).abs() < 0.01);
+    }
+}

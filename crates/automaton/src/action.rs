@@ -1,0 +1,100 @@
+//! The labelling function's range.
+
+use ants_grid::Direction;
+use std::fmt;
+
+/// A grid action labelling a PFA state — the range of the paper's labelling
+/// function `M : S → {up, down, right, left, origin, none}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GridAction {
+    /// Move one step in a direction (a *move* in the paper's metric).
+    Move(Direction),
+    /// Return to the origin via the oracle (not counted as moves).
+    Origin,
+    /// Local computation only; the agent stays put (not counted as moves).
+    #[default]
+    None,
+}
+
+impl GridAction {
+    /// All six actions (the four moves, `Origin`, `None`).
+    pub const ALL: [GridAction; 6] = [
+        GridAction::Move(Direction::Up),
+        GridAction::Move(Direction::Down),
+        GridAction::Move(Direction::Left),
+        GridAction::Move(Direction::Right),
+        GridAction::Origin,
+        GridAction::None,
+    ];
+
+    /// Is this one of the four move actions?
+    pub fn is_move(&self) -> bool {
+        matches!(self, GridAction::Move(_))
+    }
+
+    /// The displacement `(dx, dy)` of this action; `(0, 0)` for `None`.
+    ///
+    /// `Origin` has no fixed displacement (it teleports); this method
+    /// returns `(0, 0)` for it, which is the convention used by drift
+    /// computations (an origin-visiting class cannot drift away).
+    pub fn delta(&self) -> (i64, i64) {
+        match self {
+            GridAction::Move(d) => d.delta(),
+            GridAction::Origin | GridAction::None => (0, 0),
+        }
+    }
+}
+
+impl From<Direction> for GridAction {
+    fn from(d: Direction) -> Self {
+        GridAction::Move(d)
+    }
+}
+
+impl fmt::Display for GridAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridAction::Move(d) => write!(f, "{d}"),
+            GridAction::Origin => f.write_str("origin"),
+            GridAction::None => f.write_str("none"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_detection() {
+        assert!(GridAction::Move(Direction::Up).is_move());
+        assert!(!GridAction::Origin.is_move());
+        assert!(!GridAction::None.is_move());
+    }
+
+    #[test]
+    fn deltas() {
+        assert_eq!(GridAction::Move(Direction::Right).delta(), (1, 0));
+        assert_eq!(GridAction::Origin.delta(), (0, 0));
+        assert_eq!(GridAction::None.delta(), (0, 0));
+    }
+
+    #[test]
+    fn from_direction() {
+        let a: GridAction = Direction::Left.into();
+        assert_eq!(a, GridAction::Move(Direction::Left));
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(GridAction::Move(Direction::Up).to_string(), "up");
+        assert_eq!(GridAction::Origin.to_string(), "origin");
+        assert_eq!(GridAction::None.to_string(), "none");
+    }
+
+    #[test]
+    fn all_actions_distinct() {
+        let set: std::collections::HashSet<_> = GridAction::ALL.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+}

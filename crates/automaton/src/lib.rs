@@ -1,0 +1,52 @@
+//! # ants-automaton — probabilistic finite automata on the grid
+//!
+//! Section 2 of the paper models every agent as a probabilistic finite
+//! state automaton `(S, s₀, δ)` together with a labelling function
+//! `M : S → {up, down, right, left, origin, none}` mapping states to grid
+//! actions, and analyses executions through the induced Markov chain. This
+//! crate implements that model *literally*:
+//!
+//! * [`GridAction`] — the labelling function's range;
+//! * [`Pfa`] / [`PfaBuilder`] — automata with **exact dyadic** transition
+//!   probabilities, validated to be row-stochastic, exposing the paper's
+//!   selection-complexity ingredients `b = ⌈log₂|S|⌉`, `ℓ` (resolution of
+//!   the smallest transition probability) and `χ = b + log ℓ`;
+//! * [`markov`] — the Section 4 machinery: transient/recurrent class
+//!   decomposition, class periodicity (Feller's theorem A.1), stationary
+//!   distributions, total-variation mixing, Rosenthal's bound (Lemma A.2),
+//!   and per-class drift vectors (Corollary 4.10);
+//! * [`Walker`] — executes a PFA on the grid, producing the paper's
+//!   step/move sequences;
+//! * [`compile`] — compiles Algorithms 1+2 into their explicit
+//!   state-machine representation, so Theorem 3.7's memory accounting can
+//!   be *measured* from a concrete machine;
+//! * [`library`] — canonical automata: the paper's five-state Algorithm 1
+//!   machine, uniform/lazy/biased random walks, and a seeded generator of
+//!   arbitrary small PFAs for the lower-bound experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use ants_automaton::{library, markov};
+//! let pfa = library::random_walk();
+//! assert_eq!(pfa.memory_bits(), 3); // 5 states: origin + 4 moves
+//! let analysis = markov::analyze(&pfa);
+//! assert_eq!(analysis.recurrent_classes.len(), 1);
+//! let drift = analysis.recurrent_classes[0].drift;
+//! assert!(drift.0.abs() < 1e-12 && drift.1.abs() < 1e-12); // unbiased
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+pub mod compile;
+pub mod library;
+pub mod markov;
+mod matrix;
+mod pfa;
+mod walker;
+
+pub use action::GridAction;
+pub use pfa::{Pfa, PfaBuilder, PfaError, StateId};
+pub use walker::{StepOutcome, Walker};

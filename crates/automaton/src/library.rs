@@ -1,0 +1,391 @@
+//! Canonical automata.
+//!
+//! The experiments need a zoo of concrete PFAs: the paper's own five-state
+//! Algorithm 1 machine (the figure in Section 3.1), uniform and biased
+//! random walks (the lower-bound exemplars), deterministic cycles
+//! (periodicity tests), and a seeded generator of arbitrary small automata
+//! at a given probability resolution (the E8 lower-bound sweep).
+//!
+//! Every automaton here honours the paper's convention `M(s₀) = origin`;
+//! since none of them ever *returns* to the start state, the start is a
+//! transient state feeding the recurrent movement classes.
+
+use crate::action::GridAction;
+use crate::pfa::{Pfa, PfaBuilder, StateId};
+use ants_grid::Direction;
+use ants_rng::{DyadicError, DyadicProb, Rng64};
+
+/// The uniform random walk: from anywhere, each direction with probability
+/// `1/4`.
+///
+/// Five states (origin + four moves), `b = 3`, `ℓ = 2`, `χ = 4`. The paper
+/// cites Alon et al. (ref. 3) for the fact that `n` such walkers achieve
+/// speed-up only `min{log n, D}` — reproduced as experiment E10.
+pub fn random_walk() -> Pfa {
+    let mut b = PfaBuilder::new();
+    let s0 = b.add_state(GridAction::Origin);
+    let dirs: Vec<StateId> = Direction::ALL.iter().map(|&d| b.add_state(d.into())).collect();
+    let quarter = DyadicProb::one_over_pow2(2).expect("1/4 is representable");
+    for &from in std::iter::once(&s0).chain(dirs.iter()) {
+        for &to in &dirs {
+            b.add_transition(from, to, quarter);
+        }
+    }
+    b.build().expect("random walk automaton is valid by construction")
+}
+
+/// The lazy uniform random walk: stay put with probability `1/2`, else a
+/// uniform direction. Aperiodic and fast-mixing; used by mixing tests.
+pub fn lazy_random_walk() -> Pfa {
+    let mut b = PfaBuilder::new();
+    let s0 = b.add_state(GridAction::Origin);
+    let rest = b.add_state(GridAction::None);
+    let dirs: Vec<StateId> = Direction::ALL.iter().map(|&d| b.add_state(d.into())).collect();
+    let eighth = DyadicProb::one_over_pow2(3).expect("1/8 is representable");
+    let half = DyadicProb::half();
+    for &from in [s0, rest].iter().chain(dirs.iter()) {
+        b.add_transition(from, rest, half);
+        for &to in &dirs {
+            b.add_transition(from, to, eighth);
+        }
+    }
+    b.build().expect("lazy random walk automaton is valid by construction")
+}
+
+/// A rightward-biased walk at resolution `ℓ = bias_exp`: from anywhere,
+/// right with probability `1/2`, left with `1/2^bias_exp`, up and down with
+/// the remaining mass split evenly.
+///
+/// Drift `(1/2 − 1/2^bias_exp, 0)` — the archetypal "straight line" agent
+/// of Corollary 4.10.
+///
+/// # Errors
+///
+/// Returns [`DyadicError::ExponentTooLarge`] for `bias_exp > 63`.
+///
+/// # Panics
+///
+/// Panics if `bias_exp < 2` (the remaining mass would not split evenly).
+pub fn drift_walk(bias_exp: u32) -> Result<Pfa, DyadicError> {
+    assert!(bias_exp >= 2, "drift_walk requires bias_exp >= 2");
+    let right_p = DyadicProb::half();
+    let left_p = DyadicProb::one_over_pow2(bias_exp)?;
+    // up = down = (1 − 1/2 − 1/2^e) / 2 = (2^{e−1} − 1) / 2^{e+1}.
+    let vertical = DyadicProb::new((1u64 << (bias_exp - 1)) - 1, bias_exp + 1)?;
+    let mut b = PfaBuilder::new();
+    let s0 = b.add_state(GridAction::Origin);
+    let up = b.add_state(Direction::Up.into());
+    let down = b.add_state(Direction::Down.into());
+    let left = b.add_state(Direction::Left.into());
+    let right = b.add_state(Direction::Right.into());
+    for from in [s0, up, down, left, right] {
+        b.add_transition(from, right, right_p);
+        b.add_transition(from, left, left_p);
+        b.add_transition(from, up, vertical);
+        b.add_transition(from, down, vertical);
+    }
+    Ok(b.build().expect("drift walk automaton is valid by construction"))
+}
+
+/// A deterministic straight line to the right — the extreme low-χ agent
+/// (`ℓ = 0`): it covers exactly one ray of the plane.
+pub fn straight_line() -> Pfa {
+    let mut b = PfaBuilder::new();
+    let s0 = b.add_state(GridAction::Origin);
+    let right = b.add_state(Direction::Right.into());
+    b.add_transition(s0, right, DyadicProb::ONE);
+    b.add_transition(right, right, DyadicProb::ONE);
+    b.build().expect("straight line automaton is valid by construction")
+}
+
+/// A deterministic cycle of `len` states (`len ≥ 1`); state 0 is the
+/// origin-labelled start, the last state moves right, the rest are `none`.
+/// The recurrent class has period exactly `len` — periodicity test rig.
+pub fn cycle(len: usize) -> Pfa {
+    assert!(len >= 1, "cycle requires at least one state");
+    let mut b = PfaBuilder::new();
+    let ids: Vec<StateId> = (0..len)
+        .map(|i| {
+            b.add_state(if i == 0 {
+                GridAction::Origin
+            } else if i == len - 1 {
+                Direction::Right.into()
+            } else {
+                GridAction::None
+            })
+        })
+        .collect();
+    for i in 0..len {
+        b.add_transition(ids[i], ids[(i + 1) % len], DyadicProb::ONE);
+    }
+    b.build().expect("cycle automaton is valid by construction")
+}
+
+/// The paper's five-state Algorithm 1 machine (the figure in Section 3.1)
+/// for `D = 2^d_exp`.
+///
+/// States: `origin`, `up`, `down`, `left`, `right`. Semantics: from
+/// `origin`, choose a vertical direction fairly and walk while `C_{1/D}`
+/// shows heads; when the vertical walk ends, choose a horizontal direction
+/// fairly and walk; when that ends, return to the origin. The transition
+/// probabilities below are the figure's, derived by composing those coin
+/// flips into single state transitions:
+///
+/// * `origin → up/down`: `½(1 − 1/D)` each;
+/// * `origin → left/right`: `(1 − 1/D)/(2D)` each (vertical walk of
+///   length zero);
+/// * `origin → origin`: `1/D²` (both walks of length zero);
+/// * `up → up` (and `down → down`): `1 − 1/D`;
+/// * `up → left/right`: `(1 − 1/D)/(2D)` each; `up → origin`: `1/D²`;
+/// * `left → left` (and `right → right`): `1 − 1/D`; `left → origin`: `1/D`.
+///
+/// `b = 3` bits; the finest probability is `Θ(1/D²)`, so `ℓ ≈ 2·log₂ D`
+/// and `χ = log log D + O(1)` — exactly the regime of Theorem 3.7 before
+/// composite coins shrink `ℓ` further.
+///
+/// # Errors
+///
+/// [`DyadicError::ExponentTooLarge`] if `2·d_exp + 1 > 64`.
+///
+/// # Panics
+///
+/// Panics for `d_exp < 1` (the paper assumes `D > 1`).
+pub fn algorithm1(d_exp: u32) -> Result<Pfa, DyadicError> {
+    assert!(d_exp >= 1, "algorithm1 requires D >= 2 (d_exp >= 1)");
+    let j = d_exp;
+    let d_minus_1 = (1u64 << j) - 1;
+    // ½(1 − 1/D) = (D−1)/2D.
+    let half_heads = DyadicProb::new(d_minus_1, j + 1)?;
+    // (1 − 1/D)/(2D) = (D−1)/(2D²).
+    let switch = DyadicProb::new(d_minus_1, 2 * j + 1)?;
+    // 1/D².
+    let both_tails = DyadicProb::one_over_pow2(2 * j)?;
+    // 1 − 1/D.
+    let cont = DyadicProb::new(d_minus_1, j)?;
+    // 1/D.
+    let stop = DyadicProb::one_over_pow2(j)?;
+
+    let mut b = PfaBuilder::new();
+    let origin = b.add_state(GridAction::Origin);
+    let up = b.add_state(Direction::Up.into());
+    let down = b.add_state(Direction::Down.into());
+    let left = b.add_state(Direction::Left.into());
+    let right = b.add_state(Direction::Right.into());
+
+    // origin row.
+    b.add_transition(origin, up, half_heads);
+    b.add_transition(origin, down, half_heads);
+    b.add_transition(origin, left, switch);
+    b.add_transition(origin, right, switch);
+    b.add_transition(origin, origin, both_tails);
+    // vertical rows.
+    for v in [up, down] {
+        b.add_transition(v, v, cont);
+        b.add_transition(v, left, switch);
+        b.add_transition(v, right, switch);
+        b.add_transition(v, origin, both_tails);
+    }
+    // horizontal rows.
+    for h in [left, right] {
+        b.add_transition(h, h, cont);
+        b.add_transition(h, origin, stop);
+    }
+    Ok(b.build().expect("algorithm 1 automaton is valid by construction"))
+}
+
+/// A seeded random PFA at resolution `ℓ`: `num_states` states with random
+/// move labels (state 0 is the origin start), each row an independent
+/// random distribution whose probabilities are multiples of `1/2^ℓ`.
+///
+/// This is the population the E8 lower-bound experiment samples: arbitrary
+/// algorithms with `χ(A) = ⌈log₂ num_states⌉ + log ℓ` small.
+///
+/// # Panics
+///
+/// Panics if `num_states == 0` or `ell == 0` or `ell > 16`.
+pub fn random_pfa<R: Rng64 + ?Sized>(num_states: usize, ell: u32, rng: &mut R) -> Pfa {
+    assert!(num_states >= 1, "need at least one state");
+    assert!((1..=16).contains(&ell), "ell must be in 1..=16");
+    let mut b = PfaBuilder::new();
+    let ids: Vec<StateId> = (0..num_states)
+        .map(|i| {
+            let label = if i == 0 {
+                GridAction::Origin
+            } else {
+                // Random move label; occasionally a `none` state.
+                match rng.next_below(5) {
+                    0 => Direction::Up.into(),
+                    1 => Direction::Down.into(),
+                    2 => Direction::Left.into(),
+                    3 => Direction::Right.into(),
+                    _ => GridAction::None,
+                }
+            };
+            b.add_state(label)
+        })
+        .collect();
+    let units = 1u64 << ell;
+    for &from in &ids {
+        // Multinomial: drop 2^ell unit masses onto random targets.
+        let mut mass = vec![0u64; num_states];
+        for _ in 0..units {
+            mass[rng.next_below(num_states as u64) as usize] += 1;
+        }
+        for (t, &m) in mass.iter().enumerate() {
+            if m > 0 {
+                let p = DyadicProb::new(m, ell).expect("m <= 2^ell by construction");
+                b.add_transition(from, ids[t], p);
+            }
+        }
+    }
+    b.build().expect("random automaton rows sum to one by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov;
+    use ants_rng::{SeedableRng64, Xoshiro256PlusPlus};
+
+    #[test]
+    fn random_walk_shape() {
+        let pfa = random_walk();
+        assert_eq!(pfa.num_states(), 5);
+        assert_eq!(pfa.memory_bits(), 3);
+        assert_eq!(pfa.ell(), 2);
+        assert_eq!(pfa.chi(), 4.0);
+        assert_eq!(pfa.label(pfa.start()), GridAction::Origin);
+    }
+
+    #[test]
+    fn lazy_random_walk_shape() {
+        let pfa = lazy_random_walk();
+        assert_eq!(pfa.num_states(), 6);
+        assert_eq!(pfa.ell(), 3);
+        let a = markov::analyze(&pfa);
+        assert_eq!(a.recurrent_classes.len(), 1);
+        assert_eq!(a.recurrent_classes[0].period, 1);
+        // Half the stationary mass rests (none state) -> move mass 1/2.
+        let mm = markov::move_mass(&pfa, &a.recurrent_classes[0]);
+        assert!((mm - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn drift_walk_drift_values() {
+        for e in [2u32, 3, 5, 8] {
+            let pfa = drift_walk(e).unwrap();
+            let a = markov::analyze(&pfa);
+            assert_eq!(a.recurrent_classes.len(), 1);
+            let c = &a.recurrent_classes[0];
+            let expect = 0.5 - 0.5f64.powi(e as i32);
+            assert!((c.drift.0 - expect).abs() < 1e-10, "e={e} drift {:?}", c.drift);
+            assert!(c.drift.1.abs() < 1e-10);
+            // Resolution: left needs ell = e; the vertical probability
+            // (2^{e-1}-1)/2^{e+1} lies in [1/8, 1/4) so it needs ell = 3.
+            assert_eq!(pfa.ell(), e.max(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias_exp >= 2")]
+    fn drift_walk_small_exponent_panics() {
+        let _ = drift_walk(1);
+    }
+
+    #[test]
+    fn straight_line_is_deterministic() {
+        let pfa = straight_line();
+        assert_eq!(pfa.ell(), 0);
+        assert_eq!(pfa.chi(), 1.0); // b = 1, deterministic
+        let a = markov::analyze(&pfa);
+        assert_eq!(a.recurrent_classes[0].drift, (1.0, 0.0));
+    }
+
+    #[test]
+    fn cycle_periods() {
+        for len in 1..=6usize {
+            let pfa = cycle(len);
+            let a = markov::analyze(&pfa);
+            assert_eq!(a.recurrent_classes.len(), 1);
+            assert_eq!(a.recurrent_classes[0].period as usize, len, "cycle({len})");
+        }
+    }
+
+    #[test]
+    fn algorithm1_rows_are_stochastic_for_many_d() {
+        for j in 1..=20u32 {
+            let pfa = algorithm1(j).unwrap();
+            assert_eq!(pfa.num_states(), 5, "D = 2^{j}");
+            assert_eq!(pfa.memory_bits(), 3);
+            // Building validates stochasticity; touch matrix rows too.
+            for row in pfa.transition_matrix() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_resolution_scales_with_d() {
+        // Finest probability in ell terms is 1/D² = 1/2^{2j} -> ell = 2j
+        // (the switch probability (D−1)/2D² only needs ell = j + 2 <= 2j).
+        for j in [2u32, 4, 8, 16] {
+            let pfa = algorithm1(j).unwrap();
+            assert_eq!(pfa.ell(), 2 * j, "j = {j}");
+        }
+        // chi = b + log2(ell) = 3 + log2(2j) = log2(log2 D) + 4: the
+        // log log D + O(1) selection complexity of Theorem 3.7's machine.
+        let pfa = algorithm1(16).unwrap();
+        assert!((pfa.chi() - (3.0 + (32f64).log2())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algorithm1_is_irreducible() {
+        let pfa = algorithm1(3).unwrap();
+        let a = markov::analyze(&pfa);
+        // All five states communicate (origin reachable from every state).
+        assert!(a.transient.is_empty());
+        assert_eq!(a.recurrent_classes.len(), 1);
+        assert_eq!(a.recurrent_classes[0].states.len(), 5);
+        assert!(a.recurrent_classes[0].has_origin);
+    }
+
+    #[test]
+    fn algorithm1_mean_iteration_length_lemma_3_1() {
+        // Lemma 3.1: expected moves per iteration R <= 2D. Under the
+        // stationary distribution, the fraction of steps that are moves is
+        // the move mass; an iteration ends on each origin-entry. Check the
+        // simpler consequence: expected vertical run length is D.
+        // P[up -> up] = 1 - 1/D, so the run is geometric with mean D - 1
+        // moves after entry, i.e. D total including the entry move.
+        let j = 5; // D = 32
+        let pfa = algorithm1(j).unwrap();
+        let up = StateId(1);
+        let p_cont = pfa.probability(up, up).to_f64();
+        let mean_run = 1.0 / (1.0 - p_cont);
+        assert!((mean_run - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_pfa_valid_and_seeded() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for &(n, ell) in &[(1usize, 1u32), (2, 2), (5, 3), (8, 4), (16, 2)] {
+            let pfa = random_pfa(n, ell, &mut rng);
+            assert_eq!(pfa.num_states(), n);
+            assert!(pfa.ell() <= ell, "resolution must not exceed requested ell");
+            assert_eq!(pfa.label(pfa.start()), GridAction::Origin);
+        }
+        // Determinism.
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(9);
+        assert_eq!(random_pfa(6, 3, &mut r1), random_pfa(6, 3, &mut r2));
+    }
+
+    #[test]
+    fn random_pfa_chi_is_bounded() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let pfa = random_pfa(8, 4, &mut rng);
+        // chi <= ceil(log2 8) + log2 4 = 3 + 2.
+        assert!(pfa.chi() <= 5.0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Probabilistic finite automata with exact dyadic transitions.
+
+use crate::action::GridAction;
+use ants_rng::{DyadicProb, Rng64};
+use std::fmt;
+
+/// Index of a state in a [`Pfa`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Errors produced while building or validating a [`Pfa`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfaError {
+    /// A transition references a state that does not exist.
+    UnknownState(StateId),
+    /// The probabilities leaving a state do not sum to exactly one.
+    NotStochastic {
+        /// The offending state.
+        state: StateId,
+        /// The row sum that was found, as a debug string (exact dyadic).
+        sum: String,
+    },
+    /// The automaton has no states.
+    Empty,
+    /// The start state is not labelled `origin`, violating the paper's
+    /// convention `M(s₀) = origin`.
+    StartNotOrigin,
+    /// Duplicate transition between the same pair of states.
+    DuplicateTransition(StateId, StateId),
+}
+
+impl fmt::Display for PfaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfaError::UnknownState(s) => write!(f, "transition references unknown state {s}"),
+            PfaError::NotStochastic { state, sum } => {
+                write!(f, "outgoing probabilities of {state} sum to {sum}, not 1")
+            }
+            PfaError::Empty => write!(f, "automaton has no states"),
+            PfaError::StartNotOrigin => {
+                write!(f, "start state must be labelled origin (paper, Section 2)")
+            }
+            PfaError::DuplicateTransition(a, b) => {
+                write!(f, "duplicate transition {a} -> {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfaError {}
+
+/// One state: its grid-action label and outgoing transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    label: GridAction,
+    /// Outgoing transitions `(target, probability)`; probabilities are
+    /// non-zero and sum to exactly one.
+    transitions: Vec<(StateId, DyadicProb)>,
+}
+
+/// A probabilistic finite automaton with grid-action labels — the paper's
+/// agent model `(S, s₀, δ)` plus labelling `M`.
+///
+/// Construct via [`PfaBuilder`]. Every instance is validated: transitions
+/// are exactly row-stochastic in dyadic arithmetic, and the start state is
+/// labelled `origin`.
+///
+/// ```
+/// use ants_automaton::library;
+/// let pfa = library::random_walk();
+/// assert_eq!(pfa.num_states(), 5); // origin + four move states
+/// assert_eq!(pfa.ell(), 2); // transitions of probability 1/4
+/// assert_eq!(pfa.chi(), 4.0); // b = 3 bits, log2(ell) = 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pfa {
+    states: Vec<State>,
+    start: StateId,
+}
+
+impl Pfa {
+    /// The number of states `|S|`.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The start state `s₀`.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The label `M(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn label(&self, s: StateId) -> GridAction {
+        self.states[s.0].label
+    }
+
+    /// Outgoing transitions of `s` as `(target, probability)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn transitions(&self, s: StateId) -> &[(StateId, DyadicProb)] {
+        &self.states[s.0].transitions
+    }
+
+    /// The exact transition probability `P[s → t]` (zero if absent).
+    pub fn probability(&self, s: StateId, t: StateId) -> DyadicProb {
+        self.states[s.0]
+            .transitions
+            .iter()
+            .find(|(u, _)| *u == t)
+            .map(|(_, p)| *p)
+            .unwrap_or(DyadicProb::ZERO)
+    }
+
+    /// Memory bits `b = ⌈log₂ |S|⌉` (paper, Section 2).
+    pub fn memory_bits(&self) -> u32 {
+        let n = self.states.len() as u64;
+        if n <= 1 {
+            0
+        } else {
+            64 - (n - 1).leading_zeros()
+        }
+    }
+
+    /// The resolution `ℓ`: smallest value such that every non-zero
+    /// transition probability is at least `1/2^ℓ`.
+    ///
+    /// Deterministic automata (all probabilities 1) report `ℓ = 0`.
+    pub fn ell(&self) -> u32 {
+        self.states
+            .iter()
+            .flat_map(|s| s.transitions.iter())
+            .map(|(_, p)| p.ell())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The smallest non-zero transition probability.
+    pub fn min_probability(&self) -> DyadicProb {
+        self.states
+            .iter()
+            .flat_map(|s| s.transitions.iter())
+            .map(|(_, p)| *p)
+            .min()
+            .unwrap_or(DyadicProb::ONE)
+    }
+
+    /// The selection complexity `χ(A) = b + log₂ ℓ`.
+    ///
+    /// For `ℓ = 0` (deterministic) and `ℓ = 1` the probability term
+    /// contributes zero, matching the paper's convention that constant
+    /// probabilities are free.
+    pub fn chi(&self) -> f64 {
+        let ell = self.ell();
+        let log_ell = if ell <= 1 { 0.0 } else { (ell as f64).log2() };
+        self.memory_bits() as f64 + log_ell
+    }
+
+    /// Sample the successor of `s`.
+    ///
+    /// Consumes one uniform `u64` and selects the transition whose dyadic
+    /// probability interval contains it — exact inverse-CDF sampling with
+    /// no floating-point rounding.
+    pub fn step<R: Rng64 + ?Sized>(&self, s: StateId, rng: &mut R) -> StateId {
+        let transitions = &self.states[s.0].transitions;
+        if transitions.len() == 1 {
+            return transitions[0].0;
+        }
+        let u = rng.next_u64();
+        let mut acc: u128 = 0;
+        for (t, p) in transitions {
+            // Interval width in units of 2^-64.
+            let width = match p.exponent() {
+                64 => p.numerator() as u128,
+                e => (p.numerator() as u128) << (64 - e),
+            };
+            acc += width;
+            if (u as u128) < acc {
+                return *t;
+            }
+        }
+        // Row sums to exactly 2^64 units, so we can only fall through on
+        // the last transition via rounding of the accumulator — return it.
+        transitions.last().expect("validated non-empty row").0
+    }
+
+    /// The dense `f64` transition matrix (row-major), for analysis.
+    pub fn transition_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.states.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for (i, st) in self.states.iter().enumerate() {
+            for (t, p) in &st.transitions {
+                m[i][t.0] += p.to_f64();
+            }
+        }
+        m
+    }
+
+    /// Iterate over all states.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len()).map(StateId)
+    }
+
+    /// States carrying a given label.
+    pub fn states_with_label(&self, label: GridAction) -> Vec<StateId> {
+        self.state_ids().filter(|&s| self.label(s) == label).collect()
+    }
+}
+
+/// Builder for [`Pfa`] values.
+///
+/// ```
+/// use ants_automaton::{GridAction, PfaBuilder};
+/// use ants_grid::Direction;
+/// use ants_rng::DyadicProb;
+///
+/// let mut b = PfaBuilder::new();
+/// let s0 = b.add_state(GridAction::Origin);
+/// let up = b.add_state(Direction::Up.into());
+/// b.add_transition(s0, up, DyadicProb::ONE);
+/// b.add_transition(up, s0, DyadicProb::half());
+/// b.add_transition(up, up, DyadicProb::half());
+/// let pfa = b.build().unwrap();
+/// assert_eq!(pfa.num_states(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PfaBuilder {
+    labels: Vec<GridAction>,
+    edges: Vec<(StateId, StateId, DyadicProb)>,
+    start: Option<StateId>,
+}
+
+impl PfaBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a state with the given label; returns its id.
+    ///
+    /// The first state added becomes the start state unless
+    /// [`set_start`](Self::set_start) overrides it.
+    pub fn add_state(&mut self, label: GridAction) -> StateId {
+        let id = StateId(self.labels.len());
+        self.labels.push(label);
+        id
+    }
+
+    /// Choose the start state (defaults to the first state added).
+    pub fn set_start(&mut self, s: StateId) -> &mut Self {
+        self.start = Some(s);
+        self
+    }
+
+    /// Add a transition; zero-probability transitions are dropped.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, p: DyadicProb) -> &mut Self {
+        if !p.is_zero() {
+            self.edges.push((from, to, p));
+        }
+        self
+    }
+
+    /// Validate and build the automaton.
+    ///
+    /// # Errors
+    ///
+    /// * [`PfaError::Empty`] for a builder with no states;
+    /// * [`PfaError::UnknownState`] if a transition references a missing
+    ///   state (as source or target);
+    /// * [`PfaError::DuplicateTransition`] for repeated `(from, to)` pairs;
+    /// * [`PfaError::NotStochastic`] if a row does not sum to exactly one;
+    /// * [`PfaError::StartNotOrigin`] if `M(s₀) ≠ origin`.
+    pub fn build(self) -> Result<Pfa, PfaError> {
+        if self.labels.is_empty() {
+            return Err(PfaError::Empty);
+        }
+        let n = self.labels.len();
+        let start = self.start.unwrap_or(StateId(0));
+        if start.0 >= n {
+            return Err(PfaError::UnknownState(start));
+        }
+        let mut states: Vec<State> = self
+            .labels
+            .into_iter()
+            .map(|label| State { label, transitions: Vec::new() })
+            .collect();
+        for (from, to, p) in self.edges {
+            if from.0 >= n {
+                return Err(PfaError::UnknownState(from));
+            }
+            if to.0 >= n {
+                return Err(PfaError::UnknownState(to));
+            }
+            if states[from.0].transitions.iter().any(|(t, _)| *t == to) {
+                return Err(PfaError::DuplicateTransition(from, to));
+            }
+            states[from.0].transitions.push((to, p));
+        }
+        for (i, st) in states.iter().enumerate() {
+            // Exact dyadic row sum in units of 2^-64 (fits u128).
+            let mut sum: u128 = 0;
+            for (_, p) in &st.transitions {
+                sum += match p.exponent() {
+                    64 => p.numerator() as u128,
+                    e => (p.numerator() as u128) << (64 - e),
+                };
+            }
+            if sum != 1u128 << 64 {
+                return Err(PfaError::NotStochastic {
+                    state: StateId(i),
+                    sum: format!("{sum}/2^64"),
+                });
+            }
+        }
+        if states[start.0].label != GridAction::Origin {
+            return Err(PfaError::StartNotOrigin);
+        }
+        Ok(Pfa { states, start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_grid::Direction;
+    use ants_rng::{SeedableRng64, Xoshiro256PlusPlus};
+
+    fn two_state() -> Pfa {
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        let s1 = b.add_state(Direction::Up.into());
+        b.add_transition(s0, s1, DyadicProb::ONE);
+        b.add_transition(s1, s0, DyadicProb::half());
+        b.add_transition(s1, s1, DyadicProb::half());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let pfa = two_state();
+        assert_eq!(pfa.num_states(), 2);
+        assert_eq!(pfa.start(), StateId(0));
+        assert_eq!(pfa.label(StateId(1)), GridAction::Move(Direction::Up));
+        assert_eq!(pfa.probability(StateId(0), StateId(1)), DyadicProb::ONE);
+        assert_eq!(pfa.probability(StateId(1), StateId(1)), DyadicProb::half());
+        assert_eq!(pfa.probability(StateId(0), StateId(0)), DyadicProb::ZERO);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(PfaBuilder::new().build().unwrap_err(), PfaError::Empty);
+    }
+
+    #[test]
+    fn non_stochastic_rejected() {
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        b.add_transition(s0, s0, DyadicProb::half());
+        match b.build().unwrap_err() {
+            PfaError::NotStochastic { state, .. } => assert_eq!(state, StateId(0)),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_transition_rejected() {
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        b.add_transition(s0, s0, DyadicProb::half());
+        b.add_transition(s0, s0, DyadicProb::half());
+        assert_eq!(
+            b.build().unwrap_err(),
+            PfaError::DuplicateTransition(StateId(0), StateId(0))
+        );
+    }
+
+    #[test]
+    fn start_must_be_origin() {
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::None);
+        b.add_transition(s0, s0, DyadicProb::ONE);
+        assert_eq!(b.build().unwrap_err(), PfaError::StartNotOrigin);
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        b.add_transition(s0, StateId(7), DyadicProb::ONE);
+        assert_eq!(b.build().unwrap_err(), PfaError::UnknownState(StateId(7)));
+    }
+
+    #[test]
+    fn memory_bits_formula() {
+        // 1 state -> 0 bits; 2 -> 1; 3..4 -> 2; 5..8 -> 3.
+        let sizes_bits = [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)];
+        for (n, bits) in sizes_bits {
+            let mut b = PfaBuilder::new();
+            let ids: Vec<StateId> = (0..n)
+                .map(|i| {
+                    b.add_state(if i == 0 { GridAction::Origin } else { GridAction::None })
+                })
+                .collect();
+            for (i, &s) in ids.iter().enumerate() {
+                b.add_transition(s, ids[(i + 1) % n], DyadicProb::ONE);
+            }
+            let pfa = b.build().unwrap();
+            assert_eq!(pfa.memory_bits(), bits, "{n} states");
+        }
+    }
+
+    #[test]
+    fn ell_and_chi() {
+        let pfa = two_state();
+        assert_eq!(pfa.ell(), 1);
+        assert_eq!(pfa.chi(), 1.0); // b = 1, log2(1) = 0
+
+        // Deterministic cycle: ell = 0.
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        b.add_transition(s0, s0, DyadicProb::ONE);
+        let det = b.build().unwrap();
+        assert_eq!(det.ell(), 0);
+        assert_eq!(det.chi(), 0.0);
+    }
+
+    #[test]
+    fn chi_with_fine_probabilities() {
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        let s1 = b.add_state(GridAction::None);
+        let p = DyadicProb::one_over_pow2(8).unwrap();
+        b.add_transition(s0, s1, p);
+        b.add_transition(s0, s0, p.complement());
+        b.add_transition(s1, s1, DyadicProb::ONE);
+        let pfa = b.build().unwrap();
+        assert_eq!(pfa.ell(), 8);
+        assert_eq!(pfa.chi(), 1.0 + 3.0); // b = 1, log2(8) = 3
+        assert_eq!(pfa.min_probability(), p);
+    }
+
+    #[test]
+    fn step_distribution_matches_probabilities() {
+        let pfa = two_state();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let n = 100_000;
+        let stays: u32 = (0..n)
+            .map(|_| u32::from(pfa.step(StateId(1), &mut rng) == StateId(1)))
+            .sum();
+        let f = stays as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.01, "self-loop frequency {f}");
+    }
+
+    #[test]
+    fn step_exact_for_deterministic_rows() {
+        let pfa = two_state();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+        for _ in 0..100 {
+            assert_eq!(pfa.step(StateId(0), &mut rng), StateId(1));
+        }
+    }
+
+    #[test]
+    fn step_with_three_way_split() {
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        let s1 = b.add_state(GridAction::None);
+        let s2 = b.add_state(GridAction::None);
+        let quarter = DyadicProb::one_over_pow2(2).unwrap();
+        b.add_transition(s0, s0, DyadicProb::half());
+        b.add_transition(s0, s1, quarter);
+        b.add_transition(s0, s2, quarter);
+        b.add_transition(s1, s1, DyadicProb::ONE);
+        b.add_transition(s2, s2, DyadicProb::ONE);
+        let pfa = b.build().unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        let mut counts = [0u32; 3];
+        let n = 120_000;
+        for _ in 0..n {
+            counts[pfa.step(s0, &mut rng).0] += 1;
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f0 - 0.5).abs() < 0.01, "{f0}");
+        assert!((f1 - 0.25).abs() < 0.01, "{f1}");
+        assert!((f2 - 0.25).abs() < 0.01, "{f2}");
+    }
+
+    #[test]
+    fn transition_matrix_rows_sum_to_one() {
+        let pfa = two_state();
+        for row in pfa.transition_matrix() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn states_with_label_filters() {
+        let pfa = two_state();
+        assert_eq!(pfa.states_with_label(GridAction::Origin), vec![StateId(0)]);
+        assert_eq!(
+            pfa.states_with_label(GridAction::Move(Direction::Up)),
+            vec![StateId(1)]
+        );
+        assert!(pfa.states_with_label(GridAction::None).is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PfaError::StartNotOrigin;
+        assert!(e.to_string().contains("origin"));
+        let e = PfaError::UnknownState(StateId(3));
+        assert!(e.to_string().contains("s3"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Executing a PFA on the grid.
+//!
+//! A [`Walker`] realises the paper's execution semantics (Section 2): a
+//! random walk on the state set `S`, where entering state `s` applies the
+//! move `M(s)` to the current position. `origin` states invoke the return
+//! oracle (position resets; the path back is *not* counted as moves), and
+//! `none` states are local computation.
+
+use crate::action::GridAction;
+use crate::pfa::{Pfa, StateId};
+use ants_grid::Point;
+use ants_rng::Rng64;
+
+/// The result of one walker step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The state entered by this step.
+    pub state: StateId,
+    /// Its label (the action that was applied).
+    pub action: GridAction,
+    /// Position after applying the action.
+    pub position: Point,
+}
+
+/// An agent executing a PFA on the grid.
+///
+/// ```
+/// use ants_automaton::{library, Walker};
+/// use ants_rng::{SeedableRng64, Xoshiro256PlusPlus};
+///
+/// let pfa = library::straight_line();
+/// let mut w = Walker::new(&pfa);
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+/// for _ in 0..5 { w.step(&mut rng); }
+/// assert_eq!(w.position().x, 5);
+/// assert_eq!(w.moves(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Walker<'a> {
+    pfa: &'a Pfa,
+    state: StateId,
+    position: Point,
+    steps: u64,
+    moves: u64,
+    origin_returns: u64,
+}
+
+impl<'a> Walker<'a> {
+    /// Create a walker at the start state and the origin.
+    pub fn new(pfa: &'a Pfa) -> Self {
+        Self {
+            pfa,
+            state: pfa.start(),
+            position: Point::ORIGIN,
+            steps: 0,
+            moves: 0,
+            origin_returns: 0,
+        }
+    }
+
+    /// The underlying automaton.
+    pub fn pfa(&self) -> &Pfa {
+        self.pfa
+    }
+
+    /// Current state.
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+
+    /// Current grid position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Number of Markov-chain transitions taken (the paper's *steps*,
+    /// metric `M_steps`).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of grid moves taken (the paper's *moves*, metric `M_moves`).
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Number of oracle returns to the origin.
+    pub fn origin_returns(&self) -> u64 {
+        self.origin_returns
+    }
+
+    /// Take one step: sample the successor state and apply its action.
+    pub fn step<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> StepOutcome {
+        let next = self.pfa.step(self.state, rng);
+        self.state = next;
+        self.steps += 1;
+        let action = self.pfa.label(next);
+        match action {
+            GridAction::Move(d) => {
+                self.position = self.position.step(d);
+                self.moves += 1;
+            }
+            GridAction::Origin => {
+                self.position = Point::ORIGIN;
+                self.origin_returns += 1;
+            }
+            GridAction::None => {}
+        }
+        StepOutcome { state: next, action, position: self.position }
+    }
+
+    /// Run until the target is reached or `max_steps` transitions elapse.
+    ///
+    /// Returns `Some((steps, moves))` at the moment the walker's position
+    /// first equals `target`, `None` on timeout. The start position counts:
+    /// a target at the origin is found in zero steps (the paper excludes
+    /// this case, but the executor is total).
+    pub fn run_until<R: Rng64 + ?Sized>(
+        &mut self,
+        target: Point,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Option<(u64, u64)> {
+        if self.position == target {
+            return Some((self.steps, self.moves));
+        }
+        while self.steps < max_steps {
+            let out = self.step(rng);
+            if out.position == target {
+                return Some((self.steps, self.moves));
+            }
+        }
+        None
+    }
+
+    /// Run `max_steps` transitions, recording every position into the
+    /// visitor callback (used for coverage measurement).
+    pub fn run_visiting<R, F>(&mut self, max_steps: u64, rng: &mut R, mut visit: F)
+    where
+        R: Rng64 + ?Sized,
+        F: FnMut(Point),
+    {
+        visit(self.position);
+        for _ in 0..max_steps {
+            let out = self.step(rng);
+            visit(out.position);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use ants_rng::{SeedableRng64, Xoshiro256PlusPlus};
+
+    #[test]
+    fn straight_line_walks_right() {
+        let pfa = library::straight_line();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut w = Walker::new(&pfa);
+        for i in 1..=10 {
+            let out = w.step(&mut rng);
+            assert_eq!(out.position, Point::new(i, 0));
+        }
+        assert_eq!(w.steps(), 10);
+        assert_eq!(w.moves(), 10);
+        assert_eq!(w.origin_returns(), 0);
+    }
+
+    #[test]
+    fn run_until_finds_reachable_target() {
+        let pfa = library::straight_line();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut w = Walker::new(&pfa);
+        let res = w.run_until(Point::new(7, 0), 100, &mut rng);
+        assert_eq!(res, Some((7, 7)));
+    }
+
+    #[test]
+    fn run_until_times_out_on_unreachable_target() {
+        let pfa = library::straight_line();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut w = Walker::new(&pfa);
+        assert_eq!(w.run_until(Point::new(-1, 0), 50, &mut rng), None);
+        assert_eq!(w.steps(), 50);
+    }
+
+    #[test]
+    fn run_until_origin_target_immediate() {
+        let pfa = library::random_walk();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut w = Walker::new(&pfa);
+        assert_eq!(w.run_until(Point::ORIGIN, 10, &mut rng), Some((0, 0)));
+    }
+
+    #[test]
+    fn random_walk_moves_equal_steps() {
+        // Every state of the uniform walk is a move state.
+        let pfa = library::random_walk();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut w = Walker::new(&pfa);
+        for _ in 0..100 {
+            w.step(&mut rng);
+        }
+        assert_eq!(w.steps(), 100);
+        assert_eq!(w.moves(), 100);
+    }
+
+    #[test]
+    fn lazy_walk_moves_less_than_steps() {
+        let pfa = library::lazy_random_walk();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut w = Walker::new(&pfa);
+        for _ in 0..1000 {
+            w.step(&mut rng);
+        }
+        assert_eq!(w.steps(), 1000);
+        assert!(w.moves() < 1000, "none states must not count as moves");
+        // Roughly half the steps move.
+        assert!(w.moves() > 300 && w.moves() < 700, "moves = {}", w.moves());
+    }
+
+    #[test]
+    fn origin_label_resets_position() {
+        let pfa = library::algorithm1(2).unwrap(); // D = 4: frequent resets
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut w = Walker::new(&pfa);
+        let mut saw_reset = false;
+        for _ in 0..10_000 {
+            let out = w.step(&mut rng);
+            if out.action == GridAction::Origin {
+                assert_eq!(out.position, Point::ORIGIN);
+                saw_reset = true;
+            }
+        }
+        assert!(saw_reset, "algorithm 1 with D = 4 must reset within 10k steps");
+        assert!(w.origin_returns() > 0);
+    }
+
+    #[test]
+    fn walk_is_deterministic_given_seed() {
+        let pfa = library::random_walk();
+        let run = |seed: u64| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let mut w = Walker::new(&pfa);
+            for _ in 0..200 {
+                w.step(&mut rng);
+            }
+            w.position()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn run_visiting_visits_start_and_all_positions() {
+        let pfa = library::straight_line();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let mut w = Walker::new(&pfa);
+        let mut visited = Vec::new();
+        w.run_visiting(3, &mut rng, |p| visited.push(p));
+        assert_eq!(
+            visited,
+            vec![
+                Point::ORIGIN,
+                Point::new(1, 0),
+                Point::new(2, 0),
+                Point::new(3, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn random_walk_rms_displacement_scales_like_sqrt_t() {
+        // Diffusive scaling: E[|X_t|^2] = t for the uniform walk.
+        let pfa = library::random_walk();
+        let trials = 2000;
+        let t = 400u64;
+        let mut total_sq = 0f64;
+        for seed in 0..trials {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(1000 + seed);
+            let mut w = Walker::new(&pfa);
+            for _ in 0..t {
+                w.step(&mut rng);
+            }
+            let p = w.position();
+            total_sq += (p.x * p.x + p.y * p.y) as f64;
+        }
+        let mean_sq = total_sq / trials as f64;
+        // E[|X_t|^2] = t exactly for this walk; tolerance 10%.
+        assert!(
+            (mean_sq - t as f64).abs() / (t as f64) < 0.10,
+            "mean squared displacement {mean_sq} vs {t}"
+        );
+    }
+}

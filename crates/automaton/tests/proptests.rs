@@ -1,0 +1,188 @@
+//! Property-based tests for the automaton substrate.
+
+use ants_automaton::{library, markov, GridAction, Pfa, PfaBuilder, StateId, Walker};
+use ants_grid::Direction;
+use ants_rng::{DyadicProb, SeedableRng64, Xoshiro256PlusPlus};
+use proptest::prelude::*;
+
+/// Random valid PFA via the library generator.
+fn arb_pfa() -> impl Strategy<Value = Pfa> {
+    (1usize..=10, 1u32..=6, any::<u64>()).prop_map(|(n, ell, seed)| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        library::random_pfa(n, ell, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analysis_partitions_states(pfa in arb_pfa()) {
+        let a = markov::analyze(&pfa);
+        let mut seen = vec![false; pfa.num_states()];
+        for s in &a.transient {
+            prop_assert!(!seen[s.0], "state in two classes");
+            seen[s.0] = true;
+        }
+        for c in &a.recurrent_classes {
+            for s in &c.states {
+                prop_assert!(!seen[s.0], "state in two classes");
+                seen[s.0] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "state not classified");
+    }
+
+    #[test]
+    fn recurrent_classes_are_closed(pfa in arb_pfa()) {
+        let a = markov::analyze(&pfa);
+        for c in &a.recurrent_classes {
+            for s in &c.states {
+                for (t, _) in pfa.transitions(*s) {
+                    prop_assert!(
+                        c.states.contains(t),
+                        "recurrent class leaks mass from {s} to {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_is_distribution_and_fixed_point(pfa in arb_pfa()) {
+        let a = markov::analyze(&pfa);
+        for c in &a.recurrent_classes {
+            let sum: f64 = c.stationary.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8, "stationary sums to {sum}");
+            prop_assert!(c.stationary.iter().all(|&p| p >= -1e-12));
+            // Fixed point of the restricted chain.
+            let m = c.states.len();
+            let mut after = vec![0.0; m];
+            for (i, s) in c.states.iter().enumerate() {
+                for (t, p) in pfa.transitions(*s) {
+                    let j = c.states.iter().position(|u| u == t).unwrap();
+                    after[j] += c.stationary[i] * p.to_f64();
+                }
+            }
+            for (x, y) in after.iter().zip(c.stationary.iter()) {
+                prop_assert!((x - y).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_classes_partition_class(pfa in arb_pfa()) {
+        let a = markov::analyze(&pfa);
+        for c in &a.recurrent_classes {
+            prop_assert_eq!(c.cyclic_classes.len(), c.period as usize);
+            let total: usize = c.cyclic_classes.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, c.states.len());
+            // One-step transitions go to the next cyclic class.
+            if c.period > 1 {
+                for (tau, class) in c.cyclic_classes.iter().enumerate() {
+                    let next = &c.cyclic_classes[(tau + 1) % c.period as usize];
+                    for s in class {
+                        for (t, _) in pfa.transitions(*s) {
+                            prop_assert!(
+                                next.contains(t),
+                                "period {}: edge {s}->{t} skips a cyclic class", c.period
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_bounded_by_move_mass(pfa in arb_pfa()) {
+        let a = markov::analyze(&pfa);
+        for c in &a.recurrent_classes {
+            let mass = markov::move_mass(&pfa, c);
+            prop_assert!(c.drift.0.abs() <= mass + 1e-9);
+            prop_assert!(c.drift.1.abs() <= mass + 1e-9);
+            prop_assert!(mass <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn chi_components_consistent(pfa in arb_pfa()) {
+        let b = pfa.memory_bits();
+        prop_assert!(pfa.num_states() <= 1usize << b);
+        if pfa.num_states() > 1 {
+            prop_assert!(pfa.num_states() > 1usize << (b.saturating_sub(1)) >> 1);
+        }
+        let ell = pfa.ell();
+        if !pfa.min_probability().is_one() {
+            // Every probability is at least 1/2^ell …
+            prop_assert!(pfa.min_probability() >= DyadicProb::one_over_pow2(ell).unwrap());
+        }
+    }
+
+    #[test]
+    fn walker_steps_count_and_moves_bound(pfa in arb_pfa(), seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut w = Walker::new(&pfa);
+        for _ in 0..100 {
+            w.step(&mut rng);
+        }
+        prop_assert_eq!(w.steps(), 100);
+        prop_assert!(w.moves() <= 100);
+        // Position is reachable within moves steps of the origin.
+        prop_assert!(w.position().norm_l1() <= w.moves());
+    }
+
+    #[test]
+    fn walker_deterministic(pfa in arb_pfa(), seed in any::<u64>()) {
+        let run = |pfa: &Pfa| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let mut w = Walker::new(pfa);
+            for _ in 0..64 {
+                w.step(&mut rng);
+            }
+            (w.position(), w.moves(), w.state())
+        };
+        prop_assert_eq!(run(&pfa), run(&pfa));
+    }
+
+    #[test]
+    fn distribution_after_matches_empirical(seed in any::<u64>()) {
+        // For the 2-cycle, the k-step distribution alternates exactly.
+        let _ = seed;
+        let mut b = PfaBuilder::new();
+        let s0 = b.add_state(GridAction::Origin);
+        let s1 = b.add_state(GridAction::Move(Direction::Right));
+        b.add_transition(s0, s1, DyadicProb::ONE);
+        b.add_transition(s1, s0, DyadicProb::ONE);
+        let pfa = b.build().unwrap();
+        let d3 = markov::distribution_after(&pfa, 3);
+        prop_assert!((d3[1] - 1.0).abs() < 1e-12);
+        let d4 = markov::distribution_after(&pfa, 4);
+        prop_assert!((d4[0] - 1.0).abs() < 1e-12);
+    }
+}
+
+/// The paper's Algorithm 1 machine agrees with its defining coin-flip
+/// semantics: empirical iteration structure matches the geometric walks.
+#[test]
+fn algorithm1_vertical_run_length_is_geometric() {
+    let j = 3; // D = 8
+    let pfa = library::algorithm1(j).unwrap();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
+    let mut w = Walker::new(&pfa);
+    // Estimate the mean sojourn in the `up` state after entering it.
+    let up = StateId(1);
+    let mut runs = Vec::new();
+    let mut current: Option<u64> = None;
+    for _ in 0..200_000 {
+        let out = w.step(&mut rng);
+        if out.state == up {
+            current = Some(current.map_or(1, |c| c + 1));
+        } else if let Some(c) = current.take() {
+            runs.push(c);
+        }
+    }
+    let mean = runs.iter().sum::<u64>() as f64 / runs.len() as f64;
+    // Geometric with continue-probability 1 - 1/8: mean sojourn 8.
+    assert!((mean - 8.0).abs() < 0.5, "mean sojourn {mean}");
+}

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the simulation substrate.
+//!
+//! These quantify the engine itself (PRNG, coins, PFA stepping, strategy
+//! stepping, full trials, chain analysis) so that the experiment harness
+//! numbers in EXPERIMENTS.md can be related to wall-clock budgets.
+
+use ants_automaton::{library, markov, Walker};
+use ants_core::baselines::{HarmonicSearch, RandomWalk, SpiralSearch};
+use ants_core::{CoinNonUniformSearch, NonUniformSearch, SearchStrategy, UniformSearch};
+use ants_grid::TargetPlacement;
+use ants_rng::{derive_rng, BiasedCoin, Coin, CompositeCoin, Rng64};
+use ants_sim::{run_trial, Scenario};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("xoshiro256pp/next_u64", |b| {
+        let mut rng = derive_rng(1, 0);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.bench_function("biased_coin/flip_1_over_1024", |b| {
+        let mut rng = derive_rng(2, 0);
+        let coin = BiasedCoin::base(10).unwrap();
+        b.iter(|| black_box(coin.flip(&mut rng)));
+    });
+    g.bench_function("composite_coin/flip_k5_l2", |b| {
+        let mut rng = derive_rng(3, 0);
+        let coin = CompositeCoin::new(5, 2).unwrap();
+        b.iter(|| black_box(coin.flip(&mut rng)));
+    });
+    g.finish();
+}
+
+fn bench_automaton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("automaton");
+    let pfa = library::algorithm1(8).unwrap();
+    g.bench_function("pfa/step_algorithm1", |b| {
+        let mut rng = derive_rng(4, 0);
+        let mut w = Walker::new(&pfa);
+        b.iter(|| black_box(w.step(&mut rng)));
+    });
+    g.bench_function("markov/analyze_8_state_pfa", |b| {
+        let mut rng = derive_rng(5, 0);
+        let pfa = library::random_pfa(8, 3, &mut rng);
+        b.iter(|| black_box(markov::analyze(&pfa)));
+    });
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_step");
+    macro_rules! bench_strategy {
+        ($name:literal, $mk:expr) => {
+            g.bench_function($name, |b| {
+                let mut rng = derive_rng(6, 0);
+                let mut s = $mk;
+                b.iter(|| black_box(s.step(&mut rng)));
+            });
+        };
+    }
+    bench_strategy!("random_walk", RandomWalk::new());
+    bench_strategy!("spiral", SpiralSearch::new());
+    bench_strategy!("non_uniform_d256", NonUniformSearch::new(256).unwrap());
+    bench_strategy!("coin_non_uniform_d256_l1", CoinNonUniformSearch::new(256, 1).unwrap());
+    bench_strategy!("uniform_l1", UniformSearch::new(1, 16, 2).unwrap());
+    bench_strategy!("harmonic_n16", HarmonicSearch::new(16));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.bench_function("trial/alg1_d32_n4", |b| {
+        let scenario = Scenario::builder()
+            .agents(4)
+            .target(TargetPlacement::UniformInBall { distance: 32 })
+            .move_budget(2_000_000)
+            .strategy(|_| Box::new(NonUniformSearch::new(32).unwrap()))
+            .build();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_trial(&scenario, seed))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rng, bench_automaton, bench_strategies, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates experiment e10_randomwalk at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e10_randomwalk, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e10_randomwalk::META);
+    let table = e10_randomwalk::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

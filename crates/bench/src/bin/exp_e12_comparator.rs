@@ -1,0 +1,17 @@
+//! Regenerates experiment e12_comparator at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e12_comparator, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e12_comparator::META);
+    let table = e12_comparator::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates experiment e13_drift at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e13_drift, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e13_drift::META);
+    let table = e13_drift::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

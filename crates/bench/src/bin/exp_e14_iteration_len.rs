@@ -1,0 +1,17 @@
+//! Regenerates experiment e14_iteration_len at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e14_iteration_len, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e14_iteration_len::META);
+    let table = e14_iteration_len::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

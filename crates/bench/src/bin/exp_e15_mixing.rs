@@ -1,0 +1,17 @@
+//! Regenerates experiment e15_mixing at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e15_mixing, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e15_mixing::META);
+    let table = e15_mixing::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates experiment e1_nonuniform at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e1_nonuniform, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e1_nonuniform::META);
+    let table = e1_nonuniform::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates experiment e2_iteration at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e2_iteration, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e2_iteration::META);
+    let table = e2_iteration::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates experiment e3_coin at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e3_coin, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e3_coin::META);
+    let table = e3_coin::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

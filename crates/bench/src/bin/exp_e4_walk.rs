@@ -1,0 +1,17 @@
+//! Regenerates experiment e4_walk at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e4_walk, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e4_walk::META);
+    let table = e4_walk::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

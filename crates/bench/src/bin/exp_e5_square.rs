@@ -1,0 +1,17 @@
+//! Regenerates experiment e5_square at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e5_square, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e5_square::META);
+    let table = e5_square::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates experiment e6_chi at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e6_chi, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e6_chi::META);
+    let table = e6_chi::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

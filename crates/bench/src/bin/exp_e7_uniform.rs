@@ -1,0 +1,17 @@
+//! Regenerates experiment e7_uniform at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e7_uniform, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e7_uniform::META);
+    let table = e7_uniform::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

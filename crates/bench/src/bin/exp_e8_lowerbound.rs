@@ -1,0 +1,17 @@
+//! Regenerates experiment e8_lowerbound at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e8_lowerbound, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e8_lowerbound::META);
+    let table = e8_lowerbound::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates experiment e9_tradeoff at publication scale (see DESIGN.md).
+
+use ants_bench::experiments::{e9_tradeoff, Effort};
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    };
+    println!("{}", e9_tradeoff::META);
+    let table = e9_tradeoff::run(effort);
+    println!("{table}");
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    }
+}

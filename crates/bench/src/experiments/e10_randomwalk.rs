@@ -1,0 +1,88 @@
+//! E10 — the random-walk ceiling (the paper's ref.&nbsp;3, used as contrast):
+//! `n` uniform random walkers speed search up by only `min{log n, D}`.
+//!
+//! Sweep `n`, measure mean `M_moves` to a fixed near target, and compare
+//! the measured speed-up to `ln n`.
+
+use super::{Effort, ExperimentMeta};
+use ants_analysis::speedup;
+use ants_core::baselines::RandomWalk;
+use ants_grid::TargetPlacement;
+use ants_sim::report::{fnum, Table};
+use ants_sim::{run_trials, Scenario};
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E10 (random-walk speed-up, paper ref [3])",
+    claim: "n uniform random walkers achieve speed-up only min{log n, D}",
+};
+
+/// Median moves for `n` random walkers to a ring target at distance `d`.
+///
+/// Medians, not means: the hitting time of a fixed site by a planar
+/// random walk has *infinite* expectation (the walk is recurrent but
+/// null-recurrent toward single sites), so sample means are
+/// budget-truncation artifacts. The `min{log n, D}` speed-up claim is
+/// about typical behaviour, which the median captures.
+pub fn median_moves(d: u64, n: usize, trials: u64, seed: u64) -> f64 {
+    let scenario = Scenario::builder()
+        .agents(n)
+        .target(TargetPlacement::Ring { distance: d })
+        .move_budget(d * d * d * 40 + 200_000) // generous tail room
+        .strategy(|_| Box::new(RandomWalk::new()))
+        .build();
+    run_trials(&scenario, trials, seed).summary().median_moves()
+}
+
+/// Run the sweep.
+pub fn run(effort: Effort) -> Table {
+    let d = effort.pick(6u64, 10);
+    let n_values: &[usize] = effort.pick(&[1, 8][..], &[1, 4, 16, 64, 256][..]);
+    let trials = effort.pick(10, 50);
+    let mut table = Table::new(vec![
+        "n",
+        "D",
+        "median moves",
+        "speed-up",
+        "ln n ceiling",
+        "optimal (min{n, D})",
+    ]);
+    let t1 = median_moves(d, 1, trials, 0xE10_001);
+    for &n in n_values {
+        let tn =
+            if n == 1 { t1 } else { median_moves(d, n, trials, 0xE10_001 ^ (n as u64) << 8) };
+        let sp = t1 / tn;
+        table.row(vec![
+            n.to_string(),
+            d.to_string(),
+            fnum(tn),
+            fnum(sp),
+            fnum(speedup::random_walk_ceiling(n as u64, d).max(1.0)),
+            fnum(speedup::optimal_ceiling(n as u64, d)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_sublinear_in_n() {
+        // 16 walkers vs 1 at d = 5 (medians): the claim is speed-up far
+        // below n. ln 16 ~ 2.8; allow a generous band but require << 16.
+        let d = 5;
+        let t1 = median_moves(d, 1, 60, 1);
+        let t16 = median_moves(d, 16, 60, 2);
+        let sp = t1 / t16;
+        assert!(sp < 13.0, "random-walk speed-up {sp} too close to linear");
+        assert!(sp > 1.0, "more walkers should help at least a little: {sp}");
+    }
+
+    #[test]
+    fn smoke_runs() {
+        let t = run(Effort::Smoke);
+        assert_eq!(t.len(), 2);
+    }
+}

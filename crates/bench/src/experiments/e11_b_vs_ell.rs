@@ -1,0 +1,106 @@
+//! E11 — the `b` vs `ℓ` trade-off inside a fixed χ budget (the paper's
+//! Discussion: "more bits of memory might be of greater utility than
+//! having access to smaller probabilities").
+//!
+//! `Non-Uniform-Search` realises the coin `C_{1/2^{kℓ}}` for any split of
+//! `kℓ ≈ log₂ D` between the counter (`b ≈ log k` bits) and the coin
+//! resolution `ℓ`; we sweep the split at fixed `D` and measure both the
+//! χ decomposition and the running time — performance is flat while χ
+//! shifts between its two components, demonstrating that memory can
+//! substitute for probability resolution (but the converse direction has
+//! no analogous construction, per the Discussion).
+
+use super::{Effort, ExperimentMeta};
+use ants_core::{CoinNonUniformSearch, SearchStrategy};
+use ants_grid::TargetPlacement;
+use ants_sim::report::{fnum, Table};
+use ants_sim::{run_trials, Scenario};
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E11 (Discussion: b vs ell)",
+    claim: "memory can simulate fine probabilities: sweeping the (b, ell) split at fixed kl = log D leaves performance flat",
+};
+
+/// Run the split sweep.
+pub fn run(effort: Effort) -> Table {
+    let d = effort.pick(32u64, 128);
+    let n = 4usize;
+    let trials = effort.pick(8, 40);
+    let log_d = 64 - (d - 1).leading_zeros();
+    let mut table = Table::new(vec![
+        "ell",
+        "k",
+        "b",
+        "chi",
+        "mean moves",
+        "ratio to envelope",
+    ]);
+    let mut ell = 1u32;
+    while ell <= log_d {
+        let scenario = Scenario::builder()
+            .agents(n)
+            .target(TargetPlacement::UniformInBall { distance: d })
+            .move_budget(d * d * 800)
+            .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, ell).expect("valid")))
+            .build();
+        let agent = CoinNonUniformSearch::new(d, ell).expect("valid");
+        let sc = agent.selection_complexity();
+        let summary = run_trials(&scenario, trials, 0xE11_000 ^ (ell as u64)).summary();
+        let env = (d * d) as f64 / n as f64 + d as f64;
+        table.row(vec![
+            ell.to_string(),
+            agent.k().to_string(),
+            sc.memory_bits().to_string(),
+            fnum(sc.chi()),
+            fnum(summary.mean_moves()),
+            fnum(summary.mean_moves() / env),
+        ]);
+        ell *= 2;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_flat_across_splits() {
+        // At fixed kl = log D the coin is identical; only the accounting
+        // moves between b and ell. Run two extreme splits.
+        let d = 32u64;
+        let run_split = |ell: u32, seed: u64| {
+            let scenario = Scenario::builder()
+                .agents(2)
+                .target(TargetPlacement::Corner { distance: d })
+                .move_budget(d * d * 2000)
+                .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, ell).expect("valid")))
+                .build();
+            run_trials(&scenario, 25, seed).summary().mean_moves()
+        };
+        let fine = run_split(5, 1); // ell = log D, k = 1
+        let coarse = run_split(1, 1); // ell = 1, k = log D
+        let ratio = fine.max(coarse) / fine.min(coarse);
+        assert!(
+            ratio < 3.0,
+            "splits should perform comparably: ell=5 -> {fine}, ell=1 -> {coarse}"
+        );
+    }
+
+    #[test]
+    fn chi_decomposition_shifts() {
+        let d = 1u64 << 16;
+        let fine = CoinNonUniformSearch::new(d, 16).unwrap().selection_complexity();
+        let coarse = CoinNonUniformSearch::new(d, 1).unwrap().selection_complexity();
+        // Fine probabilities: small b, large ell. Coarse: the reverse.
+        assert!(fine.memory_bits() < coarse.memory_bits());
+        assert!(fine.ell() > coarse.ell());
+    }
+
+    #[test]
+    fn smoke_runs() {
+        let t = run(Effort::Smoke);
+        assert!(t.len() >= 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! E13 — Corollary 4.10: positions concentrate around the drift line.
+//!
+//! For representative low-χ automata, measure `‖X_r − r·~p‖_∞` as `r`
+//! grows and compare against the `√(r·ln D)` scale of Lemma 4.9: the
+//! *relative* deviation must fall like `r^{-1/2}`.
+
+use super::{Effort, ExperimentMeta};
+use ants_analysis::drift;
+use ants_automaton::library;
+use ants_sim::report::{fnum, Table};
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E13 (Corollary 4.10)",
+    claim: "||X_r - r*p|| = o(D/|S|): deviation grows like sqrt(r log D), relative deviation like r^{-1/2}",
+};
+
+/// Run the deviation sweep.
+pub fn run(effort: Effort) -> Table {
+    let steps_list: &[u64] = effort.pick(&[256, 1024][..], &[256, 1024, 4096, 16384, 65536][..]);
+    let trials = effort.pick(60, 300);
+    let d = 256; // reference scale for the log factor
+    let mut table = Table::new(vec![
+        "automaton",
+        "r (steps)",
+        "mean ||X_r - r p||",
+        "sqrt(r ln D) scale",
+        "ratio",
+        "relative dev",
+    ]);
+    for (name, pfa) in [
+        ("drift walk (e=2)", library::drift_walk(2).expect("valid")),
+        ("drift walk (e=4)", library::drift_walk(4).expect("valid")),
+        ("uniform walk", library::random_walk()),
+    ] {
+        for &r in steps_list {
+            let rep = drift::measure(&pfa, 64, r, trials, 0xE13 ^ r);
+            let scale = drift::predicted_deviation(r, d);
+            table.row(vec![
+                name.into(),
+                r.to_string(),
+                fnum(rep.deviation.mean()),
+                fnum(scale),
+                fnum(rep.deviation.mean() / scale),
+                format!("{:.5}", rep.relative_deviation()),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_deviation_falls_with_r() {
+        let pfa = library::drift_walk(2).unwrap();
+        let short = drift::measure(&pfa, 64, 256, 100, 1).relative_deviation();
+        let long = drift::measure(&pfa, 64, 16384, 100, 2).relative_deviation();
+        assert!(
+            long < short / 3.0,
+            "relative deviation should fall ~8x over a 64x step increase: {short} -> {long}"
+        );
+    }
+
+    #[test]
+    fn deviation_within_constant_of_scale() {
+        let pfa = library::drift_walk(3).unwrap();
+        let r = 4096;
+        let rep = drift::measure(&pfa, 64, r, 150, 3);
+        let scale = drift::predicted_deviation(r, 256);
+        let ratio = rep.deviation.mean() / scale;
+        assert!(
+            (0.05..4.0).contains(&ratio),
+            "deviation/scale ratio {ratio} outside the sqrt regime"
+        );
+    }
+
+    #[test]
+    fn smoke_runs() {
+        let t = run(Effort::Smoke);
+        assert_eq!(t.len(), 6);
+    }
+}

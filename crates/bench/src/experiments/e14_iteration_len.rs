@@ -1,0 +1,131 @@
+//! E14 — Lemmas 3.1 and 3.2: iteration lengths of Algorithm 1.
+//!
+//! `R ≤ 2D` (expected moves per iteration) and `R̂ ≤ 2R` (the same
+//! conditioned on *not* finding the target). We measure both: iterations
+//! that find a fixed target are separated from those that miss it.
+
+use super::{Effort, ExperimentMeta};
+use ants_automaton::GridAction;
+use ants_core::{apply_action, NonUniformSearch, SearchStrategy};
+use ants_grid::Point;
+use ants_rng::derive_rng;
+use ants_sim::report::{fnum, Table};
+
+/// Per-iteration statistics for Algorithm 1 at distance `d` against a
+/// fixed target.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationStats {
+    /// Mean moves over all iterations (estimates `R`).
+    pub mean_all: f64,
+    /// Mean moves over target-missing iterations (estimates `R̂`).
+    pub mean_missing: f64,
+    /// Number of iterations measured.
+    pub iterations: u64,
+}
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E14 (Lemmas 3.1, 3.2)",
+    claim: "expected iteration length R <= 2D; conditioned on missing the target, R-hat <= 2R",
+};
+
+/// Measure iteration statistics.
+pub fn measure(d: u64, target: Point, iterations: u64, seed: u64) -> IterationStats {
+    let mut agent = NonUniformSearch::new(d).expect("valid D");
+    let mut rng = derive_rng(seed, 0);
+    let mut pos = Point::ORIGIN;
+    let mut all_moves = 0u64;
+    let mut missing_moves = 0u64;
+    let mut missing_count = 0u64;
+    let mut count = 0u64;
+    let mut current_moves = 0u64;
+    let mut hit = false;
+    while count < iterations {
+        let a = agent.step(&mut rng);
+        if a.is_move() {
+            current_moves += 1;
+        }
+        pos = apply_action(pos, a);
+        if pos == target {
+            hit = true;
+        }
+        if a == GridAction::Origin {
+            count += 1;
+            all_moves += current_moves;
+            if !hit {
+                missing_moves += current_moves;
+                missing_count += 1;
+            }
+            current_moves = 0;
+            hit = false;
+        }
+    }
+    IterationStats {
+        mean_all: all_moves as f64 / count as f64,
+        mean_missing: if missing_count == 0 {
+            0.0
+        } else {
+            missing_moves as f64 / missing_count as f64
+        },
+        iterations: count,
+    }
+}
+
+/// Run the sweep.
+pub fn run(effort: Effort) -> Table {
+    let d_values: &[u64] = effort.pick(&[8, 16][..], &[8, 16, 32, 64, 128][..]);
+    let iterations = effort.pick(4_000, 40_000);
+    let mut table = Table::new(vec![
+        "D",
+        "iterations",
+        "mean R (<= 2D'?)",
+        "mean R-hat (miss)",
+        "R-hat / R (<= 2?)",
+    ]);
+    for &d in d_values {
+        let st = measure(d, Point::new(d as i64 / 2, d as i64 / 2), iterations, 0xE14 ^ d);
+        let d_prime = d.next_power_of_two();
+        table.row(vec![
+            d.to_string(),
+            st.iterations.to_string(),
+            format!("{} ({})", fnum(st.mean_all), st.mean_all <= 2.0 * d_prime as f64 * 1.05),
+            fnum(st.mean_missing),
+            format!(
+                "{:.3} ({})",
+                st.mean_missing / st.mean_all,
+                st.mean_missing <= 2.0 * st.mean_all
+            ),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_bounded_by_2d() {
+        let st = measure(16, Point::new(8, 8), 20_000, 1);
+        assert!(st.mean_all <= 34.0, "R = {} exceeds 2D + slack", st.mean_all);
+        // And R is Theta(D): at least D/2.
+        assert!(st.mean_all >= 8.0, "R = {} suspiciously small", st.mean_all);
+    }
+
+    #[test]
+    fn rhat_bounded_by_2r() {
+        let st = measure(8, Point::new(2, 2), 20_000, 2);
+        assert!(
+            st.mean_missing <= 2.0 * st.mean_all,
+            "R-hat {} exceeds 2R (R = {})",
+            st.mean_missing,
+            st.mean_all
+        );
+    }
+
+    #[test]
+    fn all_checks_true_in_table() {
+        let t = run(Effort::Smoke);
+        assert!(!t.to_string().contains("false"), "{t}");
+    }
+}

@@ -1,0 +1,68 @@
+//! E15 — Corollary 4.6 / Lemma A.2: low-χ chains forget their state
+//! within `D^{o(1)}` rounds.
+//!
+//! For representative automata we print the measured TV-distance-to-
+//! stationarity curve next to the Rosenthal envelope
+//! `(1 − p₀^{|S|})^{⌊k/|S|⌋}` the proof uses, and the paper's block
+//! length `β = c·|S|·ln D / p₀^{|S|}`.
+
+use super::{Effort, ExperimentMeta};
+use ants_analysis::mixing;
+use ants_automaton::library;
+use ants_sim::report::{fnum, Table};
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E15 (Corollary 4.6 / Lemma A.2)",
+    claim: "TV distance to stationarity <= (1 - p0^{|S|})^{k/|S|}: small chains forget in D^{o(1)} rounds",
+};
+
+/// Run the mixing sweep.
+pub fn run(effort: Effort) -> Table {
+    let ks: &[u64] = effort.pick(&[1, 8, 64][..], &[1, 4, 16, 64, 256, 1024][..]);
+    let d = 256u64;
+    let mut table = Table::new(vec![
+        "automaton",
+        "k (rounds)",
+        "measured TV",
+        "Rosenthal bound",
+        "bound holds",
+        "beta (block length)",
+    ]);
+    for (name, pfa) in [
+        ("lazy walk", library::lazy_random_walk()),
+        ("drift walk (e=3)", library::drift_walk(3).expect("valid")),
+        ("Alg 1 machine, D=16", library::algorithm1(4).expect("valid")),
+    ] {
+        let curve = mixing::mixing_curve(&pfa, ks);
+        let beta = mixing::block_length(&pfa, 1.0, d);
+        for p in &curve.points {
+            table.row(vec![
+                name.into(),
+                p.k.to_string(),
+                format!("{:.2e}", p.tv),
+                format!("{:.2e}", p.rosenthal),
+                (p.tv <= p.rosenthal + 1e-9).to_string(),
+                fnum(beta),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_holds_everywhere() {
+        let t = run(Effort::Smoke);
+        assert!(!t.to_string().contains("false"), "Rosenthal envelope violated:\n{t}");
+    }
+
+    #[test]
+    fn mixing_improves_with_k() {
+        let curve = mixing::mixing_curve(&library::algorithm1(3).unwrap(), &[1, 512]);
+        assert!(curve.points[1].tv <= curve.points[0].tv + 1e-12);
+    }
+}

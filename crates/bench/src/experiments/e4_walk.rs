@@ -1,0 +1,104 @@
+//! E4 — Lemma 3.8: the distribution of `walk(k, ℓ, dir)`.
+//!
+//! Claims, per `(k, ℓ)`:
+//! * `P[exactly i moves] ≥ 1/2^{kℓ+2}` for every `i ∈ {0, …, 2^{kℓ}}`;
+//! * `P[at least 2^{kℓ} moves] ≥ 1/4`;
+//! * `E[moves] < 2^{kℓ}`.
+
+use super::{Effort, ExperimentMeta};
+use ants_core::components::GeometricWalk;
+use ants_grid::Direction;
+use ants_rng::derive_rng;
+use ants_sim::report::{fnum, Table};
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E4 (Lemma 3.8)",
+    claim: "walk(k,l): point masses >= 1/2^{kl+2} on 0..2^{kl}, tail P[>= 2^{kl}] >= 1/4, mean < 2^{kl}",
+};
+
+/// One full walk's move count.
+fn walk_length(k: u32, ell: u32, seed: u64) -> u64 {
+    let mut walk = GeometricWalk::new(k, ell, Direction::Up).expect("valid parameters");
+    let mut rng = derive_rng(seed, 0);
+    let mut moves = 0u64;
+    loop {
+        let s = walk.step(&mut rng);
+        if s.action().is_move() {
+            moves += 1;
+        }
+        if s.is_finished() {
+            return moves;
+        }
+    }
+}
+
+/// Run the grid.
+pub fn run(effort: Effort) -> Table {
+    let cases: &[(u32, u32)] = effort.pick(&[(2, 2)][..], &[(2, 2), (4, 1), (3, 2), (2, 4)][..]);
+    let trials = effort.pick(30_000u64, 300_000);
+    let mut table = Table::new(vec![
+        "k",
+        "l",
+        "2^{kl}",
+        "mean (< 2^{kl}?)",
+        "P[>= 2^{kl}] (>= 0.25?)",
+        "min point mass x 2^{kl+2} (>= 1?)",
+    ]);
+    for &(k, ell) in cases {
+        let bound = 1u64 << (k * ell);
+        let mut counts = vec![0u64; bound as usize + 1];
+        let mut total = 0u64;
+        let mut tail = 0u64;
+        for s in 0..trials {
+            let m = walk_length(k, ell, 0xE4_0000 ^ s ^ ((k as u64) << 40) ^ ((ell as u64) << 48));
+            total += m;
+            if m >= bound {
+                tail += 1;
+            }
+            if m <= bound {
+                counts[m as usize] += 1;
+            }
+        }
+        let mean = total as f64 / trials as f64;
+        let tail_p = tail as f64 / trials as f64;
+        let min_mass = counts
+            .iter()
+            .map(|&c| c as f64 / trials as f64)
+            .fold(f64::INFINITY, f64::min);
+        table.row(vec![
+            k.to_string(),
+            ell.to_string(),
+            bound.to_string(),
+            format!("{} ({})", fnum(mean), mean < bound as f64),
+            format!("{tail_p:.3} ({})", tail_p >= 0.24),
+            format!(
+                "{:.2} ({})",
+                min_mass * (4 * bound) as f64,
+                min_mass * (4 * bound) as f64 >= 0.9
+            ),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lemma_checks_pass() {
+        let t = run(Effort::Smoke);
+        let rendered = t.to_string();
+        assert!(!rendered.contains("false"), "a Lemma 3.8 check failed:\n{rendered}");
+    }
+
+    #[test]
+    fn mean_is_exactly_geometric() {
+        // p = 1/16: mean = 15.
+        let trials = 50_000u64;
+        let total: u64 = (0..trials).map(|s| walk_length(2, 2, s)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 15.0).abs() < 0.5, "mean {mean}");
+    }
+}

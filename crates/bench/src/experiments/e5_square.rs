@@ -1,0 +1,101 @@
+//! E5 — Lemma 3.9: `search(k, ℓ)` visits every point of
+//! `{0, …, 2^{kℓ}}²` (and reflections) with probability `≥ 1/2^{kℓ+6}`.
+//!
+//! We sample representative lattice points (corners, axes, interior) and
+//! estimate each visit probability over many full searches.
+
+use super::{Effort, ExperimentMeta};
+use ants_core::components::SquareSearch;
+use ants_core::apply_action;
+use ants_grid::Point;
+use ants_rng::derive_rng;
+use ants_sim::report::Table;
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E5 (Lemma 3.9)",
+    claim: "search(k,l) visits each point of the side-2^{kl} square with probability >= 1/2^{kl+6}",
+};
+
+/// Does one search visit `target`?
+fn search_visits(k: u32, ell: u32, target: Point, seed: u64) -> bool {
+    let mut search = SquareSearch::new(k, ell).expect("valid parameters");
+    let mut rng = derive_rng(seed, 9);
+    let mut pos = Point::ORIGIN;
+    if pos == target {
+        return true;
+    }
+    loop {
+        let s = search.step(&mut rng);
+        pos = apply_action(pos, s.action());
+        if pos == target {
+            return true;
+        }
+        if s.is_finished() {
+            return false;
+        }
+    }
+}
+
+/// Run the point sample.
+pub fn run(effort: Effort) -> Table {
+    let (k, ell) = (4u32, 1u32); // side 16
+    let side = 1i64 << (k * ell);
+    let trials = effort.pick(20_000u64, 200_000);
+    let floor = 1.0 / (1u64 << (k * ell + 6)) as f64;
+    let targets = [
+        Point::new(1, 1),
+        Point::new(side / 2, side / 2),
+        Point::new(side, side),
+        Point::new(-side, side / 4),
+        Point::new(0, -side),
+        Point::new(side / 4, -side / 2),
+    ];
+    let mut table = Table::new(vec![
+        "point",
+        "trials",
+        "P[visit]",
+        "floor 1/2^{kl+6}",
+        "margin",
+    ]);
+    for (ti, target) in targets.iter().enumerate() {
+        let hits: u64 = (0..trials)
+            .map(|s| u64::from(search_visits(k, ell, *target, 0xE5_0000 ^ s ^ ((ti as u64) << 32))))
+            .sum();
+        let p = hits as f64 / trials as f64;
+        table.row(vec![
+            target.to_string(),
+            trials.to_string(),
+            format!("{p:.5}"),
+            format!("{floor:.5}"),
+            format!("{:.1}", p / floor),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_points_meet_floor() {
+        let t = run(Effort::Smoke);
+        for line in t.to_csv().lines().skip(1) {
+            let margin: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(margin >= 1.0, "visit probability below the Lemma 3.9 floor: {line}");
+        }
+    }
+
+    #[test]
+    fn near_origin_point_visited_often() {
+        let trials = 5_000;
+        let hits: u64 =
+            (0..trials).map(|s| u64::from(search_visits(2, 2, Point::new(1, 0), s))).sum();
+        // (1, 0) is visited iff the vertical walk has length 0 (p = 1/16),
+        // the horizontal direction is right (1/2) and the horizontal walk
+        // makes at least one move (15/16): P ~ 0.029.
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.029).abs() < 0.015, "P[visit (1,0)] = {p}");
+    }
+}

@@ -1,0 +1,104 @@
+//! E6 — Theorem 3.7: `Non-Uniform-Search` keeps the `O(D²/n + D)` running
+//! time while shrinking the selection complexity to `χ = log log D + O(1)`.
+//!
+//! Two tables in one: the χ audit across `D` (the additive gap between
+//! measured χ and `log log D` must stay bounded) and a performance spot
+//! check at fixed `D, n` comparing the composite-coin agent against the
+//! plain one.
+
+use super::{Effort, ExperimentMeta};
+use ants_core::{CoinNonUniformSearch, NonUniformSearch, SearchStrategy, SelectionComplexity};
+use ants_grid::TargetPlacement;
+use ants_sim::report::{fnum, Table};
+use ants_sim::{run_trials, Scenario};
+
+/// Identity and claim.
+pub const META: ExperimentMeta = ExperimentMeta {
+    id: "E6 (Theorem 3.7)",
+    claim: "composite-coin Algorithm 1: same O(D^2/n + D) moves, chi = log log D + O(1)",
+};
+
+/// Run the audit + spot check.
+pub fn run(effort: Effort) -> Table {
+    let mut table = Table::new(vec![
+        "D",
+        "ell",
+        "b",
+        "chi",
+        "log log D",
+        "chi - loglogD",
+        "mean moves (n=4)",
+        "plain Alg1 moves",
+    ]);
+    let d_exps: &[u32] = effort.pick(&[6][..], &[6, 8, 10, 12, 16, 20][..]);
+    let trials = effort.pick(8, 40);
+    for &d_exp in d_exps {
+        let d = 1u64 << d_exp;
+        let agent = CoinNonUniformSearch::new(d, 1).expect("valid");
+        let sc = agent.selection_complexity();
+        let loglog = SelectionComplexity::threshold(d);
+        // Performance spot check only at simulation-friendly sizes.
+        let (coin_moves, plain_moves) = if d <= 256 {
+            let coin = Scenario::builder()
+                .agents(4)
+                .target(TargetPlacement::UniformInBall { distance: d })
+                .move_budget(d * d * 800)
+                .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, 1).expect("valid")))
+                .build();
+            let plain = Scenario::builder()
+                .agents(4)
+                .target(TargetPlacement::UniformInBall { distance: d })
+                .move_budget(d * d * 800)
+                .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid")))
+                .build();
+            (
+                run_trials(&coin, trials, 0xE6 ^ d).summary().mean_moves(),
+                run_trials(&plain, trials, 0xE6 ^ d).summary().mean_moves(),
+            )
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        table.row(vec![
+            format!("2^{d_exp}"),
+            sc.ell().to_string(),
+            sc.memory_bits().to_string(),
+            fnum(sc.chi()),
+            fnum(loglog),
+            fnum(sc.chi() - loglog),
+            if coin_moves.is_nan() { "-".into() } else { fnum(coin_moves) },
+            if plain_moves.is_nan() { "-".into() } else { fnum(plain_moves) },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_gap_stays_bounded() {
+        // The additive gap chi - log log D must not grow with D.
+        let mut gaps = Vec::new();
+        for d_exp in [8u32, 16, 32, 48] {
+            let d = 1u64 << d_exp.min(63);
+            let agent = CoinNonUniformSearch::new(d, 1).expect("valid");
+            let gap = agent.selection_complexity().chi() - SelectionComplexity::threshold(d);
+            gaps.push(gap);
+        }
+        for gap in &gaps {
+            assert!(*gap <= 5.0, "chi exceeds log log D + 5: gap {gap}");
+            assert!(*gap >= 0.0, "chi below the threshold itself: gap {gap}");
+        }
+        // Bounded: the largest and smallest gap within 2 bits of each other.
+        let spread = gaps.iter().cloned().fold(f64::MIN, f64::max)
+            - gaps.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread <= 2.0, "gap spread {spread} suggests chi grows faster than log log D");
+    }
+
+    #[test]
+    fn smoke_runs() {
+        let t = run(Effort::Smoke);
+        assert_eq!(t.len(), 1);
+    }
+}

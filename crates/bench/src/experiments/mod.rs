@@ -1,0 +1,88 @@
+//! The experiment battery (see DESIGN.md, "Experiment index").
+
+pub mod e1_nonuniform;
+pub mod e2_iteration;
+pub mod e3_coin;
+pub mod e4_walk;
+pub mod e5_square;
+pub mod e6_chi;
+pub mod e7_uniform;
+pub mod e8_lowerbound;
+pub mod e9_tradeoff;
+pub mod e10_randomwalk;
+pub mod e11_b_vs_ell;
+pub mod e12_comparator;
+pub mod e13_drift;
+pub mod e14_iteration_len;
+pub mod e15_mixing;
+
+/// How hard an experiment should try.
+///
+/// `Smoke` keeps CI fast (seconds per experiment); `Standard` is the
+/// publication scale used by the `exp_*` binaries and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Tiny instance sizes: validates wiring, not statistics.
+    Smoke,
+    /// The scale used for the recorded results.
+    Standard,
+}
+
+impl Effort {
+    /// Pick between the smoke and standard value of a parameter.
+    pub fn pick<T: Copy>(self, smoke: T, standard: T) -> T {
+        match self {
+            Effort::Smoke => smoke,
+            Effort::Standard => standard,
+        }
+    }
+}
+
+/// An experiment's identity and its claim, printed as a header.
+pub struct ExperimentMeta {
+    /// Experiment id, e.g. "E1".
+    pub id: &'static str,
+    /// What the paper claims.
+    pub claim: &'static str,
+}
+
+impl std::fmt::Display for ExperimentMeta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} ==", self.id)?;
+        writeln!(f, "claim: {}", self.claim)
+    }
+}
+
+/// Run all experiments at the given effort, printing each.
+pub fn run_all(effort: Effort) {
+    println!("{}", e1_nonuniform::META);
+    println!("{}", e1_nonuniform::run(effort));
+    println!("{}", e2_iteration::META);
+    println!("{}", e2_iteration::run(effort));
+    println!("{}", e3_coin::META);
+    println!("{}", e3_coin::run(effort));
+    println!("{}", e4_walk::META);
+    println!("{}", e4_walk::run(effort));
+    println!("{}", e5_square::META);
+    println!("{}", e5_square::run(effort));
+    println!("{}", e6_chi::META);
+    println!("{}", e6_chi::run(effort));
+    println!("{}", e7_uniform::META);
+    println!("{}", e7_uniform::run(effort));
+    println!("{}", e8_lowerbound::META);
+    println!("{}", e8_lowerbound::run(effort));
+    println!("{}", e9_tradeoff::META);
+    println!("{}", e9_tradeoff::run(effort));
+    println!("{}", e10_randomwalk::META);
+    println!("{}", e10_randomwalk::run(effort));
+    println!("{}", e11_b_vs_ell::META);
+    println!("{}", e11_b_vs_ell::run(effort));
+    println!("{}", e12_comparator::META);
+    println!("{}", e12_comparator::run(effort));
+    println!("{}", e13_drift::META);
+    println!("{}", e13_drift::run(effort));
+    println!("{}", e14_iteration_len::META);
+    println!("{}", e14_iteration_len::run(effort));
+    println!("{}", e15_mixing::META);
+    println!("{}", e15_mixing::run(effort));
+}

@@ -1,0 +1,18 @@
+//! # ants-bench — experiment harnesses
+//!
+//! One module per experiment in DESIGN.md's index (E1–E14). Every module
+//! exposes `run(effort) -> ants_sim::report::Table`, printed by the
+//! `exp_*` binaries and by `ants-cli`. Tests run every experiment at
+//! [`Effort::Smoke`] so the whole battery stays exercised in CI.
+//!
+//! The paper is a theory paper — its "tables and figures" are the
+//! quantitative claims of Theorems 3.5–3.14 and 4.1/4.11 plus the
+//! supporting lemmas; each harness regenerates one of them and prints the
+//! paper's claim next to the measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::Effort;

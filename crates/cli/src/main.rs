@@ -1,0 +1,114 @@
+//! `ants` — the experiment runner.
+//!
+//! ```text
+//! ants list                 # list experiments with their claims
+//! ants run <id> [--smoke]   # run one experiment (e.g. `ants run e7`)
+//! ants all [--smoke]        # run the whole battery
+//! ants demo [D]             # quick visual: coverage of low- vs high-chi agents
+//! ```
+
+use ants_bench::experiments::{self, Effort};
+use ants_sim::report::Table;
+
+type Runner = fn(Effort) -> Table;
+
+/// The experiment registry: id, claim, runner.
+fn registry() -> Vec<(&'static str, &'static str, Runner)> {
+    use experiments::*;
+    vec![
+        ("e1", e1_nonuniform::META.claim, e1_nonuniform::run as Runner),
+        ("e2", e2_iteration::META.claim, e2_iteration::run),
+        ("e3", e3_coin::META.claim, e3_coin::run),
+        ("e4", e4_walk::META.claim, e4_walk::run),
+        ("e5", e5_square::META.claim, e5_square::run),
+        ("e6", e6_chi::META.claim, e6_chi::run),
+        ("e7", e7_uniform::META.claim, e7_uniform::run),
+        ("e8", e8_lowerbound::META.claim, e8_lowerbound::run),
+        ("e9", e9_tradeoff::META.claim, e9_tradeoff::run),
+        ("e10", e10_randomwalk::META.claim, e10_randomwalk::run),
+        ("e11", e11_b_vs_ell::META.claim, e11_b_vs_ell::run),
+        ("e12", e12_comparator::META.claim, e12_comparator::run),
+        ("e13", e13_drift::META.claim, e13_drift::run),
+        ("e14", e14_iteration_len::META.claim, e14_iteration_len::run),
+        ("e15", e15_mixing::META.claim, e15_mixing::run),
+    ]
+}
+
+fn effort_from_args(args: &[String]) -> Effort {
+    if args.iter().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Standard
+    }
+}
+
+fn demo(d: u64) {
+    use ants_automaton::library;
+    use ants_core::baselines::AutomatonStrategy;
+    use ants_core::NonUniformSearch;
+    use ants_grid::{render, Rect};
+    use ants_sim::coverage;
+    use ants_sim::StrategyFactory;
+
+    println!("Joint coverage of the radius-{d} ball after D^2 steps per agent (4 agents):\n");
+    let low: StrategyFactory = Box::new(|_| {
+        Box::new(AutomatonStrategy::new(library::drift_walk(3).expect("valid")))
+    });
+    let report = coverage::measure(&low, 4, d * d, Rect::ball(d), 7);
+    println!("low-chi drift walk (chi = {:.1}):", library::drift_walk(3).unwrap().chi());
+    println!("{}", render::ascii(&report.grid, report.adversarial_target()));
+    println!("{}\n", render::coverage_summary(&report.grid));
+
+    let high: StrategyFactory =
+        Box::new(move |_| Box::new(NonUniformSearch::new(d).expect("valid")));
+    let report = coverage::measure(&high, 4, 8 * d * d, Rect::ball(d), 7);
+    println!("Algorithm 1 (chi = log log D + O(1)):");
+    println!("{}", render::ascii(&report.grid, report.adversarial_target()));
+    println!("{}", render::coverage_summary(&report.grid));
+    println!("\n('X' marks the farthest cell no agent ever visited — Theorem 4.1's adversarial placement.)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let mut t = Table::new(vec!["id", "claim"]);
+            for (id, claim, _) in registry() {
+                t.row(vec![id.into(), claim.into()]);
+            }
+            println!("{t}");
+        }
+        Some("run") => {
+            let Some(id) = args.get(1) else {
+                eprintln!("usage: ants run <id> [--smoke] [--csv]");
+                std::process::exit(2);
+            };
+            let Some((_, claim, runner)) =
+                registry().into_iter().find(|(rid, _, _)| rid == id)
+            else {
+                eprintln!("unknown experiment {id}; try `ants list`");
+                std::process::exit(2);
+            };
+            println!("== {id} ==\nclaim: {claim}\n");
+            let table = runner(effort_from_args(&args));
+            println!("{table}");
+            if args.iter().any(|a| a == "--csv") {
+                print!("{}", table.to_csv());
+            }
+        }
+        Some("all") => {
+            experiments::run_all(effort_from_args(&args));
+        }
+        Some("demo") => {
+            let d = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+            demo(d);
+        }
+        _ => {
+            eprintln!(
+                "usage: ants <list|run <id>|all|demo [D]> [--smoke] [--csv]\n\
+                 reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Comparator strategies.
+//!
+//! The paper's claims are relative: its algorithms beat what is achievable
+//! at lower selection complexity ([`RandomWalk`], [`AutomatonStrategy`]
+//! over arbitrary small PFAs — the Theorem 4.1 population) and match the
+//! performance of prior work at far higher complexity ([`HarmonicSearch`],
+//! a reconstruction of Feinerman–Korman–Lotker–Sereni PODC'12 with
+//! `χ = Θ(log D)`; [`SpiralSearch`], the deterministic single-agent
+//! optimum). Implementing the comparators is what lets the benches
+//! reproduce "who wins, by how much, and where the crossovers are".
+
+mod automaton_strategy;
+mod harmonic;
+mod levy;
+mod mortal;
+mod random_walk;
+mod spiral;
+
+pub use automaton_strategy::AutomatonStrategy;
+pub use harmonic::HarmonicSearch;
+pub use levy::LevyWalk;
+pub use mortal::Mortal;
+pub use random_walk::RandomWalk;
+pub use spiral::SpiralSearch;

@@ -1,0 +1,180 @@
+//! Failure injection: agents with finite lifetimes.
+//!
+//! The paper's model assumes immortal agents; its discussion of
+//! biological plausibility (and the FKLS'12 line of work it builds on)
+//! raises robustness to agent loss. [`Mortal`] wraps any strategy with a
+//! geometrically distributed lifetime: after death the agent stops moving
+//! forever (`GridAction::None`). The test-suite and the examples use it
+//! to check that the collaborative guarantee degrades gracefully — the
+//! survivors' `D²/n_alive + D` bound takes over.
+
+use crate::selection::SelectionComplexity;
+use crate::strategy::SearchStrategy;
+use ants_automaton::GridAction;
+use ants_rng::{BiasedCoin, Coin, DefaultRng, DyadicProb};
+
+/// A strategy wrapper that dies with probability `p_death` per step.
+#[derive(Debug)]
+pub struct Mortal<S> {
+    inner: S,
+    death_coin: BiasedCoin,
+    alive: bool,
+}
+
+impl<S: SearchStrategy> Mortal<S> {
+    /// Wrap `inner` with a per-step death probability of `1/2^exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp` is zero (agents dying with probability ≥ 1/2 per
+    /// step cannot search) or above 64.
+    pub fn new(inner: S, exp: u32) -> Self {
+        assert!((1..=64).contains(&exp), "death exponent must be in 1..=64");
+        Self {
+            inner,
+            death_coin: BiasedCoin::new(
+                DyadicProb::one_over_pow2(exp).expect("exp validated"),
+            ),
+            alive: true,
+        }
+    }
+
+    /// Is the agent still alive?
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The wrapped strategy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SearchStrategy> SearchStrategy for Mortal<S> {
+    fn name(&self) -> &'static str {
+        "mortal wrapper"
+    }
+
+    fn step(&mut self, rng: &mut DefaultRng) -> GridAction {
+        if !self.alive {
+            return GridAction::None;
+        }
+        if self.death_coin.flip(rng).is_tails() {
+            self.alive = false;
+            return GridAction::None;
+        }
+        self.inner.step(rng)
+    }
+
+    fn selection_complexity(&self) -> SelectionComplexity {
+        // One extra alive-bit, and the death coin's resolution.
+        let inner = self.inner.selection_complexity();
+        let death_ell = self.death_coin.required_ell();
+        SelectionComplexity::new(inner.memory_bits() + 1, inner.ell().max(death_ell))
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.alive = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RandomWalk;
+    use crate::NonUniformSearch;
+    use ants_rng::derive_rng;
+
+    #[test]
+    fn dies_and_stays_dead() {
+        // Death probability 1/4 per step: dead within 100 steps w.h.p.
+        let mut m = Mortal::new(RandomWalk::new(), 2);
+        let mut rng = derive_rng(1, 0);
+        for _ in 0..200 {
+            let _ = m.step(&mut rng);
+        }
+        assert!(!m.is_alive());
+        for _ in 0..50 {
+            assert_eq!(m.step(&mut rng), GridAction::None);
+        }
+    }
+
+    #[test]
+    fn lifetime_is_geometric() {
+        let exp = 6u32; // p = 1/64, mean lifetime 64
+        let trials = 4000;
+        let mut total = 0u64;
+        for s in 0..trials {
+            let mut m = Mortal::new(RandomWalk::new(), exp);
+            let mut rng = derive_rng(s, 1);
+            let mut life = 0u64;
+            while m.is_alive() && life < 100_000 {
+                let _ = m.step(&mut rng);
+                life += 1;
+            }
+            total += life;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 64.0).abs() < 3.0, "mean lifetime {mean}");
+    }
+
+    #[test]
+    fn reset_revives() {
+        let mut m = Mortal::new(RandomWalk::new(), 1);
+        let mut rng = derive_rng(2, 0);
+        for _ in 0..100 {
+            let _ = m.step(&mut rng);
+        }
+        assert!(!m.is_alive());
+        m.reset();
+        assert!(m.is_alive());
+    }
+
+    #[test]
+    fn footprint_adds_one_bit() {
+        let base = NonUniformSearch::new(16).unwrap();
+        let base_sc = base.selection_complexity();
+        let m = Mortal::new(NonUniformSearch::new(16).unwrap(), 8);
+        let sc = m.selection_complexity();
+        assert_eq!(sc.memory_bits(), base_sc.memory_bits() + 1);
+        assert_eq!(sc.ell(), base_sc.ell().max(8));
+    }
+
+    #[test]
+    fn colony_survives_attrition() {
+        // 16 mortal agents (mean lifetime 4096 moves) vs a target at
+        // distance 8: enough survivors find it.
+        use crate::strategy::apply_action;
+        use ants_grid::Point;
+        let target = Point::new(6, -5);
+        let mut found = 0;
+        let trials = 20;
+        for t in 0..trials {
+            let mut hit = false;
+            for agent_idx in 0..16 {
+                let mut m = Mortal::new(NonUniformSearch::new(8).unwrap(), 12);
+                let mut rng = derive_rng(1000 + t, agent_idx);
+                let mut pos = Point::ORIGIN;
+                for _ in 0..20_000 {
+                    let a = m.step(&mut rng);
+                    pos = apply_action(pos, a);
+                    if pos == target {
+                        hit = true;
+                        break;
+                    }
+                    if !m.is_alive() {
+                        break;
+                    }
+                }
+                if hit {
+                    break;
+                }
+            }
+            if hit {
+                found += 1;
+            }
+        }
+        assert!(found >= 15, "only {found}/{trials} colonies found the target");
+    }
+}

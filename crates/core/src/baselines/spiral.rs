@@ -1,0 +1,181 @@
+//! Deterministic spiral search.
+
+use crate::selection::SelectionComplexity;
+use crate::strategy::SearchStrategy;
+use ants_automaton::GridAction;
+use ants_grid::Direction;
+use ants_rng::DefaultRng;
+
+/// The deterministic expanding square spiral: R, U, LL, DD, RRR, UUU, ….
+///
+/// Visits every cell at max-norm distance `d` within `O(d²)` moves — the
+/// optimal *single*-agent strategy, and the classic high-memory
+/// comparator: after `m` moves its counters hold values up to `Θ(√m)`, so
+/// the selection complexity to reach distance `D` is `b = Θ(log D)` with
+/// `ℓ = 0`. No speed-up from extra agents (they all walk the same
+/// spiral).
+#[derive(Debug, Clone)]
+pub struct SpiralSearch {
+    /// Direction of the current leg.
+    dir: Direction,
+    /// Moves remaining in the current leg.
+    remaining: u64,
+    /// Length of the current leg.
+    leg_len: u64,
+    /// Two legs share each length; toggles on each leg change.
+    second_leg: bool,
+}
+
+impl SpiralSearch {
+    /// Create a spiral searcher starting rightward from the origin.
+    pub fn new() -> Self {
+        Self {
+            dir: Direction::Right,
+            remaining: 1,
+            leg_len: 1,
+            second_leg: false,
+        }
+    }
+
+    fn turn_left(dir: Direction) -> Direction {
+        // Counter-clockwise spiral: R -> U -> L -> D -> R.
+        match dir {
+            Direction::Right => Direction::Up,
+            Direction::Up => Direction::Left,
+            Direction::Left => Direction::Down,
+            Direction::Down => Direction::Right,
+        }
+    }
+}
+
+impl Default for SpiralSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchStrategy for SpiralSearch {
+    fn name(&self) -> &'static str {
+        "deterministic spiral"
+    }
+
+    fn step(&mut self, _rng: &mut DefaultRng) -> GridAction {
+        let action = GridAction::Move(self.dir);
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            self.dir = Self::turn_left(self.dir);
+            if self.second_leg {
+                self.leg_len += 1;
+            }
+            self.second_leg = !self.second_leg;
+            self.remaining = self.leg_len;
+        }
+        action
+    }
+
+    fn selection_complexity(&self) -> SelectionComplexity {
+        // Deterministic (ell = 0); memory holds the leg length and the
+        // countdown: 2 * ceil(log2(leg)) + O(1) bits at the current radius.
+        let b = 2 * crate::ceil_log2(self.leg_len.max(1)) + 3;
+        SelectionComplexity::new(b, 0)
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::apply_action;
+    use ants_grid::{Point, Rect};
+    use ants_rng::derive_rng;
+
+    #[test]
+    fn first_moves_trace_unit_spiral() {
+        let mut s = SpiralSearch::new();
+        let mut rng = derive_rng(0, 0);
+        let mut pos = Point::ORIGIN;
+        let expect = [
+            Point::new(1, 0),  // R
+            Point::new(1, 1),  // U
+            Point::new(0, 1),  // L
+            Point::new(-1, 1), // L
+            Point::new(-1, 0), // D
+            Point::new(-1, -1),// D
+            Point::new(0, -1), // R
+            Point::new(1, -1), // R
+            Point::new(2, -1), // R
+        ];
+        for e in expect {
+            pos = apply_action(pos, s.step(&mut rng));
+            assert_eq!(pos, e);
+        }
+    }
+
+    #[test]
+    fn covers_ball_in_quadratic_moves() {
+        // Every cell within distance d is visited within (2d+1)^2 + O(d) moves.
+        let d = 12u64;
+        let mut s = SpiralSearch::new();
+        let mut rng = derive_rng(0, 0);
+        let mut pos = Point::ORIGIN;
+        let ball = Rect::ball(d);
+        let mut unvisited: std::collections::HashSet<Point> = ball.points().collect();
+        unvisited.remove(&Point::ORIGIN);
+        let budget = (2 * d + 1) * (2 * d + 1) + 4 * d + 4;
+        for _ in 0..budget {
+            pos = apply_action(pos, s.step(&mut rng));
+            unvisited.remove(&pos);
+        }
+        assert!(
+            unvisited.is_empty(),
+            "{} cells unvisited after {budget} moves",
+            unvisited.len()
+        );
+    }
+
+    #[test]
+    fn never_repeats_until_spiral_closes() {
+        // The spiral is self-avoiding (except its start).
+        let mut s = SpiralSearch::new();
+        let mut rng = derive_rng(0, 0);
+        let mut pos = Point::ORIGIN;
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(pos);
+        for _ in 0..5000 {
+            pos = apply_action(pos, s.step(&mut rng));
+            assert!(seen.insert(pos), "revisited {pos}");
+        }
+    }
+
+    #[test]
+    fn memory_grows_logarithmically() {
+        let mut s = SpiralSearch::new();
+        let mut rng = derive_rng(0, 0);
+        let b0 = s.selection_complexity().memory_bits();
+        for _ in 0..10_000 {
+            let _ = s.step(&mut rng);
+        }
+        let b1 = s.selection_complexity().memory_bits();
+        assert!(b1 > b0);
+        // After ~10^4 moves the radius is ~50: b ~ 2*log2(50) + 3 ~ 15.
+        assert!(b1 <= 20, "memory {b1} too large");
+        assert_eq!(s.selection_complexity().ell(), 0);
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let mut s = SpiralSearch::new();
+        let mut rng = derive_rng(0, 0);
+        for _ in 0..57 {
+            let _ = s.step(&mut rng);
+        }
+        s.reset();
+        let mut fresh = SpiralSearch::new();
+        for _ in 0..50 {
+            assert_eq!(s.step(&mut rng), fresh.step(&mut rng));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The selection complexity metric `χ(A) = b + log ℓ`.
+
+use std::fmt;
+
+/// The paper's selection complexity of an algorithm: memory bits `b`
+/// (`b = ⌈log₂|S|⌉` for the state-machine representation) and probability
+/// resolution `ℓ` (all probabilities are at least `1/2^ℓ`).
+///
+/// `χ = b + log₂ ℓ`, with the convention that `ℓ ≤ 1` (fair or
+/// deterministic coins only) contributes zero — constant probabilities are
+/// "free" in the paper's accounting.
+///
+/// ```
+/// use ants_core::SelectionComplexity;
+/// let sc = SelectionComplexity::new(5, 8);
+/// assert_eq!(sc.chi(), 8.0); // 5 + log2(8)
+/// assert_eq!(sc.to_string(), "chi = 8 (b = 5, ell = 8)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SelectionComplexity {
+    memory_bits: u32,
+    ell: u32,
+}
+
+impl SelectionComplexity {
+    /// Create a metric value from memory bits and probability resolution.
+    pub fn new(memory_bits: u32, ell: u32) -> Self {
+        Self { memory_bits, ell }
+    }
+
+    /// The memory component `b`.
+    pub fn memory_bits(&self) -> u32 {
+        self.memory_bits
+    }
+
+    /// The probability-resolution component `ℓ`.
+    pub fn ell(&self) -> u32 {
+        self.ell
+    }
+
+    /// `χ = b + log₂ ℓ` (zero probability term for `ℓ ≤ 1`).
+    pub fn chi(&self) -> f64 {
+        let log_ell = if self.ell <= 1 { 0.0 } else { (self.ell as f64).log2() };
+        self.memory_bits as f64 + log_ell
+    }
+
+    /// The paper's threshold `log log D` for a given target distance.
+    ///
+    /// Theorem 4.1: algorithms with `χ` below this threshold (by `ω(1)`)
+    /// cannot achieve polynomial speed-up; Theorem 3.7 shows
+    /// `χ = log log D + O(1)` suffices.
+    pub fn threshold(d: u64) -> f64 {
+        (d.max(4) as f64).log2().log2()
+    }
+
+    /// Is this complexity below the `log log D` threshold for distance `d`
+    /// by at least `slack`?
+    pub fn is_below_threshold(&self, d: u64, slack: f64) -> bool {
+        self.chi() + slack <= Self::threshold(d)
+    }
+
+    /// Pointwise maximum (used when a strategy changes phase and its
+    /// footprint grows: the metric of the whole run is the max over time).
+    pub fn max(self, other: Self) -> Self {
+        Self {
+            memory_bits: self.memory_bits.max(other.memory_bits),
+            ell: self.ell.max(other.ell),
+        }
+    }
+}
+
+impl fmt::Display for SelectionComplexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chi = {} (b = {}, ell = {})",
+            self.chi(),
+            self.memory_bits,
+            self.ell
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_formula() {
+        assert_eq!(SelectionComplexity::new(3, 1).chi(), 3.0);
+        assert_eq!(SelectionComplexity::new(3, 0).chi(), 3.0);
+        assert_eq!(SelectionComplexity::new(3, 2).chi(), 4.0);
+        assert_eq!(SelectionComplexity::new(0, 16).chi(), 4.0);
+    }
+
+    #[test]
+    fn threshold_is_log_log_d() {
+        assert!((SelectionComplexity::threshold(256) - 3.0).abs() < 1e-12); // log2 log2 256 = 3
+        assert!((SelectionComplexity::threshold(65536) - 4.0).abs() < 1e-12);
+        // Clamped for tiny d.
+        assert!(SelectionComplexity::threshold(1) >= 0.99);
+    }
+
+    #[test]
+    fn below_threshold_check() {
+        // chi = 2 vs threshold log log 2^32 = 5.
+        let sc = SelectionComplexity::new(2, 1);
+        assert!(sc.is_below_threshold(1 << 32, 1.0));
+        // chi = 8 is not below threshold 5.
+        let sc = SelectionComplexity::new(8, 1);
+        assert!(!sc.is_below_threshold(1 << 32, 0.0));
+    }
+
+    #[test]
+    fn pointwise_max() {
+        let a = SelectionComplexity::new(3, 2);
+        let b = SelectionComplexity::new(1, 8);
+        let m = a.max(b);
+        assert_eq!(m.memory_bits(), 3);
+        assert_eq!(m.ell(), 8);
+    }
+
+    #[test]
+    fn display() {
+        let sc = SelectionComplexity::new(2, 4);
+        assert_eq!(sc.to_string(), "chi = 4 (b = 2, ell = 4)");
+    }
+}

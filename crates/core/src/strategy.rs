@@ -1,0 +1,83 @@
+//! The step-wise agent interface.
+
+use crate::selection::SelectionComplexity;
+use ants_automaton::GridAction;
+use ants_grid::Point;
+use ants_rng::DefaultRng;
+
+/// A search strategy: the behaviour of one agent, advanced one
+/// Markov-chain transition at a time.
+///
+/// Semantics follow the paper's model (Section 2):
+///
+/// * each [`step`](SearchStrategy::step) call is one *step* (`M_steps`);
+/// * a returned [`GridAction::Move`] is one *move* (`M_moves`);
+/// * [`GridAction::Origin`] teleports the agent to the origin via the
+///   return oracle (not counted as moves);
+/// * [`GridAction::None`] is local computation.
+///
+/// Strategies are position-oblivious: the simulator owns the position
+/// (apply actions with [`apply_action`]). Strategies that *internally*
+/// track coordinates (e.g. spiral search) pay for it in declared memory —
+/// that is precisely the selection-complexity accounting the paper makes.
+///
+/// The trait is object-safe; the simulator works with
+/// `Box<dyn SearchStrategy>` so heterogeneous strategy zoos (experiment
+/// E9) are possible.
+pub trait SearchStrategy: Send {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Advance one step and return the action performed.
+    fn step(&mut self, rng: &mut DefaultRng) -> GridAction;
+
+    /// The current selection-complexity footprint `(b, ℓ)`.
+    ///
+    /// For phase-based algorithms this may grow over time (the uniform
+    /// algorithm's counters widen as its distance estimate doubles); the
+    /// value reported is the footprint of the *current* phase, and the
+    /// simulator tracks the running maximum.
+    fn selection_complexity(&self) -> SelectionComplexity;
+
+    /// Restart from the initial state (new agent, fresh memory).
+    fn reset(&mut self);
+}
+
+/// Apply a strategy's action to a position, per the model's semantics.
+///
+/// ```
+/// use ants_core::apply_action;
+/// use ants_automaton::GridAction;
+/// use ants_grid::{Direction, Point};
+///
+/// let p = apply_action(Point::ORIGIN, GridAction::Move(Direction::Up));
+/// assert_eq!(p, Point::new(0, 1));
+/// assert_eq!(apply_action(p, GridAction::Origin), Point::ORIGIN);
+/// assert_eq!(apply_action(p, GridAction::None), p);
+/// ```
+pub fn apply_action(pos: Point, action: GridAction) -> Point {
+    match action {
+        GridAction::Move(d) => pos.step(d),
+        GridAction::Origin => Point::ORIGIN,
+        GridAction::None => pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_grid::Direction;
+
+    #[test]
+    fn apply_action_semantics() {
+        let p = Point::new(2, 3);
+        assert_eq!(apply_action(p, GridAction::Move(Direction::Left)), Point::new(1, 3));
+        assert_eq!(apply_action(p, GridAction::Origin), Point::ORIGIN);
+        assert_eq!(apply_action(p, GridAction::None), p);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_boxed(_: Box<dyn SearchStrategy>) {}
+    }
+}

@@ -1,0 +1,233 @@
+//! Dense, bounded occupancy grids.
+
+use crate::point::{Point, Rect};
+
+/// A dense visit-count grid over a bounded rectangle.
+///
+/// Used by the lower-bound experiments (Theorem 4.1) which need the exact
+/// fraction of the `Θ(D²)` candidate cells covered by all agents together —
+/// a workload where hash sets are too slow and too big.
+///
+/// Points outside the rectangle are counted in an overflow tally instead of
+/// being dropped silently, so coverage statistics remain auditable.
+///
+/// ```
+/// use ants_grid::{DenseGrid, Point, Rect};
+/// let mut g = DenseGrid::new(Rect::ball(2));
+/// g.visit(&Point::ORIGIN);
+/// g.visit(&Point::new(2, -2));
+/// g.visit(&Point::new(99, 0)); // outside: tallied separately
+/// assert_eq!(g.distinct(), 2);
+/// assert_eq!(g.outside(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseGrid {
+    bounds: Rect,
+    counts: Vec<u32>,
+    distinct: usize,
+    total: u64,
+    outside: u64,
+}
+
+impl DenseGrid {
+    /// Create a zeroed grid over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle has more than `2^32` cells (≈ 65k × 65k) —
+    /// far beyond any experiment in this workspace and a sign of a
+    /// mis-parameterised caller.
+    pub fn new(bounds: Rect) -> Self {
+        let area = bounds.area();
+        assert!(area <= u32::MAX as u64, "dense grid of {area} cells is too large");
+        Self {
+            bounds,
+            counts: vec![0; area as usize],
+            distinct: 0,
+            total: 0,
+            outside: 0,
+        }
+    }
+
+    fn index(&self, p: &Point) -> Option<usize> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let (x_min, _) = self.bounds.x_range();
+        let (y_min, _) = self.bounds.y_range();
+        let col = (p.x - x_min) as u64;
+        let row = (p.y - y_min) as u64;
+        Some((row * self.bounds.width() + col) as usize)
+    }
+
+    /// Record a visit; returns `true` if this was the first visit to an
+    /// in-bounds cell.
+    pub fn visit(&mut self, p: &Point) -> bool {
+        self.total += 1;
+        match self.index(p) {
+            Some(i) => {
+                let c = &mut self.counts[i];
+                *c = c.saturating_add(1);
+                if *c == 1 {
+                    self.distinct += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.outside += 1;
+                false
+            }
+        }
+    }
+
+    /// Visit count of a cell (0 if outside the bounds).
+    pub fn visits(&self, p: &Point) -> u32 {
+        self.index(p).map_or(0, |i| self.counts[i])
+    }
+
+    /// The grid's bounds.
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// Number of distinct in-bounds cells visited.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Total visit events (including out-of-bounds ones).
+    pub fn total_visits(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of visit events that fell outside the bounds.
+    pub fn outside(&self) -> u64 {
+        self.outside
+    }
+
+    /// Fraction of in-bounds cells visited at least once.
+    pub fn coverage(&self) -> f64 {
+        self.distinct as f64 / self.bounds.area() as f64
+    }
+
+    /// Cells never visited (useful for adversarial target placement:
+    /// Theorem 4.1 places the target on exactly such a cell).
+    pub fn unvisited(&self) -> impl Iterator<Item = Point> + '_ {
+        self.bounds.points().filter(move |p| self.visits(p) == 0)
+    }
+
+    /// The unvisited cell farthest from the origin (max-norm), if any.
+    pub fn farthest_unvisited(&self) -> Option<Point> {
+        self.unvisited().max_by_key(Point::norm_max)
+    }
+
+    /// Merge another grid with identical bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds differ.
+    pub fn merge(&mut self, other: &DenseGrid) {
+        assert_eq!(self.bounds, other.bounds, "bounds mismatch in DenseGrid::merge");
+        self.distinct = 0;
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+            if *a > 0 {
+                self.distinct += 1;
+            }
+        }
+        self.total += other.total;
+        self.outside += other.outside;
+    }
+
+    /// Maximum visit count over all cells.
+    pub fn max_count(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_grid_is_empty() {
+        let g = DenseGrid::new(Rect::ball(3));
+        assert_eq!(g.distinct(), 0);
+        assert_eq!(g.coverage(), 0.0);
+        assert_eq!(g.total_visits(), 0);
+        assert_eq!(g.max_count(), 0);
+    }
+
+    #[test]
+    fn visit_accounting() {
+        let mut g = DenseGrid::new(Rect::ball(1));
+        assert!(g.visit(&Point::ORIGIN));
+        assert!(!g.visit(&Point::ORIGIN));
+        assert!(g.visit(&Point::new(-1, 1)));
+        assert_eq!(g.visits(&Point::ORIGIN), 2);
+        assert_eq!(g.distinct(), 2);
+        assert_eq!(g.total_visits(), 3);
+        assert!((g.coverage() - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_bounds_tallied() {
+        let mut g = DenseGrid::new(Rect::ball(1));
+        assert!(!g.visit(&Point::new(5, 5)));
+        assert_eq!(g.outside(), 1);
+        assert_eq!(g.distinct(), 0);
+        assert_eq!(g.visits(&Point::new(5, 5)), 0);
+    }
+
+    #[test]
+    fn indexing_covers_every_cell_uniquely() {
+        let r = Rect::new(-2, 3, -1, 4);
+        let mut g = DenseGrid::new(r);
+        for p in r.points() {
+            assert!(g.visit(&p), "cell {p} double-indexed");
+        }
+        assert_eq!(g.distinct() as u64, r.area());
+        assert_eq!(g.coverage(), 1.0);
+        assert_eq!(g.outside(), 0);
+    }
+
+    #[test]
+    fn unvisited_and_farthest() {
+        let mut g = DenseGrid::new(Rect::ball(2));
+        // Visit everything except the corners.
+        for p in Rect::ball(2).points() {
+            if p.norm_max() < 2 || p.x.abs() != 2 || p.y.abs() != 2 {
+                g.visit(&p);
+            }
+        }
+        let far = g.farthest_unvisited().unwrap();
+        assert_eq!(far.norm_max(), 2);
+        assert_eq!(far.x.abs(), 2);
+        assert_eq!(far.y.abs(), 2);
+        assert_eq!(g.unvisited().count(), 4);
+    }
+
+    #[test]
+    fn merge_combines_coverage() {
+        let r = Rect::ball(1);
+        let mut a = DenseGrid::new(r);
+        a.visit(&Point::new(-1, 0));
+        let mut b = DenseGrid::new(r);
+        b.visit(&Point::new(1, 0));
+        b.visit(&Point::new(-1, 0));
+        a.merge(&b);
+        assert_eq!(a.distinct(), 2);
+        assert_eq!(a.visits(&Point::new(-1, 0)), 2);
+        assert_eq!(a.total_visits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds mismatch")]
+    fn merge_rejects_different_bounds() {
+        let mut a = DenseGrid::new(Rect::ball(1));
+        let b = DenseGrid::new(Rect::ball(2));
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,183 @@
+//! The return-to-origin oracle.
+//!
+//! Section 2 of the paper: "we assume that an agent can return to the
+//! origin, and … this action is based on information provided by an oracle.
+//! In this case, the agent returns on a shortest path in the grid that
+//! keeps closest to the straight line connecting the origin to its current
+//! position."
+//!
+//! The oracle's path is excluded from the `M_moves` metric (it is at most as
+//! long as the outbound path, so it costs at most a factor two, which the
+//! paper discards). We still implement it faithfully: the examples render
+//! it, and the synchronous executor charges it when asked to model
+//! *physical* time.
+
+use crate::point::Point;
+
+/// The shortest grid path from `from` back to the origin that stays closest
+/// to the straight segment, as produced by the model's oracle.
+///
+/// The path is returned as the sequence of points *after* `from`, ending at
+/// the origin; an agent already at the origin gets an empty path.
+///
+/// Properties (checked by the test-suite):
+/// * length is exactly `from.norm_l1()` (a shortest path);
+/// * consecutive points are grid-adjacent;
+/// * every point lies within half a cell of the straight segment.
+///
+/// ```
+/// use ants_grid::{oracle, Point};
+/// let path = oracle::return_path(Point::new(2, 1));
+/// assert_eq!(path.len(), 3);
+/// assert_eq!(*path.last().unwrap(), Point::ORIGIN);
+/// ```
+pub fn return_path(from: Point) -> Vec<Point> {
+    let mut path = Vec::with_capacity(from.norm_l1() as usize);
+    let mut cur = from;
+    while cur != Point::ORIGIN {
+        cur = next_step_toward_origin(cur, from);
+        path.push(cur);
+    }
+    path
+}
+
+/// The length of the oracle's return path (equals the L1 norm).
+pub fn return_cost(from: Point) -> u64 {
+    from.norm_l1()
+}
+
+/// One greedy step of the oracle: among the moves that reduce L1 distance
+/// to the origin, pick the one whose endpoint is closest to the straight
+/// line `origin → anchor`.
+fn next_step_toward_origin(cur: Point, anchor: Point) -> Point {
+    debug_assert_ne!(cur, Point::ORIGIN);
+    let mut best: Option<(Point, i64)> = None;
+    for cand in candidate_steps(cur) {
+        let d = line_distance_metric(cand, anchor);
+        match best {
+            None => best = Some((cand, d)),
+            Some((_, bd)) if d < bd => best = Some((cand, d)),
+            _ => {}
+        }
+    }
+    best.expect("a non-origin point always has a reducing move").0
+}
+
+/// The moves from `cur` that reduce L1 distance to the origin (1 or 2).
+fn candidate_steps(cur: Point) -> Vec<Point> {
+    let mut out = Vec::with_capacity(2);
+    if cur.x != 0 {
+        out.push(Point::new(cur.x - cur.x.signum(), cur.y));
+    }
+    if cur.y != 0 {
+        out.push(Point::new(cur.x, cur.y - cur.y.signum()));
+    }
+    out
+}
+
+/// Twice the (signed-squared) area of the triangle (origin, anchor, p):
+/// proportional to p's distance from the line through origin and anchor.
+/// Integer-exact, so ties are broken deterministically.
+fn line_distance_metric(p: Point, anchor: Point) -> i64 {
+    let cross = p.x * anchor.y - p.y * anchor.x;
+    cross.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_path(from: Point) {
+        let path = return_path(from);
+        // Shortest: length equals the L1 norm.
+        assert_eq!(path.len() as u64, from.norm_l1(), "path length from {from}");
+        assert_eq!(path.len() as u64, return_cost(from));
+        // Ends at the origin (when non-empty).
+        if from != Point::ORIGIN {
+            assert_eq!(*path.last().unwrap(), Point::ORIGIN);
+        }
+        // Steps are adjacent and L1-monotone.
+        let mut prev = from;
+        for &p in &path {
+            assert!(prev.is_adjacent(&p), "{prev} -> {p} not adjacent");
+            assert_eq!(p.norm_l1() + 1, prev.norm_l1(), "step not monotone at {p}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn origin_needs_no_path() {
+        assert!(return_path(Point::ORIGIN).is_empty());
+        assert_eq!(return_cost(Point::ORIGIN), 0);
+    }
+
+    #[test]
+    fn axis_paths_are_straight() {
+        let path = return_path(Point::new(4, 0));
+        assert_eq!(
+            path,
+            vec![Point::new(3, 0), Point::new(2, 0), Point::new(1, 0), Point::ORIGIN]
+        );
+        let path = return_path(Point::new(0, -3));
+        assert_eq!(path, vec![Point::new(0, -2), Point::new(0, -1), Point::ORIGIN]);
+    }
+
+    #[test]
+    fn diagonal_path_alternates() {
+        // From (2,2) the path must stay within one cell of the diagonal.
+        let path = return_path(Point::new(2, 2));
+        for p in &path {
+            assert!((p.x - p.y).abs() <= 1, "point {p} strays from the diagonal");
+        }
+    }
+
+    #[test]
+    fn paths_valid_in_all_quadrants() {
+        for &p in &[
+            Point::new(5, 3),
+            Point::new(-5, 3),
+            Point::new(5, -3),
+            Point::new(-5, -3),
+            Point::new(1, 7),
+            Point::new(-7, -1),
+        ] {
+            check_path(p);
+        }
+    }
+
+    #[test]
+    fn paths_valid_exhaustively_small() {
+        for x in -6..=6i64 {
+            for y in -6..=6i64 {
+                check_path(Point::new(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn path_hugs_line() {
+        // Every path point of (6,2) lies within max cross-product 6 of the
+        // segment: |cross| <= max(|x|,|y|) guarantees half-cell proximity
+        // after normalisation. We check the tighter empirical bound.
+        let anchor = Point::new(6, 2);
+        for p in return_path(anchor) {
+            let cross = (p.x * anchor.y - p.y * anchor.x).abs();
+            // Distance to line = cross / |anchor| <= ~0.95 cells.
+            let dist = cross as f64 / ((anchor.x * anchor.x + anchor.y * anchor.y) as f64).sqrt();
+            assert!(dist < 1.0, "point {p} at line distance {dist}");
+        }
+    }
+
+    #[test]
+    fn return_cost_halves_total_accounting() {
+        // The paper's argument: the return path is never longer than the
+        // outbound path. For any point, cost == L1 norm == minimum possible
+        // outbound length.
+        for x in -8..=8i64 {
+            for y in -8..=8i64 {
+                let p = Point::new(x, y);
+                assert!(return_cost(p) <= p.norm_l1());
+            }
+        }
+    }
+}

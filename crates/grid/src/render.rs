@@ -1,0 +1,129 @@
+//! ASCII rendering of occupancy grids.
+//!
+//! Used by the examples (`lower_bound_demo`) to make the drift-line
+//! concentration of low-χ agents visible at a glance, and handy when
+//! debugging strategies interactively.
+
+use crate::dense::DenseGrid;
+use crate::point::Point;
+
+/// Density glyphs from empty to saturated.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render a [`DenseGrid`] as ASCII art, one character per cell, rows from
+/// the top (largest `y`) down, with `O` marking the origin and `X` marking
+/// an optional target.
+///
+/// Cell glyphs scale logarithmically with visit count so that heavily
+/// revisited drift lines do not wash out the rest of the picture.
+///
+/// ```
+/// use ants_grid::{render, DenseGrid, Point, Rect};
+/// let mut g = DenseGrid::new(Rect::ball(1));
+/// g.visit(&Point::new(1, 1));
+/// let art = render::ascii(&g, None);
+/// assert_eq!(art.lines().count(), 3);
+/// ```
+pub fn ascii(grid: &DenseGrid, target: Option<Point>) -> String {
+    let bounds = grid.bounds();
+    let (x_min, x_max) = bounds.x_range();
+    let (y_min, y_max) = bounds.y_range();
+    let max_count = grid.max_count().max(1);
+    let log_max = (max_count as f64).ln_1p();
+    let mut out = String::with_capacity((bounds.area() + bounds.height()) as usize);
+    for y in (y_min..=y_max).rev() {
+        for x in x_min..=x_max {
+            let p = Point::new(x, y);
+            let ch = if Some(p) == target {
+                'X'
+            } else if p == Point::ORIGIN {
+                'O'
+            } else {
+                let c = grid.visits(&p);
+                if c == 0 {
+                    RAMP[0]
+                } else {
+                    let t = (c as f64).ln_1p() / log_max;
+                    let idx = 1 + (t * (RAMP.len() - 2) as f64).round() as usize;
+                    RAMP[idx.min(RAMP.len() - 1)]
+                }
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A one-line coverage summary suitable for experiment logs.
+pub fn coverage_summary(grid: &DenseGrid) -> String {
+    format!(
+        "coverage {:.4}% ({} / {} cells, {} visits, {} out of bounds)",
+        grid.coverage() * 100.0,
+        grid.distinct(),
+        grid.bounds().area(),
+        grid.total_visits(),
+        grid.outside(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Rect;
+
+    #[test]
+    fn dimensions_match_bounds() {
+        let g = DenseGrid::new(Rect::new(-2, 2, -1, 1));
+        let art = ascii(&g, None);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 5));
+    }
+
+    #[test]
+    fn origin_and_target_marked() {
+        let mut g = DenseGrid::new(Rect::ball(1));
+        g.visit(&Point::ORIGIN);
+        let art = ascii(&g, Some(Point::new(1, 1)));
+        assert!(art.contains('O'));
+        assert!(art.contains('X'));
+        // Target is in the top row (y = 1), rightmost column.
+        let first_line = art.lines().next().unwrap();
+        assert_eq!(first_line.chars().last().unwrap(), 'X');
+    }
+
+    #[test]
+    fn heavier_cells_get_denser_glyphs() {
+        let mut g = DenseGrid::new(Rect::ball(1));
+        for _ in 0..100 {
+            g.visit(&Point::new(1, 0));
+        }
+        g.visit(&Point::new(-1, 0));
+        let art = ascii(&g, None);
+        let middle = art.lines().nth(1).unwrap();
+        let chars: Vec<char> = middle.chars().collect();
+        // Row y = 0: [(-1,0), origin, (1,0)].
+        let light = RAMP.iter().position(|&c| c == chars[0]).unwrap();
+        let heavy = RAMP.iter().position(|&c| c == chars[2]).unwrap();
+        assert!(heavy > light, "expected {} denser than {}", chars[2], chars[0]);
+    }
+
+    #[test]
+    fn unvisited_cells_blank() {
+        let g = DenseGrid::new(Rect::ball(1));
+        let art = ascii(&g, None);
+        // Only the origin marker is non-blank.
+        let non_blank: Vec<char> = art.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(non_blank, vec!['O']);
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let mut g = DenseGrid::new(Rect::ball(1));
+        g.visit(&Point::new(1, 1));
+        let s = coverage_summary(&g);
+        assert!(s.contains("1 / 9"));
+        assert!(s.contains("1 visits"));
+    }
+}

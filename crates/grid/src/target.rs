@@ -1,0 +1,202 @@
+//! Target placement models.
+//!
+//! The paper's statements quantify over two placements: an *adversarial*
+//! one ("there is a placement of the target within distance `D` such that
+//! …", Theorem 4.1) and a *uniformly random* one ("a target placed uniformly
+//! at random in the square of side `2D`"). The experiments additionally use
+//! fixed and ring placements for calibration.
+
+use crate::point::{Point, Rect};
+use ants_rng::Rng64;
+
+/// How the target is placed relative to the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetPlacement {
+    /// A fixed, known point (calibration runs).
+    Fixed(Point),
+    /// The corner `(D, D)` — the hardest deterministic spot at distance `D`.
+    Corner {
+        /// Max-norm distance of the corner.
+        distance: u64,
+    },
+    /// Uniformly random in the square `[-D, D]²` minus the origin — the
+    /// placement of Theorem 4.1's second claim.
+    UniformInBall {
+        /// Max-norm radius `D` of the square.
+        distance: u64,
+    },
+    /// Uniformly random on the max-norm circle of radius exactly `D`.
+    Ring {
+        /// Max-norm distance of every candidate point.
+        distance: u64,
+    },
+}
+
+impl TargetPlacement {
+    /// Draw a concrete target position.
+    ///
+    /// Never returns the origin (a target there is found at time zero and
+    /// the paper explicitly excludes it — "without loss of generality, we
+    /// will assume that this is not the case").
+    pub fn place<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Point {
+        match *self {
+            TargetPlacement::Fixed(p) => {
+                assert_ne!(p, Point::ORIGIN, "fixed target must not be the origin");
+                p
+            }
+            TargetPlacement::Corner { distance } => {
+                assert!(distance > 0, "corner target requires distance >= 1");
+                Point::new(distance as i64, distance as i64)
+            }
+            TargetPlacement::UniformInBall { distance } => {
+                assert!(distance > 0, "ball target requires distance >= 1");
+                let side = 2 * distance + 1;
+                loop {
+                    let x = rng.next_below(side) as i64 - distance as i64;
+                    let y = rng.next_below(side) as i64 - distance as i64;
+                    let p = Point::new(x, y);
+                    if p != Point::ORIGIN {
+                        return p;
+                    }
+                }
+            }
+            TargetPlacement::Ring { distance } => {
+                assert!(distance > 0, "ring target requires distance >= 1");
+                let d = distance as i64;
+                // The max-norm circle has 8d points; index them.
+                let idx = rng.next_below(8 * distance) as i64;
+                let side = idx / (2 * d); // 0: top, 1: bottom, 2: left, 3: right
+                let off = idx % (2 * d) - d; // in [-d, d)
+                // Each side takes 2d points; corners are assigned uniquely
+                // (top owns (d,d), left owns (-d,d), bottom owns (-d,-d),
+                // right owns (d,-d)), so all 8d circle points are equally
+                // likely.
+                match side {
+                    0 => Point::new(off + 1, d),
+                    1 => Point::new(off, -d),
+                    2 => Point::new(-d, off + 1),
+                    _ => Point::new(d, off),
+                }
+            }
+        }
+    }
+
+    /// The maximum max-norm distance any placement drawn from this model
+    /// can have.
+    pub fn max_distance(&self) -> u64 {
+        match *self {
+            TargetPlacement::Fixed(p) => p.norm_max(),
+            TargetPlacement::Corner { distance }
+            | TargetPlacement::UniformInBall { distance }
+            | TargetPlacement::Ring { distance } => distance,
+        }
+    }
+
+    /// The region guaranteed to contain the target.
+    pub fn region(&self) -> Rect {
+        Rect::ball(self.max_distance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_rng::{SeedableRng64, Xoshiro256PlusPlus};
+
+    #[test]
+    fn fixed_returns_point() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let t = TargetPlacement::Fixed(Point::new(3, -1));
+        assert_eq!(t.place(&mut rng), Point::new(3, -1));
+        assert_eq!(t.max_distance(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn fixed_origin_rejected() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let _ = TargetPlacement::Fixed(Point::ORIGIN).place(&mut rng);
+    }
+
+    #[test]
+    fn corner_is_at_distance() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let t = TargetPlacement::Corner { distance: 9 };
+        let p = t.place(&mut rng);
+        assert_eq!(p.norm_max(), 9);
+        assert_eq!(p, Point::new(9, 9));
+    }
+
+    #[test]
+    fn uniform_ball_within_bounds_and_not_origin() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let t = TargetPlacement::UniformInBall { distance: 5 };
+        for _ in 0..2000 {
+            let p = t.place(&mut rng);
+            assert!(p.norm_max() <= 5);
+            assert_ne!(p, Point::ORIGIN);
+        }
+    }
+
+    #[test]
+    fn uniform_ball_roughly_uniform() {
+        // Quadrant frequencies should be near 1/4 each.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let t = TargetPlacement::UniformInBall { distance: 20 };
+        let n = 40_000;
+        let mut quads = [0u32; 4];
+        for _ in 0..n {
+            let p = t.place(&mut rng);
+            let q = match (p.x >= 0, p.y >= 0) {
+                (true, true) => 0,
+                (true, false) => 1,
+                (false, true) => 2,
+                (false, false) => 3,
+            };
+            quads[q] += 1;
+        }
+        for (i, &c) in quads.iter().enumerate() {
+            let f = c as f64 / n as f64;
+            // Axis cells bias quadrant counts slightly; 5% tolerance is ample.
+            assert!((f - 0.25).abs() < 0.05, "quadrant {i} frequency {f}");
+        }
+    }
+
+    #[test]
+    fn ring_points_exactly_at_distance() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let t = TargetPlacement::Ring { distance: 7 };
+        for _ in 0..2000 {
+            let p = t.place(&mut rng);
+            assert_eq!(p.norm_max(), 7, "{p}");
+        }
+    }
+
+    #[test]
+    fn ring_covers_all_sides() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let t = TargetPlacement::Ring { distance: 3 };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            seen.insert(t.place(&mut rng));
+        }
+        // The max-norm circle of radius 3 has 24 points; a uniform sampler
+        // hits all of them in 5000 draws with overwhelming probability.
+        assert_eq!(seen.len(), 24, "ring sampler missed points: {seen:?}");
+    }
+
+    #[test]
+    fn region_contains_all_draws() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for t in [
+            TargetPlacement::Corner { distance: 4 },
+            TargetPlacement::UniformInBall { distance: 4 },
+            TargetPlacement::Ring { distance: 4 },
+        ] {
+            let region = t.region();
+            for _ in 0..200 {
+                assert!(region.contains(&t.place(&mut rng)));
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Sparse visit tracking.
+
+use crate::point::{Point, Rect};
+use std::collections::HashMap;
+
+/// A sparse set of visited lattice points with visit counts.
+///
+/// Backed by a hash map, suitable for the unbounded walks of individual
+/// agents. For dense, bounded coverage measurement use
+/// [`DenseGrid`](crate::DenseGrid) instead.
+///
+/// ```
+/// use ants_grid::{Point, VisitedSet};
+/// let mut v = VisitedSet::new();
+/// assert!(v.visit(Point::new(1, 2))); // first visit
+/// assert!(!v.visit(Point::new(1, 2))); // revisit
+/// assert_eq!(v.distinct(), 1);
+/// assert_eq!(v.total_visits(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VisitedSet {
+    counts: HashMap<Point, u64>,
+    total: u64,
+}
+
+impl VisitedSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a visit; returns `true` if the point was new.
+    pub fn visit(&mut self, p: Point) -> bool {
+        self.total += 1;
+        let c = self.counts.entry(p).or_insert(0);
+        *c += 1;
+        *c == 1
+    }
+
+    /// Has the point ever been visited?
+    pub fn contains(&self, p: &Point) -> bool {
+        self.counts.contains_key(p)
+    }
+
+    /// Number of visits to a point.
+    pub fn visits(&self, p: &Point) -> u64 {
+        self.counts.get(p).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct visited points.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of visit events.
+    pub fn total_visits(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct visited points inside a rectangle.
+    pub fn distinct_in(&self, rect: &Rect) -> usize {
+        self.counts.keys().filter(|p| rect.contains(p)).count()
+    }
+
+    /// Fraction of the rectangle's lattice points that have been visited.
+    pub fn coverage_of(&self, rect: &Rect) -> f64 {
+        self.distinct_in(rect) as f64 / rect.area() as f64
+    }
+
+    /// The farthest max-norm distance from the origin ever visited.
+    pub fn max_norm_reached(&self) -> u64 {
+        self.counts.keys().map(Point::norm_max).max().unwrap_or(0)
+    }
+
+    /// Iterate over `(point, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Point, &u64)> {
+        self.counts.iter()
+    }
+
+    /// Merge another visit set into this one.
+    pub fn merge(&mut self, other: &VisitedSet) {
+        for (p, c) in other.counts.iter() {
+            *self.counts.entry(*p).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+impl Extend<Point> for VisitedSet {
+    fn extend<T: IntoIterator<Item = Point>>(&mut self, iter: T) {
+        for p in iter {
+            self.visit(p);
+        }
+    }
+}
+
+impl FromIterator<Point> for VisitedSet {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        let mut v = VisitedSet::new();
+        v.extend(iter);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let v = VisitedSet::new();
+        assert_eq!(v.distinct(), 0);
+        assert_eq!(v.total_visits(), 0);
+        assert_eq!(v.max_norm_reached(), 0);
+        assert!(!v.contains(&Point::ORIGIN));
+    }
+
+    #[test]
+    fn visit_counts() {
+        let mut v = VisitedSet::new();
+        assert!(v.visit(Point::ORIGIN));
+        assert!(!v.visit(Point::ORIGIN));
+        assert!(v.visit(Point::new(1, 0)));
+        assert_eq!(v.visits(&Point::ORIGIN), 2);
+        assert_eq!(v.visits(&Point::new(1, 0)), 1);
+        assert_eq!(v.visits(&Point::new(9, 9)), 0);
+        assert_eq!(v.distinct(), 2);
+        assert_eq!(v.total_visits(), 3);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let mut v = VisitedSet::new();
+        let r = Rect::ball(1); // 9 points
+        v.visit(Point::ORIGIN);
+        v.visit(Point::new(1, 1));
+        v.visit(Point::new(5, 5)); // outside
+        assert_eq!(v.distinct_in(&r), 2);
+        assert!((v.coverage_of(&r) - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_norm_reached_tracks_frontier() {
+        let mut v = VisitedSet::new();
+        v.visit(Point::new(2, -7));
+        v.visit(Point::new(-3, 1));
+        assert_eq!(v.max_norm_reached(), 7);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a: VisitedSet = [Point::ORIGIN, Point::new(1, 0)].into_iter().collect();
+        let b: VisitedSet = [Point::ORIGIN, Point::new(0, 1)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.visits(&Point::ORIGIN), 2);
+        assert_eq!(a.distinct(), 3);
+        assert_eq!(a.total_visits(), 4);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: VisitedSet = (0..5).map(|i| Point::new(i, 0)).collect();
+        assert_eq!(v.distinct(), 5);
+    }
+}

@@ -1,0 +1,363 @@
+//! Exact dyadic probabilities `a / 2^m`.
+//!
+//! A finite-state agent that realises its randomness by flipping coins with
+//! probabilities of the form `1/2^ℓ` can only ever produce event
+//! probabilities that are *dyadic rationals*. Representing them exactly (a
+//! 64-bit numerator and an exponent) lets the workspace compute the paper's
+//! resolution parameter `ℓ` — "the smallest value such that all
+//! probabilities used are at least `1/2^ℓ`" — without any floating-point
+//! ambiguity.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Error produced by fallible [`DyadicProb`] constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DyadicError {
+    /// Numerator exceeds the denominator: the value would be > 1.
+    AboveOne,
+    /// Exponent larger than the supported maximum (64).
+    ExponentTooLarge,
+}
+
+impl fmt::Display for DyadicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DyadicError::AboveOne => write!(f, "probability numerator exceeds 2^exponent"),
+            DyadicError::ExponentTooLarge => {
+                write!(f, "dyadic exponent exceeds the supported maximum of 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DyadicError {}
+
+/// An exact probability of the form `numerator / 2^exponent`, in `[0, 1]`.
+///
+/// Stored in *canonical* form: the numerator is odd (or zero, or the value
+/// is exactly one stored as `1/2^0`), so equality of values coincides with
+/// structural equality.
+///
+/// The exponent is capped at 64, which admits every probability down to
+/// `2^-64` ≈ 5.4e-20 — far below anything a finite experiment can resolve,
+/// and comfortably beyond the `1/D` coins (`D ≤ 2^40`) used by the paper's
+/// algorithms.
+///
+/// ```
+/// use ants_rng::DyadicProb;
+/// let p = DyadicProb::new(3, 3).unwrap(); // 3/8
+/// assert_eq!(p.to_f64(), 0.375);
+/// assert_eq!(p.ell(), 2); // 3/8 >= 1/4 = 1/2^2
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DyadicProb {
+    numerator: u64,
+    exponent: u32,
+}
+
+impl DyadicProb {
+    /// Probability zero.
+    pub const ZERO: DyadicProb = DyadicProb { numerator: 0, exponent: 0 };
+    /// Probability one.
+    pub const ONE: DyadicProb = DyadicProb { numerator: 1, exponent: 0 };
+
+    /// Create `numerator / 2^exponent`, canonicalised.
+    ///
+    /// # Errors
+    ///
+    /// * [`DyadicError::ExponentTooLarge`] if `exponent > 64`;
+    /// * [`DyadicError::AboveOne`] if the value exceeds one.
+    pub fn new(numerator: u64, exponent: u32) -> Result<Self, DyadicError> {
+        if exponent > 64 {
+            return Err(DyadicError::ExponentTooLarge);
+        }
+        if exponent < 64 && numerator > (1u64 << exponent) {
+            return Err(DyadicError::AboveOne);
+        }
+        Ok(Self { numerator, exponent }.canonicalize())
+    }
+
+    /// The probability `1/2^exponent` — the paper's base coin bias.
+    ///
+    /// # Errors
+    ///
+    /// [`DyadicError::ExponentTooLarge`] if `exponent > 64`.
+    pub fn one_over_pow2(exponent: u32) -> Result<Self, DyadicError> {
+        if exponent > 64 {
+            return Err(DyadicError::ExponentTooLarge);
+        }
+        Ok(Self { numerator: 1, exponent })
+    }
+
+    /// Probability one half.
+    pub fn half() -> Self {
+        Self { numerator: 1, exponent: 1 }
+    }
+
+    fn canonicalize(mut self) -> Self {
+        if self.numerator == 0 {
+            return Self::ZERO;
+        }
+        while self.exponent > 0 && self.numerator.is_multiple_of(2) {
+            self.numerator /= 2;
+            self.exponent -= 1;
+        }
+        if self.exponent == 0 {
+            // numerator must be 1 (value one) after canonicalisation.
+            debug_assert_eq!(self.numerator, 1);
+        }
+        self
+    }
+
+    /// The canonical numerator `a`.
+    pub fn numerator(&self) -> u64 {
+        self.numerator
+    }
+
+    /// The canonical exponent `m` of the denominator `2^m`.
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+
+    /// Is this exactly zero?
+    pub fn is_zero(&self) -> bool {
+        self.numerator == 0
+    }
+
+    /// Is this exactly one?
+    pub fn is_one(&self) -> bool {
+        self.numerator == 1 && self.exponent == 0
+    }
+
+    /// Convert to `f64` (exact for exponents ≤ 53 up to representability).
+    pub fn to_f64(&self) -> f64 {
+        self.numerator as f64 / 2f64.powi(self.exponent as i32)
+    }
+
+    /// The paper's resolution requirement for this probability: the smallest
+    /// `ℓ` with `self ≥ 1/2^ℓ`.
+    ///
+    /// For `a/2^m` (canonical, `a ≥ 1` odd) this is `m − ⌊log₂ a⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero probability, which has no finite resolution; the
+    /// paper's metric only quantifies over *non-zero* transition
+    /// probabilities.
+    pub fn ell(&self) -> u32 {
+        assert!(!self.is_zero(), "ell() is undefined for probability zero");
+        self.exponent - (63 - self.numerator.leading_zeros())
+    }
+
+    /// The complement `1 − p`.
+    pub fn complement(&self) -> Self {
+        if self.is_zero() {
+            return Self::ONE;
+        }
+        if self.exponent == 64 {
+            // 1 - a/2^64 = (2^64 - a)/2^64; compute in u128-free wrapping form.
+            let num = 0u64.wrapping_sub(self.numerator);
+            return Self { numerator: num, exponent: 64 }.canonicalize();
+        }
+        let denom = 1u64 << self.exponent;
+        Self { numerator: denom - self.numerator, exponent: self.exponent }.canonicalize()
+    }
+
+    /// The product `p · q`, exact if representable.
+    ///
+    /// Returns `None` when the exact product needs an exponent above 64 or a
+    /// numerator above `u64::MAX` (callers fall back to `f64` diagnostics).
+    pub fn checked_mul(&self, other: &Self) -> Option<Self> {
+        let num = (self.numerator as u128).checked_mul(other.numerator as u128)?;
+        let exp = self.exponent.checked_add(other.exponent)?;
+        // Canonicalise in u128 first so wide intermediates can still fit.
+        let mut num = num;
+        let mut exp = exp;
+        while exp > 0 && num % 2 == 0 {
+            num /= 2;
+            exp -= 1;
+        }
+        if exp > 64 || num > u64::MAX as u128 {
+            return None;
+        }
+        Some(Self { numerator: num as u64, exponent: exp })
+    }
+
+    /// Threshold against a uniform 64-bit word: `u < threshold` has
+    /// probability exactly `p` for `u` uniform on `[0, 2^64)`.
+    ///
+    /// Returns `None` for probability one (every `u64` qualifies), which
+    /// callers special-case.
+    pub(crate) fn u64_threshold(&self) -> Option<u64> {
+        if self.is_one() {
+            return None;
+        }
+        if self.is_zero() {
+            return Some(0);
+        }
+        // threshold = a * 2^(64 - m); exponent ≤ 64 and value < 1 guarantee fit.
+        Some(self.numerator << (64 - self.exponent))
+    }
+}
+
+impl PartialOrd for DyadicProb {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DyadicProb {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/2^m vs b/2^k  ⇔  a·2^k vs b·2^m, in u128.
+        let lhs = (self.numerator as u128) << other.exponent.min(64);
+        let rhs = (other.numerator as u128) << self.exponent.min(64);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for DyadicProb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/2^{}", self.numerator, self.exponent)
+    }
+}
+
+impl fmt::Display for DyadicProb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "0")
+        } else if self.is_one() {
+            write!(f, "1")
+        } else {
+            write!(f, "{}/2^{}", self.numerator, self.exponent)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalisation_reduces_even_numerators() {
+        let p = DyadicProb::new(4, 3).unwrap(); // 4/8 = 1/2
+        assert_eq!(p, DyadicProb::half());
+        assert_eq!(p.numerator(), 1);
+        assert_eq!(p.exponent(), 1);
+    }
+
+    #[test]
+    fn zero_and_one_are_canonical() {
+        assert_eq!(DyadicProb::new(0, 17).unwrap(), DyadicProb::ZERO);
+        assert_eq!(DyadicProb::new(8, 3).unwrap(), DyadicProb::ONE);
+        assert!(DyadicProb::new(8, 3).unwrap().is_one());
+    }
+
+    #[test]
+    fn above_one_rejected() {
+        assert_eq!(DyadicProb::new(9, 3), Err(DyadicError::AboveOne));
+    }
+
+    #[test]
+    fn exponent_cap() {
+        assert_eq!(DyadicProb::new(1, 65), Err(DyadicError::ExponentTooLarge));
+        assert!(DyadicProb::one_over_pow2(64).is_ok());
+        assert_eq!(DyadicProb::one_over_pow2(65), Err(DyadicError::ExponentTooLarge));
+    }
+
+    #[test]
+    fn ell_of_powers_of_two() {
+        for m in 1..=60 {
+            let p = DyadicProb::one_over_pow2(m).unwrap();
+            assert_eq!(p.ell(), m, "ell of 1/2^{m}");
+        }
+    }
+
+    #[test]
+    fn ell_of_non_powers() {
+        // 3/8 ∈ [1/4, 1/2) ⇒ ℓ = 2.
+        assert_eq!(DyadicProb::new(3, 3).unwrap().ell(), 2);
+        // 5/16 ∈ [1/4, 1/2) ⇒ ℓ = 2.
+        assert_eq!(DyadicProb::new(5, 4).unwrap().ell(), 2);
+        // 7/8 ∈ [1/2, 1) ⇒ ℓ = 1.
+        assert_eq!(DyadicProb::new(7, 3).unwrap().ell(), 1);
+        // 1 ⇒ ℓ = 0.
+        assert_eq!(DyadicProb::ONE.ell(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn ell_of_zero_panics() {
+        let _ = DyadicProb::ZERO.ell();
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let cases = [(1u64, 1u32), (3, 3), (1, 10), (255, 8), (1, 64)];
+        for (a, m) in cases {
+            let p = DyadicProb::new(a, m).unwrap();
+            let c = p.complement();
+            assert!((p.to_f64() + c.to_f64() - 1.0).abs() < 1e-15);
+            assert_eq!(c.complement(), p);
+        }
+    }
+
+    #[test]
+    fn complement_of_extremes() {
+        assert_eq!(DyadicProb::ZERO.complement(), DyadicProb::ONE);
+        assert_eq!(DyadicProb::ONE.complement(), DyadicProb::ZERO);
+    }
+
+    #[test]
+    fn mul_exact() {
+        let a = DyadicProb::new(3, 3).unwrap(); // 3/8
+        let b = DyadicProb::half(); // 1/2
+        let c = a.checked_mul(&b).unwrap();
+        assert_eq!(c, DyadicProb::new(3, 4).unwrap()); // 3/16
+    }
+
+    #[test]
+    fn mul_overflow_returns_none() {
+        let a = DyadicProb::one_over_pow2(40).unwrap();
+        let b = DyadicProb::one_over_pow2(40).unwrap();
+        assert_eq!(a.checked_mul(&b), None); // exponent 80 > 64
+    }
+
+    #[test]
+    fn ordering_matches_f64() {
+        let probs = [
+            DyadicProb::ZERO,
+            DyadicProb::one_over_pow2(10).unwrap(),
+            DyadicProb::new(3, 5).unwrap(),
+            DyadicProb::new(3, 3).unwrap(),
+            DyadicProb::half(),
+            DyadicProb::new(7, 3).unwrap(),
+            DyadicProb::ONE,
+        ];
+        for p in &probs {
+            for q in &probs {
+                assert_eq!(
+                    p.cmp(q),
+                    p.to_f64().partial_cmp(&q.to_f64()).unwrap(),
+                    "{p} vs {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_matches_probability() {
+        let p = DyadicProb::new(3, 3).unwrap();
+        let t = p.u64_threshold().unwrap();
+        assert_eq!(t, 3u64 << 61);
+        assert_eq!(DyadicProb::ONE.u64_threshold(), None);
+        assert_eq!(DyadicProb::ZERO.u64_threshold(), Some(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DyadicProb::ZERO.to_string(), "0");
+        assert_eq!(DyadicProb::ONE.to_string(), "1");
+        assert_eq!(DyadicProb::new(3, 3).unwrap().to_string(), "3/2^3");
+    }
+}

@@ -1,0 +1,168 @@
+//! Geometric distributions driven by coins.
+//!
+//! The paper's walks ("while coin `C_p` shows heads do move") have
+//! geometrically distributed lengths: the number of heads before the first
+//! tails. [`Geometric`] provides both the *faithful* sampler (flip the coin
+//! repeatedly — what an actual agent does) and a *fast* sampler (inverse
+//! transform) used by the high-throughput simulation paths where the
+//! per-flip audit trail is not needed.
+
+use crate::coin::{BiasedCoin, Coin};
+use crate::dyadic::DyadicProb;
+use crate::rng::Rng64;
+
+/// Sampler for the number of heads of `C_p` before the first tails.
+///
+/// Support `{0, 1, 2, …}` with `P[X = i] = (1−p)^i · p`; mean `(1−p)/p`.
+///
+/// ```
+/// use ants_rng::{Geometric, DyadicProb, SeedableRng64, Xoshiro256PlusPlus};
+/// let g = Geometric::new(DyadicProb::half());
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+/// let x = g.sample_exact(&mut rng);
+/// // Fair coin: runs are short.
+/// assert!(x < 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometric {
+    p_tails: DyadicProb,
+    coin: BiasedCoin,
+}
+
+impl Geometric {
+    /// Create a sampler for stopping probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero: the walk would never terminate.
+    pub fn new(p_tails: DyadicProb) -> Self {
+        assert!(!p_tails.is_zero(), "geometric distribution requires p > 0");
+        Self { p_tails, coin: BiasedCoin::new(p_tails) }
+    }
+
+    /// The stopping probability `p`.
+    pub fn p_tails(&self) -> DyadicProb {
+        self.p_tails
+    }
+
+    /// The exact mean `(1−p)/p`.
+    pub fn mean(&self) -> f64 {
+        let p = self.p_tails.to_f64();
+        (1.0 - p) / p
+    }
+
+    /// Sample by flipping the coin until tails — exactly what the paper's
+    /// agents do, one state transition per flip.
+    pub fn sample_exact<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut count = 0u64;
+        while self.coin.flip(rng).is_heads() {
+            count += 1;
+        }
+        count
+    }
+
+    /// Sample via inverse transform: `⌊ln U / ln(1−p)⌋`.
+    ///
+    /// Statistically equivalent to [`sample_exact`](Self::sample_exact) up
+    /// to `f64` resolution, but O(1) instead of O(1/p) — used by the
+    /// simulator's fast path where only the *move counts* matter.
+    pub fn sample_fast<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p_tails.is_one() {
+            return 0;
+        }
+        let q = 1.0 - self.p_tails.to_f64();
+        // U in (0, 1]: avoid ln(0).
+        let u = 1.0 - rng.next_f64();
+        let x = u.ln() / q.ln();
+        // Guard against pathological rounding.
+        if x.is_finite() && x >= 0.0 {
+            x as u64
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng64;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn exact_mean_matches_formula() {
+        let g = Geometric::new(DyadicProb::one_over_pow2(4).unwrap()); // p = 1/16
+        assert_eq!(g.mean(), 15.0);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| g.sample_exact(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        // std of the mean ≈ sqrt(240/1e5) ≈ 0.049; 5σ ≈ 0.25.
+        assert!((mean - 15.0).abs() < 0.4, "mean {mean}");
+    }
+
+    #[test]
+    fn fast_mean_matches_formula() {
+        let g = Geometric::new(DyadicProb::one_over_pow2(6).unwrap()); // p = 1/64
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| g.sample_fast(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 63.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn exact_and_fast_agree_in_distribution() {
+        let g = Geometric::new(DyadicProb::one_over_pow2(3).unwrap()); // p = 1/8
+        let mut r1 = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut r2 = Xoshiro256PlusPlus::seed_from_u64(4);
+        let n = 50_000;
+        // Compare tail probabilities P[X >= 8] = (7/8)^8 ≈ 0.3436.
+        let tail_exact =
+            (0..n).filter(|_| g.sample_exact(&mut r1) >= 8).count() as f64 / n as f64;
+        let tail_fast = (0..n).filter(|_| g.sample_fast(&mut r2) >= 8).count() as f64 / n as f64;
+        let expect = (7.0f64 / 8.0).powi(8);
+        assert!((tail_exact - expect).abs() < 0.02, "exact tail {tail_exact}");
+        assert!((tail_fast - expect).abs() < 0.02, "fast tail {tail_fast}");
+    }
+
+    #[test]
+    fn p_one_always_zero() {
+        let g = Geometric::new(DyadicProb::ONE);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(g.sample_exact(&mut rng), 0);
+            assert_eq!(g.sample_fast(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p > 0")]
+    fn p_zero_rejected() {
+        let _ = Geometric::new(DyadicProb::ZERO);
+    }
+
+    #[test]
+    fn point_mass_lower_bound_lemma_3_8() {
+        // Lemma 3.8 (specialised): P[X = i] >= 1/2^{kl+2} for i <= 2^{kl}.
+        // Check empirically for kl = 4 (p = 1/16): P[X = i] = (15/16)^i/16.
+        let g = Geometric::new(DyadicProb::one_over_pow2(4).unwrap());
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let n = 400_000u64;
+        let mut counts = [0u64; 17];
+        for _ in 0..n {
+            let x = g.sample_exact(&mut rng);
+            if x <= 16 {
+                counts[x as usize] += 1;
+            }
+        }
+        let floor = 1.0 / 64.0; // 1/2^{kl+2}
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
+            assert!(
+                f > floor * 0.8,
+                "P[X = {i}] = {f} below Lemma 3.8 floor {floor}"
+            );
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Knuth–Yao sampling: arbitrary dyadic distributions from fair coins.
+//!
+//! The paper's Discussion section observes that memory can simulate fine
+//! probabilities but not conversely. The classic constructive form of
+//! that observation is the Knuth–Yao discrete distribution generator: any
+//! distribution whose probabilities are dyadic rationals `a/2^m` can be
+//! sampled *exactly* using only fair coin flips — at the cost of a state
+//! machine whose depth (and hence memory) is `m`. [`KnuthYao`] implements
+//! the DDG-tree walk and reports both costs, making the `b ↔ log ℓ`
+//! exchange rate executable.
+//!
+//! Expected flips per sample is at most `m` and empirically close to the
+//! entropy plus two — the Knuth–Yao optimality bound.
+
+use crate::dyadic::DyadicProb;
+use crate::rng::Rng64;
+
+/// An exact sampler for a finite distribution with dyadic probabilities,
+/// driven by fair coin flips only (`ℓ = 1`).
+///
+/// ```
+/// use ants_rng::{DyadicProb, KnuthYao, SeedableRng64, Xoshiro256PlusPlus};
+/// // P = (1/2, 1/4, 1/4) over three outcomes.
+/// let ky = KnuthYao::new(&[
+///     DyadicProb::half(),
+///     DyadicProb::new(1, 2).unwrap(),
+///     DyadicProb::new(1, 2).unwrap(),
+/// ]).unwrap();
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let (outcome, flips) = ky.sample_counted(&mut rng);
+/// assert!(outcome < 3);
+/// assert!(flips >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnuthYao {
+    /// `bits[level][j]` lists the outcomes whose probability has a 1 bit
+    /// at position `level + 1` (i.e. contributes `2^-(level+1)`).
+    levels: Vec<Vec<usize>>,
+    n: usize,
+}
+
+/// Error building a [`KnuthYao`] sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnuthYaoError {
+    /// The probabilities do not sum to exactly one.
+    NotADistribution,
+    /// The distribution is empty.
+    Empty,
+}
+
+impl std::fmt::Display for KnuthYaoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KnuthYaoError::NotADistribution => {
+                write!(f, "probabilities must sum to exactly one")
+            }
+            KnuthYaoError::Empty => write!(f, "distribution must have at least one outcome"),
+        }
+    }
+}
+
+impl std::error::Error for KnuthYaoError {}
+
+impl KnuthYao {
+    /// Build the DDG tree for a distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`KnuthYaoError::Empty`] for no outcomes,
+    /// [`KnuthYaoError::NotADistribution`] if the probabilities do not sum
+    /// to exactly one (checked in exact dyadic arithmetic).
+    pub fn new(probs: &[DyadicProb]) -> Result<Self, KnuthYaoError> {
+        if probs.is_empty() {
+            return Err(KnuthYaoError::Empty);
+        }
+        // Exact sum check in units of 2^-64.
+        let mut sum: u128 = 0;
+        let mut max_m = 1u32;
+        for p in probs {
+            sum += match p.exponent() {
+                64 => p.numerator() as u128,
+                e => (p.numerator() as u128) << (64 - e),
+            };
+            max_m = max_m.max(p.exponent());
+        }
+        if sum != 1u128 << 64 {
+            return Err(KnuthYaoError::NotADistribution);
+        }
+        let mut levels = vec![Vec::new(); max_m as usize];
+        for (i, p) in probs.iter().enumerate() {
+            if p.is_zero() {
+                continue;
+            }
+            if p.is_one() {
+                levels[0].push(i);
+                // A probability-one outcome occupies both level-1 slots;
+                // represent it by listing it twice.
+                levels[0].push(i);
+                continue;
+            }
+            // Bit j (from the MSB of the dyadic expansion) set means the
+            // outcome has a leaf at depth j+1.
+            let m = p.exponent();
+            let a = p.numerator();
+            for depth in 1..=m {
+                if (a >> (m - depth)) & 1 == 1 {
+                    levels[depth as usize - 1].push(i);
+                }
+            }
+        }
+        Ok(Self { levels, n: probs.len() })
+    }
+
+    /// Number of outcomes.
+    pub fn num_outcomes(&self) -> usize {
+        self.n
+    }
+
+    /// The DDG tree depth — the memory the agent needs (`≈ max exponent`
+    /// bits of level counter).
+    pub fn depth(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// Sample one outcome, returning `(outcome, fair flips used)`.
+    ///
+    /// The walk maintains the classic Knuth–Yao invariant: at depth `d`
+    /// there are `2^d` equally likely tree positions; leaves assigned at
+    /// depth `d` each absorb probability `2^-d`.
+    pub fn sample_counted<R: Rng64 + ?Sized>(&self, rng: &mut R) -> (usize, u32) {
+        let mut flips = 0u32;
+        // `pos` = index of the current node among the internal nodes at
+        // this depth; internal node count at depth d is
+        // 2*prev_internal - leaves(d).
+        let mut pos: u64 = 0;
+        let mut internal: u64 = 1;
+        loop {
+            for (depth, leaves) in self.levels.iter().enumerate() {
+                let _ = depth;
+                // Descend one level: flip a fair coin.
+                flips += 1;
+                pos = 2 * pos + u64::from(rng.next_bool());
+                let width = 2 * internal;
+                let num_leaves = leaves.len() as u64;
+                // The first `num_leaves` positions at this depth are leaves.
+                if pos < num_leaves {
+                    return (leaves[pos as usize], flips);
+                }
+                pos -= num_leaves;
+                internal = width - num_leaves;
+                if internal == 0 {
+                    // Tree exhausted without hitting a leaf — impossible
+                    // for a valid distribution.
+                    unreachable!("DDG tree exhausted; distribution invariant violated");
+                }
+            }
+            // Deeper than the finest probability: only possible through
+            // rounding of repeated visits — restart (probability-0 path
+            // for exact dyadic inputs, but keep the loop total).
+        }
+    }
+
+    /// Sample one outcome.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample_counted(rng).0
+    }
+
+    /// Shannon entropy of the distribution in bits (diagnostic: expected
+    /// flips is within `[H, H + 2)` by Knuth–Yao optimality).
+    pub fn entropy(&self) -> f64 {
+        // Reconstruct probabilities from the levels.
+        let mut probs = vec![0.0f64; self.n];
+        for (depth, leaves) in self.levels.iter().enumerate() {
+            for &o in leaves {
+                probs[o] += 2f64.powi(-(depth as i32 + 1));
+            }
+        }
+        -probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.log2()).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng64;
+    use crate::Xoshiro256PlusPlus;
+
+    fn dp(a: u64, m: u32) -> DyadicProb {
+        DyadicProb::new(a, m).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_distributions() {
+        assert!(matches!(KnuthYao::new(&[]), Err(KnuthYaoError::Empty)));
+        assert!(matches!(
+            KnuthYao::new(&[DyadicProb::half()]),
+            Err(KnuthYaoError::NotADistribution)
+        ));
+        assert!(matches!(
+            KnuthYao::new(&[DyadicProb::half(), DyadicProb::half(), DyadicProb::half()]),
+            Err(KnuthYaoError::NotADistribution)
+        ));
+    }
+
+    #[test]
+    fn fair_coin_as_ddg() {
+        let ky = KnuthYao::new(&[DyadicProb::half(), DyadicProb::half()]).unwrap();
+        assert_eq!(ky.depth(), 1);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let n = 100_000;
+        let ones: usize = (0..n).map(|_| ky.sample(&mut rng)).sum();
+        let f = ones as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.01, "{f}");
+        // Exactly one flip per sample.
+        let (_, flips) = ky.sample_counted(&mut rng);
+        assert_eq!(flips, 1);
+    }
+
+    #[test]
+    fn skewed_distribution_frequencies() {
+        // (1/2, 1/4, 1/8, 1/8).
+        let ky = KnuthYao::new(&[dp(1, 1), dp(1, 2), dp(1, 3), dp(1, 3)]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let n = 400_000u32;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            counts[ky.sample(&mut rng)] += 1;
+        }
+        let expect = [0.5, 0.25, 0.125, 0.125];
+        for (i, (&c, &e)) in counts.iter().zip(expect.iter()).enumerate() {
+            let f = f64::from(c) / f64::from(n);
+            assert!((f - e).abs() < 0.005, "outcome {i}: {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn non_power_probabilities() {
+        // (3/8, 5/8): binary expansions .011 and .101.
+        let ky = KnuthYao::new(&[dp(3, 3), dp(5, 3)]).unwrap();
+        assert_eq!(ky.depth(), 3);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let n = 400_000u32;
+        let zeros: u32 = (0..n).map(|_| u32::from(ky.sample(&mut rng) == 0)).sum();
+        let f = f64::from(zeros) / f64::from(n);
+        assert!((f - 0.375).abs() < 0.005, "{f}");
+    }
+
+    #[test]
+    fn expected_flips_near_entropy() {
+        // Knuth-Yao optimality: E[flips] < H + 2.
+        let ky = KnuthYao::new(&[dp(1, 1), dp(1, 2), dp(1, 3), dp(1, 3)]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let n = 100_000u32;
+        let total: u64 = (0..n).map(|_| u64::from(ky.sample_counted(&mut rng).1)).sum();
+        let mean = total as f64 / f64::from(n);
+        let h = ky.entropy();
+        assert!(mean < h + 2.0, "mean flips {mean} vs entropy {h}");
+        assert!(mean >= h - 1e-9, "mean flips {mean} below entropy {h}?");
+    }
+
+    #[test]
+    fn simulates_fine_coin_with_fair_flips() {
+        // The b <-> log l exchange: C_{1/2^10} as a DDG needs depth 10
+        // (10 bits of counter memory) but only fair coins.
+        let fine = dp(1, 10);
+        let ky = KnuthYao::new(&[fine, fine.complement()]).unwrap();
+        assert_eq!(ky.depth(), 10);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let n = 2_000_000u32;
+        let hits: u32 = (0..n).map(|_| u32::from(ky.sample(&mut rng) == 0)).sum();
+        let f = f64::from(hits) / f64::from(n);
+        let expect = 1.0 / 1024.0;
+        assert!((f - expect).abs() < 3e-4, "{f} vs {expect}");
+        // Expected flips ~ 2, far below depth: the DDG is lazy.
+        let total: u64 =
+            (0..10_000).map(|_| u64::from(ky.sample_counted(&mut rng).1)).sum();
+        assert!(total as f64 / 10_000.0 < 3.0);
+    }
+
+    #[test]
+    fn entropy_values() {
+        let ky = KnuthYao::new(&[DyadicProb::half(), DyadicProb::half()]).unwrap();
+        assert!((ky.entropy() - 1.0).abs() < 1e-12);
+        let ky = KnuthYao::new(&[dp(1, 2), dp(1, 2), dp(1, 2), dp(1, 2)]).unwrap();
+        assert!((ky.entropy() - 2.0).abs() < 1e-12);
+    }
+}

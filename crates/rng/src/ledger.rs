@@ -1,0 +1,165 @@
+//! Audit trail for exercised probabilities.
+//!
+//! The selection complexity `χ(A) = b + log ℓ` is defined over the
+//! probabilities an algorithm *uses*. Algorithms in this workspace declare
+//! their `ℓ` statically, but tests and experiments also *measure* it: every
+//! recorded coin flip feeds a [`ProbabilityLedger`], and the ledger's
+//! [`max_ell`](ProbabilityLedger::max_ell) is the empirical resolution. A
+//! declared `ℓ` smaller than the measured one is a bug the test-suite
+//! catches.
+
+use crate::dyadic::DyadicProb;
+
+/// Records the set of probability resolutions exercised by an agent.
+///
+/// ```
+/// use ants_rng::{DyadicProb, ProbabilityLedger};
+/// let mut ledger = ProbabilityLedger::new();
+/// ledger.record(DyadicProb::half());
+/// ledger.record(DyadicProb::one_over_pow2(7).unwrap());
+/// assert_eq!(ledger.max_ell(), Some(7));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbabilityLedger {
+    max_ell: Option<u32>,
+    min_prob: Option<DyadicProb>,
+    flips: u64,
+    records: u64,
+}
+
+impl ProbabilityLedger {
+    /// Create an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one *flip event* (one RNG consultation).
+    pub fn count_flip(&mut self) {
+        self.flips += 1;
+    }
+
+    /// Record a probability that was just exercised.
+    ///
+    /// Zero/one probabilities are ignored: the metric quantifies over
+    /// non-trivial transition probabilities only.
+    pub fn record(&mut self, p: DyadicProb) {
+        if p.is_zero() || p.is_one() {
+            return;
+        }
+        self.records += 1;
+        let ell = p.ell();
+        self.max_ell = Some(self.max_ell.map_or(ell, |m| m.max(ell)));
+        self.min_prob = Some(match self.min_prob {
+            None => p,
+            Some(q) if p < q => p,
+            Some(q) => q,
+        });
+    }
+
+    /// The empirical `ℓ`: resolution of the finest probability recorded, or
+    /// `None` when only trivial probabilities were used.
+    pub fn max_ell(&self) -> Option<u32> {
+        self.max_ell
+    }
+
+    /// The smallest non-trivial probability recorded.
+    pub fn min_probability(&self) -> Option<DyadicProb> {
+        self.min_prob
+    }
+
+    /// The number of flip events counted via [`count_flip`](Self::count_flip).
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// The number of non-trivial probabilities recorded.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Merge another ledger into this one (used when aggregating agents).
+    pub fn merge(&mut self, other: &ProbabilityLedger) {
+        if let Some(e) = other.max_ell {
+            self.max_ell = Some(self.max_ell.map_or(e, |m| m.max(e)));
+        }
+        if let Some(p) = other.min_prob {
+            self.min_prob = Some(match self.min_prob {
+                None => p,
+                Some(q) if p < q => p,
+                Some(q) => q,
+            });
+        }
+        self.flips += other.flips;
+        self.records += other.records;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger() {
+        let ledger = ProbabilityLedger::new();
+        assert_eq!(ledger.max_ell(), None);
+        assert_eq!(ledger.min_probability(), None);
+        assert_eq!(ledger.flips(), 0);
+    }
+
+    #[test]
+    fn trivial_probabilities_ignored() {
+        let mut ledger = ProbabilityLedger::new();
+        ledger.record(DyadicProb::ZERO);
+        ledger.record(DyadicProb::ONE);
+        assert_eq!(ledger.max_ell(), None);
+        assert_eq!(ledger.records(), 0);
+    }
+
+    #[test]
+    fn tracks_finest_resolution() {
+        let mut ledger = ProbabilityLedger::new();
+        ledger.record(DyadicProb::half());
+        assert_eq!(ledger.max_ell(), Some(1));
+        ledger.record(DyadicProb::one_over_pow2(9).unwrap());
+        assert_eq!(ledger.max_ell(), Some(9));
+        ledger.record(DyadicProb::one_over_pow2(4).unwrap());
+        assert_eq!(ledger.max_ell(), Some(9), "coarser probability must not lower ell");
+        assert_eq!(
+            ledger.min_probability(),
+            Some(DyadicProb::one_over_pow2(9).unwrap())
+        );
+    }
+
+    #[test]
+    fn ell_vs_min_probability_consistency() {
+        // 3/8 is smaller than 1/2 but has ell 2 > 1.
+        let mut ledger = ProbabilityLedger::new();
+        ledger.record(DyadicProb::new(3, 3).unwrap());
+        assert_eq!(ledger.max_ell(), Some(2));
+        assert_eq!(ledger.min_probability(), Some(DyadicProb::new(3, 3).unwrap()));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ProbabilityLedger::new();
+        a.record(DyadicProb::half());
+        a.count_flip();
+        let mut b = ProbabilityLedger::new();
+        b.record(DyadicProb::one_over_pow2(12).unwrap());
+        b.count_flip();
+        b.count_flip();
+        a.merge(&b);
+        assert_eq!(a.max_ell(), Some(12));
+        assert_eq!(a.flips(), 3);
+        assert_eq!(a.records(), 2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = ProbabilityLedger::new();
+        a.record(DyadicProb::half());
+        let before = a.clone();
+        a.merge(&ProbabilityLedger::new());
+        assert_eq!(a, before);
+    }
+}

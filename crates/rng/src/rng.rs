@@ -1,0 +1,125 @@
+//! Core PRNG traits.
+//!
+//! We intentionally define our own minimal trait instead of depending on
+//! `rand_core`: the whole workspace only ever needs uniform `u64`s and a few
+//! convenience derivations, and owning the trait keeps every sampling
+//! decision (especially how dyadic coins consume entropy) local and
+//! auditable.
+
+/// A source of uniformly distributed 64-bit words.
+pub trait Rng64 {
+    /// Return the next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's rejection method, which is unbiased for every bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        // Lemire's method: multiply-shift with rejection of the biased zone.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Return a uniformly distributed `f64` in `[0, 1)` with 53 random bits.
+    ///
+    /// Only used by *diagnostic* code (statistics, fast geometric sampling);
+    /// the agent algorithms themselves flip exact dyadic coins.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Return a uniformly distributed bool.
+    fn next_bool(&mut self) -> bool {
+        // Use the top bit: low bits of some generators are weaker.
+        self.next_u64() >> 63 == 1
+    }
+}
+
+/// PRNGs that can be constructed from a 64-bit seed.
+pub trait SeedableRng64: Sized {
+    /// Construct the generator from a 64-bit seed.
+    ///
+    /// Two equal seeds yield identical streams; unequal seeds yield
+    /// (overwhelmingly likely) unrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn next_below_in_range() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_bound_one_is_zero() {
+        let mut rng = SplitMix64::seed_from_u64(4);
+        for _ in 0..10 {
+            assert_eq!(rng.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn next_below_zero_panics() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn next_below_roughly_uniform() {
+        let mut rng = SplitMix64::seed_from_u64(6);
+        let bound = 10u64;
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.next_below(bound) as usize] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_bool_balanced() {
+        let mut rng = SplitMix64::seed_from_u64(8);
+        let n = 100_000;
+        let heads: u32 = (0..n).map(|_| u32::from(rng.next_bool())).sum();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "bool frequency {frac}");
+    }
+}

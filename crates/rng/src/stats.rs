@@ -1,0 +1,290 @@
+//! Statistical helpers for validating probabilistic claims.
+//!
+//! Every statistical assertion in the workspace's test-suite goes through
+//! these utilities so that tolerances are explicit and failure
+//! probabilities are documented. They are also used by the experiment
+//! harnesses to attach confidence intervals to reported numbers.
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// ```
+/// use ants_rng::stats::Accumulator;
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { acc.push(x); }
+/// assert_eq!(acc.mean(), 2.5);
+/// assert!((acc.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-approximation confidence half-width at `z` standard errors.
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+
+    /// Merge another accumulator (parallel Welford/Chan update).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` at `z` standard deviations (z = 5 ⇒ failure
+/// probability < 6e-7 per test). Preferred over the normal interval for
+/// small proportions like `1/2^{kℓ}`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson_interval requires at least one trial");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Pearson chi-square statistic for observed vs expected counts.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or any expected count
+/// is non-positive.
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(!observed.is_empty(), "need at least one bucket");
+    observed
+        .iter()
+        .zip(expected.iter())
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected counts must be positive");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Conservative chi-square critical value at significance ~1e-6 for `df`
+/// degrees of freedom, via the Wilson–Hilferty cube approximation.
+///
+/// Good to a few percent for `df ≥ 3`, always on the safe (larger) side for
+/// the test-suite's purposes after the built-in 10% inflation.
+pub fn chi_square_critical_1e6(df: u32) -> f64 {
+    assert!(df >= 1, "df must be positive");
+    let df = df as f64;
+    // z-score for upper tail 1e-6.
+    let z = 4.7534;
+    let t = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+    df * t * t * t * 1.10
+}
+
+/// Two-sided Chernoff tolerance: the deviation `δ·μ` such that
+/// `P[|X − μ| > δμ] ≤ 2·exp(−δ²μ/3) ≤ bound` (paper, Theorem A.4).
+///
+/// Used to size test tolerances with explicit failure probabilities.
+pub fn chernoff_tolerance(mu: f64, bound: f64) -> f64 {
+    assert!(mu > 0.0 && bound > 0.0 && bound < 1.0);
+    let delta = (3.0 * (2.0 / bound).ln() / mu).sqrt();
+    delta * mu
+}
+
+/// Ordinary least squares fit of `y = a + b·x`; returns `(a, b)`.
+///
+/// Used by experiments to fit exponents on log-log data.
+///
+/// # Panics
+///
+/// Panics given fewer than two points or zero variance in `x`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "x values must not be constant");
+    let sxy: f64 = xs.iter().zip(ys.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_basic_moments() {
+        let mut acc = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Accumulator::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &data[..40] {
+            left.push(x);
+        }
+        for &x in &data[40..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty() {
+        let mut a = Accumulator::new();
+        a.push(1.0);
+        let before = a.clone();
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+        let mut e = Accumulator::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn wilson_contains_true_p() {
+        // 500 successes in 1000 trials: interval must contain 0.5.
+        let (lo, hi) = wilson_interval(500, 1000, 5.0);
+        assert!(lo < 0.5 && 0.5 < hi);
+        // Extreme: zero successes still yields a valid interval.
+        let (lo, hi) = wilson_interval(0, 1000, 5.0);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05);
+    }
+
+    #[test]
+    fn chi_square_statistic_zero_for_perfect_fit() {
+        let observed = [10u64, 20, 30];
+        let expected = [10.0, 20.0, 30.0];
+        assert_eq!(chi_square_statistic(&observed, &expected), 0.0);
+    }
+
+    #[test]
+    fn chi_square_critical_reasonable() {
+        // Known value: chi2(df=10) upper 1e-6 ≈ 46.6 (Wilson–Hilferty within 10%+margin).
+        let c = chi_square_critical_1e6(10);
+        assert!(c > 40.0 && c < 60.0, "critical {c}");
+        // Monotone in df.
+        assert!(chi_square_critical_1e6(20) > c);
+    }
+
+    #[test]
+    fn chernoff_tolerance_shrinks_relatively() {
+        let t1 = chernoff_tolerance(100.0, 1e-9);
+        let t2 = chernoff_tolerance(10_000.0, 1e-9);
+        // Relative tolerance shrinks as mu grows.
+        assert!(t1 / 100.0 > t2 / 10_000.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn linear_fit_needs_points() {
+        let _ = linear_fit(&[1.0], &[2.0]);
+    }
+}

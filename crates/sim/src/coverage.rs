@@ -1,0 +1,147 @@
+//! Joint coverage measurement — the lower bound's currency.
+//!
+//! Theorem 4.1's mechanism: all `n` agents together visit only `o(D²)` of
+//! the `Θ(D²)` candidate cells within distance `D` in `D^{2−o(1)}` steps.
+//! [`measure`] runs the agents and returns the exact joint coverage;
+//! [`CoverageReport::adversarial_target`] then places a target on an unvisited cell, which
+//! is the constructive form of the theorem's "there is a placement …".
+
+use crate::scenario::StrategyFactory;
+use ants_core::apply_action;
+use ants_grid::{DenseGrid, Point, Rect};
+use ants_rng::derive_rng;
+
+/// The result of a coverage run.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Joint visit grid of all agents (within the measured bounds).
+    pub grid: DenseGrid,
+    /// Steps each agent took.
+    pub steps_per_agent: u64,
+    /// Number of agents.
+    pub n_agents: usize,
+}
+
+impl CoverageReport {
+    /// Fraction of cells within the bounds visited by at least one agent.
+    pub fn coverage(&self) -> f64 {
+        self.grid.coverage()
+    }
+
+    /// An adversarial target: the farthest never-visited cell (`None` if
+    /// the agents covered everything — impossible for `o(D²)`-coverage
+    /// strategies at scale).
+    pub fn adversarial_target(&self) -> Option<Point> {
+        self.grid.farthest_unvisited()
+    }
+}
+
+/// Run `n` agents for `steps` Markov transitions each and measure their
+/// joint coverage of `bounds`.
+///
+/// Positions outside the bounds are tallied (not dropped) by
+/// [`DenseGrid`]; the coverage fraction refers to the bounded region,
+/// matching the theorem's "grid points in distance `D` from the origin".
+pub fn measure(
+    factory: &StrategyFactory,
+    n_agents: usize,
+    steps: u64,
+    bounds: Rect,
+    base_seed: u64,
+) -> CoverageReport {
+    let mut grid = DenseGrid::new(bounds);
+    for agent_idx in 0..n_agents {
+        let mut strategy = factory(agent_idx);
+        let mut rng = derive_rng(base_seed, agent_idx as u64);
+        let mut pos = Point::ORIGIN;
+        grid.visit(&pos);
+        for _ in 0..steps {
+            let action = strategy.step(&mut rng);
+            pos = apply_action(pos, action);
+            if action.is_move() {
+                grid.visit(&pos);
+            }
+        }
+    }
+    CoverageReport { grid, steps_per_agent: steps, n_agents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StrategyFactory;
+    use ants_core::baselines::{AutomatonStrategy, RandomWalk, SpiralSearch};
+    use ants_core::NonUniformSearch;
+    use ants_automaton::library;
+
+    fn factory_of<F>(f: F) -> StrategyFactory
+    where
+        F: Fn(usize) -> Box<dyn ants_core::SearchStrategy> + Send + Sync + 'static,
+    {
+        Box::new(f)
+    }
+
+    #[test]
+    fn spiral_covers_ball_completely() {
+        let d = 10;
+        let f = factory_of(|_| Box::new(SpiralSearch::new()));
+        let budget = (2 * d + 1) * (2 * d + 1) + 4 * d + 4;
+        let report = measure(&f, 1, budget, Rect::ball(d), 1);
+        assert_eq!(report.coverage(), 1.0);
+        assert_eq!(report.adversarial_target(), None);
+    }
+
+    #[test]
+    fn straight_line_covers_one_ray() {
+        let d = 20u64;
+        let f = factory_of(|_| Box::new(AutomatonStrategy::new(library::straight_line())));
+        let report = measure(&f, 1, 10 * d, Rect::ball(d), 2);
+        // Visits exactly the ray (0,0) .. (d,0): d + 1 cells.
+        assert_eq!(report.grid.distinct() as u64, d + 1);
+        let adv = report.adversarial_target().unwrap();
+        assert_eq!(adv.norm_max(), d);
+    }
+
+    #[test]
+    fn random_walk_coverage_is_sublinear_in_area() {
+        // A single random walker visits O(t / log t) distinct cells; with
+        // t = D^2 and the ball having ~4D^2 cells, coverage is well below 1.
+        let d = 30u64;
+        let f = factory_of(|_| Box::new(RandomWalk::new()));
+        let report = measure(&f, 1, d * d, Rect::ball(d), 3);
+        assert!(report.coverage() < 0.30, "coverage {}", report.coverage());
+        assert!(report.adversarial_target().is_some());
+    }
+
+    #[test]
+    fn algorithm1_covers_much_more_than_random_walk() {
+        let d = 16u64;
+        let steps = 40 * d * d; // generous budget for both
+        let alg1 = factory_of(move |_| Box::new(NonUniformSearch::new(16).unwrap()));
+        let rw = factory_of(|_| Box::new(RandomWalk::new()));
+        let c_alg1 = measure(&alg1, 1, steps, Rect::ball(d), 4).coverage();
+        let c_rw = measure(&rw, 1, steps, Rect::ball(d), 4).coverage();
+        assert!(
+            c_alg1 > c_rw,
+            "Algorithm 1 coverage {c_alg1} should exceed random walk {c_rw}"
+        );
+    }
+
+    #[test]
+    fn more_agents_more_coverage() {
+        let d = 24u64;
+        let f = factory_of(|_| Box::new(RandomWalk::new()));
+        let c1 = measure(&f, 1, d * d, Rect::ball(d), 5).coverage();
+        let c8 = measure(&f, 8, d * d, Rect::ball(d), 5).coverage();
+        assert!(c8 > c1, "8 agents {c8} vs 1 agent {c1}");
+    }
+
+    #[test]
+    fn determinism() {
+        let d = 12u64;
+        let f = factory_of(|_| Box::new(RandomWalk::new()));
+        let a = measure(&f, 2, 500, Rect::ball(d), 7);
+        let b = measure(&f, 2, 500, Rect::ball(d), 7);
+        assert_eq!(a.grid, b.grid);
+    }
+}

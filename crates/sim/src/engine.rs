@@ -1,0 +1,211 @@
+//! The trial executor.
+
+use crate::metrics::{Outcome, TrialResult};
+use crate::scenario::Scenario;
+use ants_core::{apply_action, SelectionComplexity};
+use ants_grid::Point;
+use ants_rng::{derive_rng, Rng64, SplitMix64};
+
+/// Run one trial: place the target, release `n` fresh agents, report the
+/// paper's `M_moves`/`M_steps` minimum.
+///
+/// Determinism: the trial is a pure function of `(scenario, trial_seed)`.
+/// The target draw and each agent's randomness come from independent
+/// derived streams.
+///
+/// Exactness: because agents never interact, each is simulated on its own.
+/// Agent `a` is capped at the best move count found so far (it cannot
+/// improve the minimum beyond that), which keeps the cost near
+/// `n · min(budget, best)` instead of `n · budget`.
+pub fn run_trial(scenario: &Scenario, trial_seed: u64) -> TrialResult {
+    // Stream 0 is reserved for the target; agents use streams 1..=n.
+    let mut target_rng = derive_rng(trial_seed, u64::MAX);
+    let target = scenario.target().place(&mut target_rng);
+    let mut best: Option<(u64, u64, usize)> = None; // (moves, steps, agent)
+    let mut chi = SelectionComplexity::new(0, 0);
+    for agent_idx in 0..scenario.n_agents() {
+        let cap = match best {
+            // A later agent only matters if strictly faster.
+            Some((m, _, _)) => m.saturating_sub(1),
+            None => scenario.move_budget(),
+        };
+        if cap == 0 {
+            break;
+        }
+        let mut strategy = scenario.make_strategy(agent_idx);
+        let mut rng = derive_rng(trial_seed, agent_idx as u64);
+        let mut pos = Point::ORIGIN;
+        let mut moves = 0u64;
+        let mut steps = 0u64;
+        chi = chi.max(strategy.selection_complexity());
+        // A target is "found" when the agent's position coincides with it;
+        // the origin case is excluded by TargetPlacement's invariants.
+        while moves < cap {
+            let action = strategy.step(&mut rng);
+            steps += 1;
+            if action.is_move() {
+                moves += 1;
+            }
+            pos = apply_action(pos, action);
+            if pos == target {
+                best = Some((moves, steps, agent_idx));
+                break;
+            }
+        }
+        chi = chi.max(strategy.selection_complexity());
+    }
+    TrialResult {
+        target,
+        moves: best.map(|(m, _, _)| m),
+        steps: best.map(|(_, s, _)| s),
+        winner: best.map(|(_, _, a)| a),
+        chi_footprint: chi,
+    }
+}
+
+/// Run `n_trials` independent trials, parallelised across the machine's
+/// cores with deterministic per-trial seeds derived from `base_seed`.
+pub fn run_trials(scenario: &Scenario, n_trials: u64, base_seed: u64) -> Outcome {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(64);
+    // Pre-derive per-trial seeds so the result is independent of the
+    // thread count.
+    let mut seed_mixer = SplitMix64::new(base_seed);
+    let seeds: Vec<u64> = (0..n_trials).map(|_| seed_mixer.next_u64()).collect();
+    if threads <= 1 || n_trials < 4 {
+        let trials = seeds.iter().map(|&s| run_trial(scenario, s)).collect();
+        return Outcome::new(trials);
+    }
+    let chunks: Vec<&[u64]> = seeds.chunks(n_trials.div_ceil(threads as u64) as usize).collect();
+    let mut results: Vec<Vec<TrialResult>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk.iter().map(|&s| run_trial(scenario, s)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("trial worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    Outcome::new(results.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_core::baselines::{RandomWalk, SpiralSearch};
+    use ants_core::NonUniformSearch;
+    use ants_grid::TargetPlacement;
+
+    fn spiral_scenario(d: u64, n: usize) -> Scenario {
+        Scenario::builder()
+            .agents(n)
+            .target(TargetPlacement::Corner { distance: d })
+            .move_budget(100_000)
+            .strategy(|_| Box::new(SpiralSearch::new()))
+            .build()
+    }
+
+    #[test]
+    fn spiral_finds_corner_deterministically() {
+        let s = spiral_scenario(5, 1);
+        let r = run_trial(&s, 1);
+        assert!(r.found());
+        // Corner (5,5) is on the spiral; moves <= (2*5+1)^2 + O(D).
+        assert!(r.moves.unwrap() <= 145, "moves = {:?}", r.moves);
+        assert_eq!(r.winner, Some(0));
+        assert_eq!(r.target, Point::new(5, 5));
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let s = Scenario::builder()
+            .agents(2)
+            .target(TargetPlacement::UniformInBall { distance: 6 })
+            .move_budget(50_000)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .build();
+        let a = run_trial(&s, 99);
+        let b = run_trial(&s, 99);
+        assert_eq!(a, b);
+        // Different seeds place different targets (overwhelmingly).
+        let c = run_trial(&s, 100);
+        assert_ne!(a.target, c.target);
+    }
+
+    #[test]
+    fn budget_respected() {
+        // Random walk looking for an absurd corner within a tiny budget.
+        let s = Scenario::builder()
+            .agents(1)
+            .target(TargetPlacement::Corner { distance: 1000 })
+            .move_budget(100)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .build();
+        let r = run_trial(&s, 5);
+        assert!(!r.found());
+        assert_eq!(r.moves, None);
+        assert_eq!(r.winner, None);
+    }
+
+    #[test]
+    fn more_agents_never_worse() {
+        // M_moves is a minimum: with the same seeds, more agents can only
+        // find the target sooner or equally fast (statistically; here we
+        // check the aggregate).
+        let d = 8;
+        let mk = |n: usize| {
+            Scenario::builder()
+                .agents(n)
+                .target(TargetPlacement::Corner { distance: d })
+                .move_budget(2_000_000)
+                .strategy(move |_| Box::new(NonUniformSearch::new(8).unwrap()))
+                .build()
+        };
+        let one = run_trials(&mk(1), 60, 7).summary();
+        let eight = run_trials(&mk(8), 60, 7).summary();
+        assert!(one.success_rate() > 0.95);
+        assert!(eight.success_rate() > 0.95);
+        assert!(
+            eight.mean_moves() < one.mean_moves(),
+            "8 agents ({}) should beat 1 agent ({})",
+            eight.mean_moves(),
+            one.mean_moves()
+        );
+    }
+
+    #[test]
+    fn run_trials_count_and_determinism() {
+        let s = spiral_scenario(3, 1);
+        let o1 = run_trials(&s, 10, 123);
+        let o2 = run_trials(&s, 10, 123);
+        assert_eq!(o1.trials().len(), 10);
+        assert_eq!(o1.trials(), o2.trials());
+    }
+
+    #[test]
+    fn winner_is_recorded_among_agents() {
+        let s = Scenario::builder()
+            .agents(4)
+            .target(TargetPlacement::UniformInBall { distance: 4 })
+            .move_budget(500_000)
+            .strategy(|_| Box::new(NonUniformSearch::new(4).unwrap()))
+            .build();
+        let r = run_trial(&s, 11);
+        assert!(r.found());
+        assert!(r.winner.unwrap() < 4);
+    }
+
+    #[test]
+    fn chi_footprint_reported() {
+        let s = spiral_scenario(4, 1);
+        let r = run_trial(&s, 3);
+        // Spiral: deterministic, ell = 0, some memory bits.
+        assert_eq!(r.chi_footprint.ell(), 0);
+        assert!(r.chi_footprint.memory_bits() >= 3);
+    }
+}

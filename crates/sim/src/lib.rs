@@ -1,0 +1,57 @@
+//! # ants-sim — Monte-Carlo engine for multi-agent plane search
+//!
+//! The paper proves expectations and w.h.p. statements; this crate
+//! estimates the same quantities by simulation:
+//!
+//! * [`Scenario`] — a complete experiment description: `n` agents, a
+//!   strategy factory, a target model, a move budget;
+//! * [`run_trial`] / [`run_trials`] — execute independent trials
+//!   (deterministically seeded, optionally across threads) and report the
+//!   paper's metrics `M_moves` and `M_steps` (the minimum over agents of
+//!   moves/steps until the target is found);
+//! * [`Summary`] — aggregate statistics with confidence intervals;
+//! * [`RoundExecutor`] — the Section 4 synchronous round model, for
+//!   experiments that need joint per-round positions;
+//! * [`coverage`] — joint visited-cell measurement for the lower-bound
+//!   experiments (Theorem 4.1 is a statement about coverage);
+//! * [`report`] — fixed-width tables and CSV output for the experiment
+//!   harnesses.
+//!
+//! The engine exploits the model's defining feature: agents do not
+//! communicate, so their trajectories are independent and each can be
+//! simulated to completion on its own. `M_moves` is still computed
+//! exactly: later agents are capped at the best result so far, which
+//! cannot change the minimum.
+//!
+//! ## Example
+//!
+//! ```
+//! use ants_core::NonUniformSearch;
+//! use ants_grid::TargetPlacement;
+//! use ants_sim::{Scenario, run_trials};
+//!
+//! let scenario = Scenario::builder()
+//!     .agents(4)
+//!     .target(TargetPlacement::Corner { distance: 8 })
+//!     .move_budget(200_000)
+//!     .strategy(|_agent| Box::new(NonUniformSearch::new(8).unwrap()))
+//!     .build();
+//! let outcome = run_trials(&scenario, 20, 42);
+//! let summary = outcome.summary();
+//! assert!(summary.success_rate() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+mod engine;
+mod metrics;
+pub mod report;
+mod rounds;
+mod scenario;
+
+pub use engine::{run_trial, run_trials};
+pub use metrics::{Outcome, Summary, TrialResult};
+pub use rounds::RoundExecutor;
+pub use scenario::{Scenario, ScenarioBuilder, StrategyFactory};

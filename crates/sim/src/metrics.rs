@@ -1,0 +1,232 @@
+//! Trial results and aggregate statistics.
+
+use ants_core::SelectionComplexity;
+use ants_grid::Point;
+use ants_rng::stats::Accumulator;
+
+/// The result of one trial (one target placement, `n` fresh agents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// Where the target was placed.
+    pub target: Point,
+    /// `M_moves`: minimum over agents of moves until the target was found,
+    /// if any agent found it within the budget.
+    pub moves: Option<u64>,
+    /// `M_steps` for the same (first-finding) agent.
+    pub steps: Option<u64>,
+    /// Index of the winning agent.
+    pub winner: Option<usize>,
+    /// Running maximum of the agents' selection-complexity footprint over
+    /// the whole trial (phase-based strategies grow over time).
+    pub chi_footprint: SelectionComplexity,
+}
+
+impl TrialResult {
+    /// Did any agent find the target?
+    pub fn found(&self) -> bool {
+        self.moves.is_some()
+    }
+}
+
+/// A batch of trial results.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    trials: Vec<TrialResult>,
+}
+
+impl Outcome {
+    /// Wrap a list of trial results.
+    pub fn new(trials: Vec<TrialResult>) -> Self {
+        Self { trials }
+    }
+
+    /// The individual trials.
+    pub fn trials(&self) -> &[TrialResult] {
+        &self.trials
+    }
+
+    /// Aggregate statistics.
+    pub fn summary(&self) -> Summary {
+        let mut moves = Accumulator::new();
+        let mut steps = Accumulator::new();
+        let mut found = 0u64;
+        let mut chi = SelectionComplexity::new(0, 0);
+        let mut sorted_moves: Vec<u64> = Vec::new();
+        for t in &self.trials {
+            if let (Some(m), Some(s)) = (t.moves, t.steps) {
+                moves.push(m as f64);
+                steps.push(s as f64);
+                sorted_moves.push(m);
+                found += 1;
+            }
+            chi = chi.max(t.chi_footprint);
+        }
+        sorted_moves.sort_unstable();
+        Summary {
+            trials: self.trials.len() as u64,
+            found,
+            moves,
+            steps,
+            sorted_moves,
+            chi_footprint: chi,
+        }
+    }
+
+    /// Merge another outcome into this one.
+    pub fn merge(&mut self, mut other: Outcome) {
+        self.trials.append(&mut other.trials);
+    }
+}
+
+/// Aggregate statistics over a batch of trials.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    trials: u64,
+    found: u64,
+    moves: Accumulator,
+    steps: Accumulator,
+    sorted_moves: Vec<u64>,
+    chi_footprint: SelectionComplexity,
+}
+
+impl Summary {
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of trials in which the target was found within budget.
+    pub fn found(&self) -> u64 {
+        self.found
+    }
+
+    /// Fraction of successful trials.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.found as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean `M_moves` over successful trials.
+    pub fn mean_moves(&self) -> f64 {
+        self.moves.mean()
+    }
+
+    /// Mean `M_steps` over successful trials.
+    pub fn mean_steps(&self) -> f64 {
+        self.steps.mean()
+    }
+
+    /// Median `M_moves` over successful trials (0 when none).
+    pub fn median_moves(&self) -> f64 {
+        if self.sorted_moves.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted_moves.len();
+        if n % 2 == 1 {
+            self.sorted_moves[n / 2] as f64
+        } else {
+            (self.sorted_moves[n / 2 - 1] + self.sorted_moves[n / 2]) as f64 / 2.0
+        }
+    }
+
+    /// 95% confidence half-width for the mean moves (normal approx).
+    pub fn moves_ci95(&self) -> f64 {
+        self.moves.ci_half_width(1.96)
+    }
+
+    /// Standard deviation of moves.
+    pub fn moves_std(&self) -> f64 {
+        self.moves.std_dev()
+    }
+
+    /// The maximum selection-complexity footprint over all trials/agents.
+    pub fn chi_footprint(&self) -> SelectionComplexity {
+        self.chi_footprint
+    }
+
+    /// Speed-up of this summary relative to a baseline (typically the
+    /// `n = 1` run of the same strategy): `baseline_mean / this_mean`.
+    ///
+    /// Returns `None` when either side has no successful trials.
+    pub fn speedup_vs(&self, single_agent: &Summary) -> Option<f64> {
+        if self.found == 0 || single_agent.found == 0 || self.mean_moves() == 0.0 {
+            return None;
+        }
+        Some(single_agent.mean_moves() / self.mean_moves())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(moves: Option<u64>) -> TrialResult {
+        TrialResult {
+            target: Point::new(1, 1),
+            moves,
+            steps: moves.map(|m| m * 2),
+            winner: moves.map(|_| 0),
+            chi_footprint: SelectionComplexity::new(3, 2),
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let o = Outcome::new(vec![trial(Some(10)), trial(Some(20)), trial(None)]);
+        let s = o.summary();
+        assert_eq!(s.trials(), 3);
+        assert_eq!(s.found(), 2);
+        assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.mean_moves(), 15.0);
+        assert_eq!(s.mean_steps(), 30.0);
+        assert_eq!(s.median_moves(), 15.0);
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let o = Outcome::new(vec![trial(Some(5)), trial(Some(100)), trial(Some(7))]);
+        assert_eq!(o.summary().median_moves(), 7.0);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Outcome::default().summary();
+        assert_eq!(s.trials(), 0);
+        assert_eq!(s.success_rate(), 0.0);
+        assert_eq!(s.median_moves(), 0.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let one = Outcome::new(vec![trial(Some(100)), trial(Some(300))]).summary();
+        let many = Outcome::new(vec![trial(Some(20)), trial(Some(30))]).summary();
+        let sp = many.speedup_vs(&one).unwrap();
+        assert!((sp - 200.0 / 25.0).abs() < 1e-12);
+        // No successes -> None.
+        let none = Outcome::new(vec![trial(None)]).summary();
+        assert_eq!(none.speedup_vs(&one), None);
+        assert_eq!(one.speedup_vs(&none), None);
+    }
+
+    #[test]
+    fn merge_appends() {
+        let mut a = Outcome::new(vec![trial(Some(1))]);
+        a.merge(Outcome::new(vec![trial(Some(2)), trial(None)]));
+        assert_eq!(a.trials().len(), 3);
+        assert_eq!(a.summary().found(), 2);
+    }
+
+    #[test]
+    fn chi_footprint_is_max() {
+        let mut t1 = trial(Some(5));
+        t1.chi_footprint = SelectionComplexity::new(2, 8);
+        let mut t2 = trial(Some(5));
+        t2.chi_footprint = SelectionComplexity::new(6, 1);
+        let s = Outcome::new(vec![t1, t2]).summary();
+        assert_eq!(s.chi_footprint().memory_bits(), 6);
+        assert_eq!(s.chi_footprint().ell(), 8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fixed-width tables and CSV output for experiment harnesses.
+//!
+//! The experiment binaries print the paper's "tables" (theorem-validation
+//! sweeps) through this module so every harness reports in the same
+//! format, and EXPERIMENTS.md can quote them verbatim.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+///
+/// ```
+/// use ants_sim::report::Table;
+/// let mut t = Table::new(vec!["D", "mean moves", "ratio"]);
+/// t.row(vec!["64".into(), "1234.5".into(), "1.9".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("mean moves"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (headers + rows, comma-separated, quoted as needed).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(widths.iter()) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}")?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float for table cells: fixed width, sensible precision.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["100".into(), "2".into()]);
+        t.row(vec!["1".into(), "22222".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["with,comma".into(), "with\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn fnum_precision_tiers() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(31.4159), "31.4");
+        assert_eq!(fnum(31415.9), "31416");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

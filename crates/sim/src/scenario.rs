@@ -1,0 +1,181 @@
+//! Experiment descriptions.
+
+use ants_core::SearchStrategy;
+use ants_grid::TargetPlacement;
+
+/// A factory producing one strategy instance per agent index.
+///
+/// Agents are identical in the paper's model, so most factories ignore the
+/// index; it is provided for diagnostic instrumentation (and deliberately
+/// *not* for symmetry breaking — that would change the model).
+pub type StrategyFactory = Box<dyn Fn(usize) -> Box<dyn SearchStrategy> + Send + Sync>;
+
+/// A complete simulation scenario.
+///
+/// Build with [`Scenario::builder`]; see the crate docs for an example.
+pub struct Scenario {
+    n_agents: usize,
+    target: TargetPlacement,
+    move_budget: u64,
+    factory: StrategyFactory,
+}
+
+impl Scenario {
+    /// Start building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// Number of agents `n`.
+    pub fn n_agents(&self) -> usize {
+        self.n_agents
+    }
+
+    /// Target model.
+    pub fn target(&self) -> TargetPlacement {
+        self.target
+    }
+
+    /// Per-agent move budget (the `D^{2−o(1)}`-style caps of the lower
+    /// bound, or simply a safety stop for upper-bound runs).
+    pub fn move_budget(&self) -> u64 {
+        self.move_budget
+    }
+
+    /// Instantiate the strategy for a given agent index.
+    pub fn make_strategy(&self, agent: usize) -> Box<dyn SearchStrategy> {
+        (self.factory)(agent)
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("n_agents", &self.n_agents)
+            .field("target", &self.target)
+            .field("move_budget", &self.move_budget)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Default)]
+pub struct ScenarioBuilder {
+    n_agents: Option<usize>,
+    target: Option<TargetPlacement>,
+    move_budget: Option<u64>,
+    factory: Option<StrategyFactory>,
+}
+
+impl ScenarioBuilder {
+    /// Set the number of agents (default 1).
+    pub fn agents(mut self, n: usize) -> Self {
+        self.n_agents = Some(n);
+        self
+    }
+
+    /// Set the target model (required).
+    pub fn target(mut self, t: TargetPlacement) -> Self {
+        self.target = Some(t);
+        self
+    }
+
+    /// Set the per-agent move budget (required).
+    pub fn move_budget(mut self, budget: u64) -> Self {
+        self.move_budget = Some(budget);
+        self
+    }
+
+    /// Set the strategy factory (required).
+    pub fn strategy<F>(mut self, f: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn SearchStrategy> + Send + Sync + 'static,
+    {
+        self.factory = Some(Box::new(f));
+        self
+    }
+
+    /// Build the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required field is missing, the agent count is zero, or
+    /// the move budget is zero — scenario construction errors are
+    /// programming errors, not runtime conditions.
+    pub fn build(self) -> Scenario {
+        let n_agents = self.n_agents.unwrap_or(1);
+        assert!(n_agents >= 1, "scenario needs at least one agent");
+        let target = self.target.expect("scenario target is required");
+        let move_budget = self.move_budget.expect("scenario move budget is required");
+        assert!(move_budget >= 1, "move budget must be positive");
+        let factory = self.factory.expect("scenario strategy factory is required");
+        Scenario { n_agents, target, move_budget, factory }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_core::baselines::RandomWalk;
+
+    fn walker_factory() -> StrategyFactory {
+        Box::new(|_| Box::new(RandomWalk::new()))
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let s = Scenario::builder()
+            .agents(7)
+            .target(TargetPlacement::Corner { distance: 3 })
+            .move_budget(1000)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .build();
+        assert_eq!(s.n_agents(), 7);
+        assert_eq!(s.move_budget(), 1000);
+        assert_eq!(s.target(), TargetPlacement::Corner { distance: 3 });
+        let agent = s.make_strategy(0);
+        assert_eq!(agent.name(), "uniform random walk");
+    }
+
+    #[test]
+    fn default_agent_count_is_one() {
+        let s = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .move_budget(10)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .build();
+        assert_eq!(s.n_agents(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target is required")]
+    fn missing_target_panics() {
+        let _ = Scenario::builder().move_budget(10).strategy(|_| Box::new(RandomWalk::new())).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "move budget")]
+    fn missing_budget_panics() {
+        let _ = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "factory is required")]
+    fn missing_factory_panics() {
+        let _ = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .move_budget(10)
+            .build();
+    }
+
+    #[test]
+    fn factories_are_reusable() {
+        let f = walker_factory();
+        let a = f(0);
+        let b = f(1);
+        assert_eq!(a.name(), b.name());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the simulation engine.
+
+use ants_core::baselines::{RandomWalk, SpiralSearch};
+use ants_core::NonUniformSearch;
+use ants_grid::{Rect, TargetPlacement};
+use ants_sim::{coverage, run_trial, run_trials, RoundExecutor, Scenario};
+use proptest::prelude::*;
+
+fn scenario(n: usize, d: u64, budget: u64, spiral: bool) -> Scenario {
+    let b = Scenario::builder()
+        .agents(n)
+        .target(TargetPlacement::UniformInBall { distance: d })
+        .move_budget(budget);
+    if spiral {
+        b.strategy(|_| Box::new(SpiralSearch::new())).build()
+    } else {
+        b.strategy(|_| Box::new(RandomWalk::new())).build()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A trial is a pure function of its seed.
+    #[test]
+    fn trials_pure_in_seed(
+        n in 1usize..6,
+        d in 1u64..20,
+        seed in any::<u64>(),
+        spiral in any::<bool>(),
+    ) {
+        let s = scenario(n, d, 50_000, spiral);
+        prop_assert_eq!(run_trial(&s, seed), run_trial(&s, seed));
+    }
+
+    /// If the target is found, the winner index is valid and the move
+    /// count respects the budget.
+    #[test]
+    fn results_well_formed(
+        n in 1usize..6,
+        d in 1u64..16,
+        seed in any::<u64>(),
+    ) {
+        let s = scenario(n, d, 20_000, true);
+        let r = run_trial(&s, seed);
+        prop_assert!(s.target().region().contains(&r.target));
+        if let (Some(m), Some(st), Some(w)) = (r.moves, r.steps, r.winner) {
+            prop_assert!(m <= 20_000);
+            prop_assert!(st >= m, "steps {st} < moves {m}");
+            prop_assert!(w < n);
+        } else {
+            prop_assert_eq!(r.moves, None);
+            prop_assert_eq!(r.steps, None);
+            prop_assert_eq!(r.winner, None);
+        }
+    }
+
+    /// The spiral covers the ball deterministically: a uniform target at
+    /// distance <= d is ALWAYS found within (2d+1)^2 + O(d) moves.
+    #[test]
+    fn spiral_always_finds_within_area_budget(
+        d in 1u64..24,
+        seed in any::<u64>(),
+    ) {
+        let budget = (2 * d + 1) * (2 * d + 1) + 4 * d + 4;
+        let s = scenario(1, d, budget, true);
+        let r = run_trial(&s, seed);
+        prop_assert!(r.found(), "spiral missed target {} at budget {budget}", r.target);
+    }
+
+    /// run_trials is deterministic and independent of how many trials
+    /// precede a given one (seeds are pre-derived).
+    #[test]
+    fn run_trials_prefix_stable(seed in any::<u64>()) {
+        let s = scenario(2, 8, 30_000, false);
+        let five = run_trials(&s, 5, seed);
+        let ten = run_trials(&s, 10, seed);
+        prop_assert_eq!(five.trials(), &ten.trials()[..5]);
+    }
+
+    /// Coverage measurement: distinct cells never exceed steps + 1 per
+    /// agent, and coverage is monotone in the number of agents.
+    #[test]
+    fn coverage_bounds(
+        n in 1usize..5,
+        steps in 1u64..400,
+        seed in any::<u64>(),
+    ) {
+        let f: ants_sim::StrategyFactory = Box::new(|_| Box::new(RandomWalk::new()));
+        let rep = coverage::measure(&f, n, steps, Rect::ball(30), seed);
+        prop_assert!(rep.grid.distinct() as u64 <= n as u64 * (steps + 1));
+        prop_assert_eq!(rep.steps_per_agent, steps);
+    }
+
+    /// The synchronous executor and the fast path agree on whether a
+    /// deterministic strategy finds the target.
+    #[test]
+    fn round_executor_agrees_with_fast_path(
+        d in 1u64..12,
+        seed in any::<u64>(),
+    ) {
+        let s = scenario(1, d, 4_000, true);
+        let fast = run_trial(&s, seed);
+        let mut sync = RoundExecutor::new(&s, seed);
+        let found = sync.run(4_000);
+        prop_assert_eq!(fast.steps, found);
+        prop_assert_eq!(sync.target(), fast.target);
+    }
+
+    /// Summary statistics are internally consistent.
+    #[test]
+    fn summary_consistency(seed in any::<u64>(), trials in 1u64..20) {
+        let s = scenario(2, 6, 30_000, true);
+        let sum = run_trials(&s, trials, seed).summary();
+        prop_assert_eq!(sum.trials(), trials);
+        prop_assert!(sum.found() <= trials);
+        prop_assert!((0.0..=1.0).contains(&sum.success_rate()));
+        if sum.found() > 0 {
+            prop_assert!(sum.mean_moves() > 0.0);
+            prop_assert!(sum.median_moves() > 0.0);
+            prop_assert!(sum.mean_steps() >= sum.mean_moves());
+        }
+    }
+}
+
+/// Non-proptest regression: the engine's early-cap optimisation does not
+/// change the minimum (brute-force comparison on a small instance).
+#[test]
+fn early_cap_preserves_minimum() {
+    let d = 6u64;
+    let n = 4usize;
+    let budget = 200_000u64;
+    let s = Scenario::builder()
+        .agents(n)
+        .target(TargetPlacement::Corner { distance: d })
+        .move_budget(budget)
+        .strategy(move |_| Box::new(NonUniformSearch::new(d).unwrap()))
+        .build();
+    for seed in 0..10u64 {
+        let fast = run_trial(&s, seed);
+        // Brute force: run every agent to the full budget independently.
+        let mut best: Option<u64> = None;
+        let mut target_rng = ants_rng::derive_rng(seed, u64::MAX);
+        let target = s.target().place(&mut target_rng);
+        for agent in 0..n {
+            let mut strat = s.make_strategy(agent);
+            let mut rng = ants_rng::derive_rng(seed, agent as u64);
+            let mut pos = ants_grid::Point::ORIGIN;
+            let mut moves = 0u64;
+            while moves < budget {
+                let a = ants_core::SearchStrategy::step(&mut *strat, &mut rng);
+                if a.is_move() {
+                    moves += 1;
+                }
+                pos = ants_core::apply_action(pos, a);
+                if pos == target {
+                    best = Some(best.map_or(moves, |b: u64| b.min(moves)));
+                    break;
+                }
+            }
+        }
+        assert_eq!(fast.moves, best, "seed {seed}: early-cap changed the minimum");
+        assert_eq!(fast.target, target);
+    }
+}

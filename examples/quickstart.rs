@@ -1,0 +1,63 @@
+//! Quickstart: a colony of agents finds a hidden target.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the core API: build a [`Scenario`] with the paper's
+//! uniform algorithm (the agents do *not* know the target distance), run
+//! trials, and read the metrics.
+
+use ants::core::{SearchStrategy, UniformSearch};
+use ants::grid::TargetPlacement;
+use ants::sim::{run_trials, Scenario};
+
+fn main() {
+    let n_agents = 16;
+    let distance = 32;
+
+    // The paper's Algorithm 5: uniform in D (knows n, not D), with
+    // probability resolution l = 1 (fair-ish coins only).
+    let scenario = Scenario::builder()
+        .agents(n_agents)
+        .target(TargetPlacement::UniformInBall { distance })
+        .move_budget(50_000_000)
+        .strategy(move |_agent| {
+            Box::new(UniformSearch::new(1, n_agents as u64, 2).expect("valid parameters"))
+        })
+        .build();
+
+    println!("searching for a target within distance {distance} with {n_agents} agents…\n");
+    let outcome = run_trials(&scenario, 20, 0xC0FFEE);
+    let summary = outcome.summary();
+
+    println!("trials:        {}", summary.trials());
+    println!("found:         {} ({:.0}%)", summary.found(), summary.success_rate() * 100.0);
+    println!("mean  M_moves: {:.0}", summary.mean_moves());
+    println!("median M_moves: {:.0}", summary.median_moves());
+    println!("95% CI (mean): +/- {:.0}", summary.moves_ci95());
+    println!(
+        "selection complexity footprint: {}",
+        summary.chi_footprint()
+    );
+
+    // For contrast: what does one agent alone need?
+    let solo = Scenario::builder()
+        .agents(1)
+        .target(TargetPlacement::UniformInBall { distance })
+        .move_budget(50_000_000)
+        .strategy(|_| Box::new(UniformSearch::new(1, 1, 2).expect("valid parameters")))
+        .build();
+    let solo_summary = run_trials(&solo, 20, 0xC0FFEE).summary();
+    if let Some(speedup) = summary.speedup_vs(&solo_summary) {
+        println!(
+            "\nspeed-up over a single agent: {speedup:.1}x (optimal would be min{{n, D}} = {})",
+            n_agents.min(distance as usize)
+        );
+    }
+
+    // Every agent has a selection-complexity price tag.
+    let agent = UniformSearch::new(1, n_agents as u64, 2).expect("valid parameters");
+    println!("\nfresh agent footprint: {}", agent.selection_complexity());
+    println!("(the paper: chi <= 3 log log D + O(1) suffices — Theorem 3.14)");
+}

@@ -1,0 +1,24 @@
+//! # ants — searching the plane without communication
+//!
+//! Facade crate re-exporting the whole workspace: a production-quality
+//! reproduction of *"Trade-offs between Selection Complexity and Performance
+//! when Searching the Plane without Communication"* (Lenzen, Lynch, Newport,
+//! Radeva; PODC 2014).
+//!
+//! See the individual crates for details:
+//!
+//! * [`grid`] — the two-dimensional lattice substrate;
+//! * [`rng`] — deterministic randomness with auditable probability resolution;
+//! * [`automaton`] — probabilistic finite automata and Markov-chain analysis;
+//! * [`core`] — the paper's search algorithms and the `χ = b + log ℓ` metric;
+//! * [`sim`] — the Monte-Carlo simulation engine and statistics;
+//! * [`analysis`] — lower-bound machinery (coverage prediction, drift).
+
+#![forbid(unsafe_code)]
+
+pub use ants_analysis as analysis;
+pub use ants_automaton as automaton;
+pub use ants_core as core;
+pub use ants_grid as grid;
+pub use ants_rng as rng;
+pub use ants_sim as sim;
