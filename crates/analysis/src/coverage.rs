@@ -72,11 +72,7 @@ pub fn predict(pfa: &Pfa, steps: u64, d: u64, burn_in: u64) -> Prediction {
     let mut tubes = Vec::new();
     for class in &analysis.recurrent_classes {
         let pinned = class.has_origin || !class.has_move;
-        tubes.push(Tube {
-            drift: class.drift,
-            half_width,
-            pinned,
-        });
+        tubes.push(Tube { drift: class.drift, half_width, pinned });
     }
     // Area bound: each line tube intersects the ball in at most
     // (2d+1) x (2*half_width+1) cells; pinned tubes in (2hw+1)^2.
@@ -86,10 +82,7 @@ pub fn predict(pfa: &Pfa, steps: u64, d: u64, burn_in: u64) -> Prediction {
         let w = 2.0 * t.half_width + 1.0;
         covered += if t.pinned { w * w } else { (2 * d + 1) as f64 * w };
     }
-    Prediction {
-        tubes,
-        coverage_bound: (covered / ball_cells).min(1.0),
-    }
+    Prediction { tubes, coverage_bound: (covered / ball_cells).min(1.0) }
 }
 
 /// Measured-vs-predicted comparison for a joint run of `n` agents.
@@ -136,11 +129,8 @@ pub fn compare(pfa: &Pfa, n_agents: usize, steps: u64, d: u64, seed: u64) -> Com
             }
         }
     }
-    let inside_tube_fraction = if visited_in_ball == 0 {
-        1.0
-    } else {
-        inside as f64 / visited_in_ball as f64
-    };
+    let inside_tube_fraction =
+        if visited_in_ball == 0 { 1.0 } else { inside as f64 / visited_in_ball as f64 };
     Comparison { report, prediction, inside_tube_fraction, d }
 }
 

@@ -62,17 +62,10 @@ pub fn measure(pfa: &Pfa, burn_in: u64, steps: u64, trials: u64, base_seed: u64)
         let moved = w.position() - start;
         let expect_x = drift.0 * steps as f64;
         let expect_y = drift.1 * steps as f64;
-        let dev = (moved.x as f64 - expect_x)
-            .abs()
-            .max((moved.y as f64 - expect_y).abs());
+        let dev = (moved.x as f64 - expect_x).abs().max((moved.y as f64 - expect_y).abs());
         deviation.push(dev);
     }
-    DriftReport {
-        steps,
-        trials,
-        deviation,
-        unmixed_fraction: unmixed as f64 / trials as f64,
-    }
+    DriftReport { steps, trials, deviation, unmixed_fraction: unmixed as f64 / trials as f64 }
 }
 
 /// Predicted deviation scale of Lemma 4.9 for `r` steps:

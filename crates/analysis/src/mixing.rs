@@ -59,10 +59,8 @@ impl MixingCurve {
 /// from the start (impossible for valid PFAs).
 pub fn mixing_curve(pfa: &Pfa, ks: &[u64]) -> MixingCurve {
     let analysis = markov::analyze(pfa);
-    let class = analysis
-        .recurrent_classes
-        .first()
-        .expect("every finite chain has a recurrent class");
+    let class =
+        analysis.recurrent_classes.first().expect("every finite chain has a recurrent class");
     let t = class.period.max(1) as u64;
     let p0 = pfa.min_probability().to_f64();
     let epsilon = p0.powi(pfa.num_states() as i32);

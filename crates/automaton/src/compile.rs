@@ -49,11 +49,10 @@ pub fn non_uniform_search(d_exp: u32, ell: u32) -> Result<Pfa, DyadicError> {
     let k = d_exp.div_ceil(ell).max(1) as usize;
     // Base coin: tails (stop-progress) with probability q = 1/2^ell.
     let q = DyadicProb::one_over_pow2(ell)?;
-    let heads = q.complement(); // continue-probability 1 - 1/2^ell
+    // Continue-probability 1 - 1/2^ell.
+    let heads = q.complement();
     // Direction choices pair a heads with a fair flip: (1 - q)/2.
-    let half_heads = heads
-        .checked_mul(&DyadicProb::half())
-        .ok_or(DyadicError::ExponentTooLarge)?;
+    let half_heads = heads.checked_mul(&DyadicProb::half()).ok_or(DyadicError::ExponentTooLarge)?;
 
     let mut b = PfaBuilder::new();
     let ret = b.add_state(GridAction::Origin);
@@ -61,11 +60,7 @@ pub fn non_uniform_search(d_exp: u32, ell: u32) -> Result<Pfa, DyadicError> {
     // tails into the first vertical composite flip.
     let vpend: Vec<StateId> = (1..k).map(|_| b.add_state(GridAction::None)).collect();
     let mk_walk = |b: &mut PfaBuilder, dir: Direction| -> Vec<StateId> {
-        (0..k)
-            .map(|c| {
-                b.add_state(if c == 0 { dir.into() } else { GridAction::None })
-            })
-            .collect()
+        (0..k).map(|c| b.add_state(if c == 0 { dir.into() } else { GridAction::None })).collect()
     };
     let up = mk_walk(&mut b, Direction::Up);
     let down = mk_walk(&mut b, Direction::Down);
@@ -233,10 +228,8 @@ mod tests {
         // check lives in tests/integration.rs; here: internal consistency
         // as d grows).
         let chi_at = |d_exp: u32| non_uniform_search(d_exp, 1).unwrap().chi();
-        let gaps: Vec<f64> = [8u32, 16, 32]
-            .iter()
-            .map(|&e| chi_at(e) - (e as f64).log2())
-            .collect();
+        let gaps: Vec<f64> =
+            [8u32, 16, 32].iter().map(|&e| chi_at(e) - (e as f64).log2()).collect();
         let spread = gaps.iter().cloned().fold(f64::MIN, f64::max)
             - gaps.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread <= 1.5, "chi - log log D drifts: {gaps:?}");

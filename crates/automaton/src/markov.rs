@@ -85,14 +85,8 @@ impl ChainAnalysis {
 /// distribution.
 pub fn analyze(pfa: &Pfa) -> ChainAnalysis {
     let n = pfa.num_states();
-    let adj: Vec<Vec<usize>> = (0..n)
-        .map(|i| {
-            pfa.transitions(StateId(i))
-                .iter()
-                .map(|(t, _)| t.0)
-                .collect()
-        })
-        .collect();
+    let adj: Vec<Vec<usize>> =
+        (0..n).map(|i| pfa.transitions(StateId(i)).iter().map(|(t, _)| t.0).collect()).collect();
     let sccs = tarjan_scc(&adj);
     // An SCC is recurrent iff no edge leaves it.
     let mut comp_of = vec![usize::MAX; n];
@@ -104,9 +98,7 @@ pub fn analyze(pfa: &Pfa) -> ChainAnalysis {
     let mut transient = Vec::new();
     let mut recurrent_classes = Vec::new();
     for (ci, comp) in sccs.iter().enumerate() {
-        let leaves = comp
-            .iter()
-            .any(|&s| adj[s].iter().any(|&t| comp_of[t] != ci));
+        let leaves = comp.iter().any(|&s| adj[s].iter().any(|&t| comp_of[t] != ci));
         if leaves {
             transient.extend(comp.iter().map(|&s| StateId(s)));
             continue;
@@ -303,11 +295,7 @@ pub fn mixing_distance(pfa: &Pfa, class: &RecurrentClass, k: u64) -> f64 {
     for v in &mut restricted {
         *v /= mass;
     }
-    0.5 * restricted
-        .iter()
-        .zip(class.stationary.iter())
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
+    0.5 * restricted.iter().zip(class.stationary.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()
 }
 
 /// Rosenthal's bound (the paper's Lemma A.2): after `k` steps of a chain
@@ -353,7 +341,6 @@ pub fn move_mass(pfa: &Pfa, class: &RecurrentClass) -> f64 {
     direction_probabilities(pfa, class).iter().sum()
 }
 
-
 /// `∞`-norm distance between two distributions — the paper's `‖π₁ − π₂‖`.
 pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
     matrix::linf_distance(a, b)
@@ -373,8 +360,8 @@ pub fn evolve(pfa: &Pfa, dist: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::library;
-    use ants_grid::Direction;
     use crate::pfa::PfaBuilder;
+    use ants_grid::Direction;
     use ants_rng::DyadicProb;
 
     /// A chain with one transient state feeding two absorbing states.

@@ -26,9 +26,8 @@ pub(crate) fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// Matrix power by repeated squaring.
 pub(crate) fn mat_pow(m: &[Vec<f64>], mut e: u64) -> Vec<Vec<f64>> {
     let n = m.len();
-    let mut result: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
-        .collect();
+    let mut result: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect()).collect();
     let mut base = m.to_vec();
     while e > 0 {
         if e & 1 == 1 {
@@ -86,10 +85,7 @@ pub(crate) fn stationary_distribution(p: &[Vec<f64>]) -> Vec<f64> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         let diag = a[col][col];
-        assert!(
-            diag.abs() > 1e-12,
-            "singular stationary system: matrix is not irreducible"
-        );
+        assert!(diag.abs() > 1e-12, "singular stationary system: matrix is not irreducible");
         for row in (col + 1)..n {
             let factor = a[row][col] / diag;
             if factor == 0.0 {
@@ -187,11 +183,7 @@ mod tests {
 
     #[test]
     fn stationary_of_three_cycle() {
-        let p = vec![
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-            vec![1.0, 0.0, 0.0],
-        ];
+        let p = vec![vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0], vec![1.0, 0.0, 0.0]];
         let pi = stationary_distribution(&p);
         for v in pi {
             assert!((v - 1.0 / 3.0).abs() < 1e-10);
@@ -200,11 +192,7 @@ mod tests {
 
     #[test]
     fn stationary_is_fixed_point() {
-        let p = vec![
-            vec![0.1, 0.6, 0.3],
-            vec![0.4, 0.2, 0.4],
-            vec![0.25, 0.25, 0.5],
-        ];
+        let p = vec![vec![0.1, 0.6, 0.3], vec![0.4, 0.2, 0.4], vec![0.25, 0.25, 0.5]];
         let pi = stationary_distribution(&p);
         let pi2 = vec_mat(&pi, &p);
         assert!(linf_distance(&pi, &pi2) < 1e-10);

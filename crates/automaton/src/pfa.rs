@@ -290,11 +290,8 @@ impl PfaBuilder {
         if start.0 >= n {
             return Err(PfaError::UnknownState(start));
         }
-        let mut states: Vec<State> = self
-            .labels
-            .into_iter()
-            .map(|label| State { label, transitions: Vec::new() })
-            .collect();
+        let mut states: Vec<State> =
+            self.labels.into_iter().map(|label| State { label, transitions: Vec::new() }).collect();
         for (from, to, p) in self.edges {
             if from.0 >= n {
                 return Err(PfaError::UnknownState(from));
@@ -379,10 +376,7 @@ mod tests {
         let s0 = b.add_state(GridAction::Origin);
         b.add_transition(s0, s0, DyadicProb::half());
         b.add_transition(s0, s0, DyadicProb::half());
-        assert_eq!(
-            b.build().unwrap_err(),
-            PfaError::DuplicateTransition(StateId(0), StateId(0))
-        );
+        assert_eq!(b.build().unwrap_err(), PfaError::DuplicateTransition(StateId(0), StateId(0)));
     }
 
     #[test]
@@ -408,9 +402,7 @@ mod tests {
         for (n, bits) in sizes_bits {
             let mut b = PfaBuilder::new();
             let ids: Vec<StateId> = (0..n)
-                .map(|i| {
-                    b.add_state(if i == 0 { GridAction::Origin } else { GridAction::None })
-                })
+                .map(|i| b.add_state(if i == 0 { GridAction::Origin } else { GridAction::None }))
                 .collect();
             for (i, &s) in ids.iter().enumerate() {
                 b.add_transition(s, ids[(i + 1) % n], DyadicProb::ONE);
@@ -455,9 +447,8 @@ mod tests {
         let pfa = two_state();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
         let n = 100_000;
-        let stays: u32 = (0..n)
-            .map(|_| u32::from(pfa.step(StateId(1), &mut rng) == StateId(1)))
-            .sum();
+        let stays: u32 =
+            (0..n).map(|_| u32::from(pfa.step(StateId(1), &mut rng) == StateId(1))).sum();
         let f = stays as f64 / n as f64;
         assert!((f - 0.5).abs() < 0.01, "self-loop frequency {f}");
     }
@@ -511,10 +502,7 @@ mod tests {
     fn states_with_label_filters() {
         let pfa = two_state();
         assert_eq!(pfa.states_with_label(GridAction::Origin), vec![StateId(0)]);
-        assert_eq!(
-            pfa.states_with_label(GridAction::Move(Direction::Up)),
-            vec![StateId(1)]
-        );
+        assert_eq!(pfa.states_with_label(GridAction::Move(Direction::Up)), vec![StateId(1)]);
         assert!(pfa.states_with_label(GridAction::None).is_empty());
     }
 

@@ -261,12 +261,7 @@ mod tests {
         w.run_visiting(3, &mut rng, |p| visited.push(p));
         assert_eq!(
             visited,
-            vec![
-                Point::ORIGIN,
-                Point::new(1, 0),
-                Point::new(2, 0),
-                Point::new(3, 0)
-            ]
+            vec![Point::ORIGIN, Point::new(1, 0), Point::new(2, 0), Point::new(3, 0)]
         );
     }
 

@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e10_randomwalk, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e10_randomwalk::META);
     let table = e10_randomwalk::run(effort);
     println!("{table}");

@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e11_b_vs_ell, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e11_b_vs_ell::META);
     let table = e11_b_vs_ell::run(effort);
     println!("{table}");

@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e12_comparator, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e12_comparator::META);
     let table = e12_comparator::run(effort);
     println!("{table}");

@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e13_drift, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e13_drift::META);
     let table = e13_drift::run(effort);
     println!("{table}");

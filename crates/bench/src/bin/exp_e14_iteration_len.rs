@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e14_iteration_len, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e14_iteration_len::META);
     let table = e14_iteration_len::run(effort);
     println!("{table}");

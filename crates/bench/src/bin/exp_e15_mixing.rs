@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e15_mixing, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e15_mixing::META);
     let table = e15_mixing::run(effort);
     println!("{table}");

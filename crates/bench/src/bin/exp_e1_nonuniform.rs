@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e1_nonuniform, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e1_nonuniform::META);
     let table = e1_nonuniform::run(effort);
     println!("{table}");

@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e2_iteration, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e2_iteration::META);
     let table = e2_iteration::run(effort);
     println!("{table}");

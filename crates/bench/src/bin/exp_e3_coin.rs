@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e3_coin, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e3_coin::META);
     let table = e3_coin::run(effort);
     println!("{table}");

@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e4_walk, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e4_walk::META);
     let table = e4_walk::run(effort);
     println!("{table}");

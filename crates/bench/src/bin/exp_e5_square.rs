@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e5_square, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e5_square::META);
     let table = e5_square::run(effort);
     println!("{table}");

@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e6_chi, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e6_chi::META);
     let table = e6_chi::run(effort);
     println!("{table}");

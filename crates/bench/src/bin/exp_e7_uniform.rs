@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e7_uniform, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e7_uniform::META);
     let table = e7_uniform::run(effort);
     println!("{table}");

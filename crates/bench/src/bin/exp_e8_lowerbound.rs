@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e8_lowerbound, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e8_lowerbound::META);
     let table = e8_lowerbound::run(effort);
     println!("{table}");

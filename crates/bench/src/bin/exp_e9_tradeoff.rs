@@ -3,11 +3,8 @@
 use ants_bench::experiments::{e9_tradeoff, Effort};
 
 fn main() {
-    let effort = if std::env::args().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
     println!("{}", e9_tradeoff::META);
     let table = e9_tradeoff::run(effort);
     println!("{table}");

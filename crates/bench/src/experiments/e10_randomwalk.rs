@@ -49,8 +49,7 @@ pub fn run(effort: Effort) -> Table {
     ]);
     let t1 = median_moves(d, 1, trials, 0xE10_001);
     for &n in n_values {
-        let tn =
-            if n == 1 { t1 } else { median_moves(d, n, trials, 0xE10_001 ^ (n as u64) << 8) };
+        let tn = if n == 1 { t1 } else { median_moves(d, n, trials, 0xE10_001 ^ (n as u64) << 8) };
         let sp = t1 / tn;
         table.row(vec![
             n.to_string(),

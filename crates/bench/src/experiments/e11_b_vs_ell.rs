@@ -28,14 +28,7 @@ pub fn run(effort: Effort) -> Table {
     let n = 4usize;
     let trials = effort.pick(8, 40);
     let log_d = 64 - (d - 1).leading_zeros();
-    let mut table = Table::new(vec![
-        "ell",
-        "k",
-        "b",
-        "chi",
-        "mean moves",
-        "ratio to envelope",
-    ]);
+    let mut table = Table::new(vec!["ell", "k", "b", "chi", "mean moves", "ratio to envelope"]);
     let mut ell = 1u32;
     while ell <= log_d {
         let scenario = Scenario::builder()

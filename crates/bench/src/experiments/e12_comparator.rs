@@ -53,11 +53,7 @@ pub fn run(effort: Effort) -> Table {
             .build();
         let o = run_trials(&s, trials, 0xE12_100 ^ d);
         let summary = o.summary();
-        row(
-            "harmonic (FKLS)",
-            summary.mean_moves(),
-            summary.chi_footprint().chi(),
-        );
+        row("harmonic (FKLS)", summary.mean_moves(), summary.chi_footprint().chi());
         // This paper, non-uniform.
         let s = Scenario::builder()
             .agents(n)

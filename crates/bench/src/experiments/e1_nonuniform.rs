@@ -17,7 +17,8 @@ use ants_sim::{run_trials, Scenario};
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
     id: "E1 (Theorem 3.5)",
-    claim: "Algorithm 1 with n agents finds a target within distance D in O(D^2/n + D) expected moves",
+    claim:
+        "Algorithm 1 with n agents finds a target within distance D in O(D^2/n + D) expected moves",
 };
 
 /// Run the sweep.
@@ -41,9 +42,7 @@ pub fn run(effort: Effort) -> Table {
                 .agents(n)
                 .target(TargetPlacement::UniformInBall { distance: d })
                 .move_budget(envelope(d, n) as u64 * 600 + 10_000)
-                .strategy(move |_| {
-                    Box::new(NonUniformSearch::new(d).expect("valid D"))
-                })
+                .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid D")))
                 .build();
             let summary = run_trials(&scenario, trials, seed(d, n)).summary();
             let env = envelope(d, n);

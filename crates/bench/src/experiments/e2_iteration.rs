@@ -46,14 +46,8 @@ pub fn iteration_hit_probability(d: u64, target: Point, iterations: u64, seed: u
 pub fn run(effort: Effort) -> Table {
     let d_values: &[u64] = effort.pick(&[8][..], &[8, 16, 32, 64][..]);
     let iterations = effort.pick(4_000, 60_000);
-    let mut table = Table::new(vec![
-        "D",
-        "target",
-        "iterations",
-        "P[hit]",
-        "lemma floor 1/(64D)",
-        "margin",
-    ]);
+    let mut table =
+        Table::new(vec!["D", "target", "iterations", "P[hit]", "lemma floor 1/(64D)", "margin"]);
     for &d in d_values {
         for target in [Point::new(d as i64, d as i64), Point::new(d as i64, 0)] {
             let p = iteration_hit_probability(d, target, iterations, 0xE2 ^ d);

@@ -14,7 +14,8 @@ use ants_sim::report::Table;
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
     id: "E3 (Lemma 3.6)",
-    claim: "coin(k, l) shows tails with probability exactly 1/2^{kl} using ceil(log k) bits of memory",
+    claim:
+        "coin(k, l) shows tails with probability exactly 1/2^{kl} using ceil(log k) bits of memory",
 };
 
 /// Run the grid.

@@ -62,10 +62,8 @@ pub fn run(effort: Effort) -> Table {
         }
         let mean = total as f64 / trials as f64;
         let tail_p = tail as f64 / trials as f64;
-        let min_mass = counts
-            .iter()
-            .map(|&c| c as f64 / trials as f64)
-            .fold(f64::INFINITY, f64::min);
+        let min_mass =
+            counts.iter().map(|&c| c as f64 / trials as f64).fold(f64::INFINITY, f64::min);
         table.row(vec![
             k.to_string(),
             ell.to_string(),

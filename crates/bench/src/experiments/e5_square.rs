@@ -5,8 +5,8 @@
 //! estimate each visit probability over many full searches.
 
 use super::{Effort, ExperimentMeta};
-use ants_core::components::SquareSearch;
 use ants_core::apply_action;
+use ants_core::components::SquareSearch;
 use ants_grid::Point;
 use ants_rng::derive_rng;
 use ants_sim::report::Table;
@@ -51,13 +51,7 @@ pub fn run(effort: Effort) -> Table {
         Point::new(0, -side),
         Point::new(side / 4, -side / 2),
     ];
-    let mut table = Table::new(vec![
-        "point",
-        "trials",
-        "P[visit]",
-        "floor 1/2^{kl+6}",
-        "margin",
-    ]);
+    let mut table = Table::new(vec!["point", "trials", "P[visit]", "floor 1/2^{kl+6}", "margin"]);
     for (ti, target) in targets.iter().enumerate() {
         let hits: u64 = (0..trials)
             .map(|s| u64::from(search_visits(k, ell, *target, 0xE5_0000 ^ s ^ ((ti as u64) << 32))))

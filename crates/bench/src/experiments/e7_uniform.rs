@@ -103,10 +103,7 @@ mod tests {
         for (ell, seed) in [(1u32, 2u64), (3, 3)] {
             let m = mean_moves(16, 1, ell, 25, seed);
             let bound = env * 500.0 * 2f64.powi(2 * ell as i32);
-            assert!(
-                m < bound,
-                "ell = {ell}: {m} moves exceed the 2^{{O(l)}} envelope {bound}"
-            );
+            assert!(m < bound, "ell = {ell}: {m} moves exceed the 2^{{O(l)}} envelope {bound}");
         }
     }
 

@@ -131,10 +131,7 @@ mod tests {
         };
         let c32 = cover(32);
         let c96 = cover(96);
-        assert!(
-            c96 < c32,
-            "coverage should fall with D: c(32) = {c32}, c(96) = {c96}"
-        );
+        assert!(c96 < c32, "coverage should fall with D: c(32) = {c32}, c(96) = {c96}");
     }
 
     #[test]

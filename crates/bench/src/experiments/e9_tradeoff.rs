@@ -86,8 +86,7 @@ fn mean_moves(factory: &StrategyFactory, d: u64, n: usize, trials: u64, seed: u6
         for t in 0..trials {
             let trial_seed = s ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let mut target_rng = ants_rng::derive_rng(trial_seed, u64::MAX);
-            let target =
-                TargetPlacement::UniformInBall { distance: d }.place(&mut target_rng);
+            let target = TargetPlacement::UniformInBall { distance: d }.place(&mut target_rng);
             let mut best: Option<u64> = None;
             for agent_idx in 0..agents {
                 let cap = best.map_or(budget, |b| b.saturating_sub(1));

@@ -1,5 +1,11 @@
 //! The experiment battery (see DESIGN.md, "Experiment index").
 
+pub mod e10_randomwalk;
+pub mod e11_b_vs_ell;
+pub mod e12_comparator;
+pub mod e13_drift;
+pub mod e14_iteration_len;
+pub mod e15_mixing;
 pub mod e1_nonuniform;
 pub mod e2_iteration;
 pub mod e3_coin;
@@ -9,12 +15,6 @@ pub mod e6_chi;
 pub mod e7_uniform;
 pub mod e8_lowerbound;
 pub mod e9_tradeoff;
-pub mod e10_randomwalk;
-pub mod e11_b_vs_ell;
-pub mod e12_comparator;
-pub mod e13_drift;
-pub mod e14_iteration_len;
-pub mod e15_mixing;
 
 /// How hard an experiment should try.
 ///

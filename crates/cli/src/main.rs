@@ -51,9 +51,8 @@ fn demo(d: u64) {
     use ants_sim::StrategyFactory;
 
     println!("Joint coverage of the radius-{d} ball after D^2 steps per agent (4 agents):\n");
-    let low: StrategyFactory = Box::new(|_| {
-        Box::new(AutomatonStrategy::new(library::drift_walk(3).expect("valid")))
-    });
+    let low: StrategyFactory =
+        Box::new(|_| Box::new(AutomatonStrategy::new(library::drift_walk(3).expect("valid"))));
     let report = coverage::measure(&low, 4, d * d, Rect::ball(d), 7);
     println!("low-chi drift walk (chi = {:.1}):", library::drift_walk(3).unwrap().chi());
     println!("{}", render::ascii(&report.grid, report.adversarial_target()));
@@ -83,8 +82,7 @@ fn main() {
                 eprintln!("usage: ants run <id> [--smoke] [--csv]");
                 std::process::exit(2);
             };
-            let Some((_, claim, runner)) =
-                registry().into_iter().find(|(rid, _, _)| rid == id)
+            let Some((_, claim, runner)) = registry().into_iter().find(|(rid, _, _)| rid == id)
             else {
                 eprintln!("unknown experiment {id}; try `ants list`");
                 std::process::exit(2);

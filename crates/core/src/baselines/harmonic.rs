@@ -38,13 +38,7 @@ enum HState {
     /// Walk toward `dest`; `rel` is the current offset from the origin.
     GoTo { dest: Point, rel: Point },
     /// Scan the plot: a boustrophedon sweep of `side × side` cells.
-    Scan {
-        rel: Point,
-        row: u64,
-        col: u64,
-        side: u64,
-        rightward: bool,
-    },
+    Scan { rel: Point, row: u64, col: u64, side: u64, rightward: bool },
     /// Return to the origin and advance the phase.
     Return,
 }
@@ -57,12 +51,7 @@ impl HarmonicSearch {
     /// Panics if `n_agents == 0`.
     pub fn new(n_agents: u64) -> Self {
         assert!(n_agents >= 1, "need at least one agent");
-        Self {
-            n_agents,
-            phase_i: 1,
-            state: HState::Sample,
-            max_phase: 1,
-        }
+        Self { n_agents, phase_i: 1, state: HState::Sample, max_phase: 1 }
     }
 
     /// Current phase.
@@ -99,19 +88,21 @@ impl SearchStrategy for HarmonicSearch {
             HState::GoTo { dest, rel } => {
                 // Manhattan walk: x first, then y.
                 let dir = if rel.x != dest.x {
-                    if dest.x > rel.x { Direction::Right } else { Direction::Left }
+                    if dest.x > rel.x {
+                        Direction::Right
+                    } else {
+                        Direction::Left
+                    }
                 } else if rel.y != dest.y {
-                    if dest.y > rel.y { Direction::Up } else { Direction::Down }
+                    if dest.y > rel.y {
+                        Direction::Up
+                    } else {
+                        Direction::Down
+                    }
                 } else {
                     // Arrived: start scanning.
                     let side = plot_side;
-                    self.state = HState::Scan {
-                        rel: *rel,
-                        row: 0,
-                        col: 0,
-                        side,
-                        rightward: true,
-                    };
+                    self.state = HState::Scan { rel: *rel, row: 0, col: 0, side, rightward: true };
                     return GridAction::None;
                 };
                 *rel = rel.step(dir);

@@ -170,10 +170,7 @@ mod tests {
             levy_sq += (p1.x * p1.x + p1.y * p1.y) as f64;
             rw_sq += (p2.x * p2.x + p2.y * p2.y) as f64;
         }
-        assert!(
-            levy_sq > 3.0 * rw_sq,
-            "Levy msd {levy_sq} should far exceed random walk {rw_sq}"
-        );
+        assert!(levy_sq > 3.0 * rw_sq, "Levy msd {levy_sq} should far exceed random walk {rw_sq}");
     }
 
     #[test]

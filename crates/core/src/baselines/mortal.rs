@@ -32,9 +32,7 @@ impl<S: SearchStrategy> Mortal<S> {
         assert!((1..=64).contains(&exp), "death exponent must be in 1..=64");
         Self {
             inner,
-            death_coin: BiasedCoin::new(
-                DyadicProb::one_over_pow2(exp).expect("exp validated"),
-            ),
+            death_coin: BiasedCoin::new(DyadicProb::one_over_pow2(exp).expect("exp validated")),
             alive: true,
         }
     }

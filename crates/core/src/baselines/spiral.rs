@@ -29,12 +29,7 @@ pub struct SpiralSearch {
 impl SpiralSearch {
     /// Create a spiral searcher starting rightward from the origin.
     pub fn new() -> Self {
-        Self {
-            dir: Direction::Right,
-            remaining: 1,
-            leg_len: 1,
-            second_leg: false,
-        }
+        Self { dir: Direction::Right, remaining: 1, leg_len: 1, second_leg: false }
     }
 
     fn turn_left(dir: Direction) -> Direction {
@@ -98,15 +93,15 @@ mod tests {
         let mut rng = derive_rng(0, 0);
         let mut pos = Point::ORIGIN;
         let expect = [
-            Point::new(1, 0),  // R
-            Point::new(1, 1),  // U
-            Point::new(0, 1),  // L
-            Point::new(-1, 1), // L
-            Point::new(-1, 0), // D
-            Point::new(-1, -1),// D
-            Point::new(0, -1), // R
-            Point::new(1, -1), // R
-            Point::new(2, -1), // R
+            Point::new(1, 0),   // R
+            Point::new(1, 1),   // U
+            Point::new(0, 1),   // L
+            Point::new(-1, 1),  // L
+            Point::new(-1, 0),  // D
+            Point::new(-1, -1), // D
+            Point::new(0, -1),  // R
+            Point::new(1, -1),  // R
+            Point::new(2, -1),  // R
         ];
         for e in expect {
             pos = apply_action(pos, s.step(&mut rng));
@@ -129,11 +124,7 @@ mod tests {
             pos = apply_action(pos, s.step(&mut rng));
             unvisited.remove(&pos);
         }
-        assert!(
-            unvisited.is_empty(),
-            "{} cells unvisited after {budget} moves",
-            unvisited.len()
-        );
+        assert!(unvisited.is_empty(), "{} cells unvisited after {budget} moves", unvisited.len());
     }
 
     #[test]

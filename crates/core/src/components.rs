@@ -87,13 +87,7 @@ impl GeometricWalk {
     pub fn new(k: u32, ell: u32, dir: Direction) -> Result<Self, DyadicError> {
         assert!(k > 0, "walk requires k >= 1");
         assert!(ell > 0, "walk requires ell >= 1");
-        Ok(Self {
-            base: BiasedCoin::base(ell)?,
-            k,
-            tails_run: 0,
-            dir,
-            finished: false,
-        })
+        Ok(Self { base: BiasedCoin::base(ell)?, k, tails_run: 0, dir, finished: false })
     }
 
     /// The flip-counter memory of this component (Lemma 3.8): `⌈log₂ k⌉`.

@@ -107,12 +107,7 @@ impl CoinNonUniformSearch {
         assert!(ell >= 1, "ell must be at least 1");
         let log_d = crate::ceil_log2(d).max(1);
         let k = log_d.div_ceil(ell).max(1);
-        Ok(Self {
-            k,
-            ell,
-            search: SquareSearch::new(k, ell)?,
-            phase: Phase::Searching,
-        })
+        Ok(Self { k, ell, search: SquareSearch::new(k, ell)?, phase: Phase::Searching })
     }
 
     /// The number of base-coin flips per composite coin, `k = ⌈log₂ D/ℓ⌉`.

@@ -62,22 +62,13 @@ impl SelectionComplexity {
     /// Pointwise maximum (used when a strategy changes phase and its
     /// footprint grows: the metric of the whole run is the max over time).
     pub fn max(self, other: Self) -> Self {
-        Self {
-            memory_bits: self.memory_bits.max(other.memory_bits),
-            ell: self.ell.max(other.ell),
-        }
+        Self { memory_bits: self.memory_bits.max(other.memory_bits), ell: self.ell.max(other.ell) }
     }
 }
 
 impl fmt::Display for SelectionComplexity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "chi = {} (b = {}, ell = {})",
-            self.chi(),
-            self.memory_bits,
-            self.ell
-        )
+        write!(f, "chi = {} (b = {}, ell = {})", self.chi(), self.memory_bits, self.ell)
     }
 }
 

@@ -47,14 +47,7 @@ impl FullyUniformSearch {
     /// Panics if `ell == 0` or `big_k == 0`.
     pub fn new(ell: u32, big_k: u32) -> Result<Self, DyadicError> {
         let inner = UniformSearch::new(ell, Self::guess(1), big_k)?;
-        Ok(Self {
-            ell,
-            big_k,
-            epoch: 1,
-            phases_left: Self::phase_budget(1),
-            inner,
-            max_epoch: 1,
-        })
+        Ok(Self { ell, big_k, epoch: 1, phases_left: Self::phase_budget(1), inner, max_epoch: 1 })
     }
 
     /// The epoch-`j` colony-size guess `n̂ = 2^{2^j}` (capped to stay in

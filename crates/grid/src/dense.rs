@@ -40,13 +40,7 @@ impl DenseGrid {
     pub fn new(bounds: Rect) -> Self {
         let area = bounds.area();
         assert!(area <= u32::MAX as u64, "dense grid of {area} cells is too large");
-        Self {
-            bounds,
-            counts: vec![0; area as usize],
-            distinct: 0,
-            total: 0,
-            outside: 0,
-        }
+        Self { bounds, counts: vec![0; area as usize], distinct: 0, total: 0, outside: 0 }
     }
 
     fn index(&self, p: &Point) -> Option<usize> {

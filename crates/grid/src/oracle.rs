@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn axis_paths_are_straight() {
         let path = return_path(Point::new(4, 0));
-        assert_eq!(
-            path,
-            vec![Point::new(3, 0), Point::new(2, 0), Point::new(1, 0), Point::ORIGIN]
-        );
+        assert_eq!(path, vec![Point::new(3, 0), Point::new(2, 0), Point::new(1, 0), Point::ORIGIN]);
         let path = return_path(Point::new(0, -3));
         assert_eq!(path, vec![Point::new(0, -2), Point::new(0, -1), Point::ORIGIN]);
     }

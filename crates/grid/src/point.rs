@@ -121,12 +121,8 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions, in declaration order.
-    pub const ALL: [Direction; 4] = [
-        Direction::Up,
-        Direction::Down,
-        Direction::Left,
-        Direction::Right,
-    ];
+    pub const ALL: [Direction; 4] =
+        [Direction::Up, Direction::Down, Direction::Left, Direction::Right];
 
     /// The coordinate delta `(dx, dy)` of one step.
     pub fn delta(&self) -> (i64, i64) {
@@ -236,8 +232,7 @@ impl Rect {
     /// Iterate over all lattice points, row-major from the bottom-left.
     pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
         let (x_min, x_max) = self.x_range();
-        (self.y_min..=self.y_max)
-            .flat_map(move |y| (x_min..=x_max).map(move |x| Point::new(x, y)))
+        (self.y_min..=self.y_max).flat_map(move |y| (x_min..=x_max).map(move |x| Point::new(x, y)))
     }
 
     /// Clamp a point into the rectangle.
@@ -248,11 +243,7 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}, {}] x [{}, {}]",
-            self.x_min, self.x_max, self.y_min, self.y_max
-        )
+        write!(f, "[{}, {}] x [{}, {}]", self.x_min, self.x_max, self.y_min, self.y_max)
     }
 }
 

@@ -65,12 +65,13 @@ impl TargetPlacement {
                 let d = distance as i64;
                 // The max-norm circle has 8d points; index them.
                 let idx = rng.next_below(8 * distance) as i64;
-                let side = idx / (2 * d); // 0: top, 1: bottom, 2: left, 3: right
-                let off = idx % (2 * d) - d; // in [-d, d)
-                // Each side takes 2d points; corners are assigned uniquely
-                // (top owns (d,d), left owns (-d,d), bottom owns (-d,-d),
-                // right owns (d,-d)), so all 8d circle points are equally
-                // likely.
+                // 0: top, 1: bottom, 2: left, 3: right.
+                let side = idx / (2 * d);
+                // Offset in [-d, d). Each side takes 2d points; corners are
+                // assigned uniquely (top owns (d,d), left owns (-d,d),
+                // bottom owns (-d,-d), right owns (d,-d)), so all 8d circle
+                // points are equally likely.
+                let off = idx % (2 * d) - d;
                 match side {
                     0 => Point::new(off + 1, d),
                     1 => Point::new(off, -d),

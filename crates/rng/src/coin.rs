@@ -55,7 +55,11 @@ pub trait Coin {
     fn required_ell(&self) -> u32;
 
     /// Flip and record the exercised probability in a ledger.
-    fn flip_recorded<R: Rng64 + ?Sized>(&self, rng: &mut R, ledger: &mut ProbabilityLedger) -> Flip {
+    fn flip_recorded<R: Rng64 + ?Sized>(
+        &self,
+        rng: &mut R,
+        ledger: &mut ProbabilityLedger,
+    ) -> Flip {
         ledger.count_flip();
         let p = self.tails_probability();
         if !p.is_zero() && !p.is_one() {
@@ -185,9 +189,7 @@ mod tests {
         // p = 1/2^40: expect ~0 tails in 10^5 flips but no panic.
         let coin = BiasedCoin::base(40).unwrap();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
-        let tails: u32 = (0..100_000)
-            .map(|_| u32::from(coin.flip(&mut rng).is_tails()))
-            .sum();
+        let tails: u32 = (0..100_000).map(|_| u32::from(coin.flip(&mut rng).is_tails())).sum();
         assert!(tails <= 2);
     }
 

@@ -336,11 +336,7 @@ mod tests {
         ];
         for p in &probs {
             for q in &probs {
-                assert_eq!(
-                    p.cmp(q),
-                    p.to_f64().partial_cmp(&q.to_f64()).unwrap(),
-                    "{p} vs {q}"
-                );
+                assert_eq!(p.cmp(q), p.to_f64().partial_cmp(&q.to_f64()).unwrap(), "{p} vs {q}");
             }
         }
     }

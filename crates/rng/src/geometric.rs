@@ -118,8 +118,7 @@ mod tests {
         let mut r2 = Xoshiro256PlusPlus::seed_from_u64(4);
         let n = 50_000;
         // Compare tail probabilities P[X >= 8] = (7/8)^8 ≈ 0.3436.
-        let tail_exact =
-            (0..n).filter(|_| g.sample_exact(&mut r1) >= 8).count() as f64 / n as f64;
+        let tail_exact = (0..n).filter(|_| g.sample_exact(&mut r1) >= 8).count() as f64 / n as f64;
         let tail_fast = (0..n).filter(|_| g.sample_fast(&mut r2) >= 8).count() as f64 / n as f64;
         let expect = (7.0f64 / 8.0).powi(8);
         assert!((tail_exact - expect).abs() < 0.02, "exact tail {tail_exact}");
@@ -159,10 +158,7 @@ mod tests {
         let floor = 1.0 / 64.0; // 1/2^{kl+2}
         for (i, &c) in counts.iter().enumerate() {
             let f = c as f64 / n as f64;
-            assert!(
-                f > floor * 0.8,
-                "P[X = {i}] = {f} below Lemma 3.8 floor {floor}"
-            );
+            assert!(f > floor * 0.8, "P[X = {i}] = {f} below Lemma 3.8 floor {floor}");
         }
     }
 }

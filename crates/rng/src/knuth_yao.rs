@@ -272,8 +272,7 @@ mod tests {
         let expect = 1.0 / 1024.0;
         assert!((f - expect).abs() < 3e-4, "{f} vs {expect}");
         // Expected flips ~ 2, far below depth: the DDG is lazy.
-        let total: u64 =
-            (0..10_000).map(|_| u64::from(ky.sample_counted(&mut rng).1)).sum();
+        let total: u64 = (0..10_000).map(|_| u64::from(ky.sample_counted(&mut rng).1)).sum();
         assert!(total as f64 / 10_000.0 < 3.0);
     }
 

@@ -124,10 +124,7 @@ mod tests {
         assert_eq!(ledger.max_ell(), Some(9));
         ledger.record(DyadicProb::one_over_pow2(4).unwrap());
         assert_eq!(ledger.max_ell(), Some(9), "coarser probability must not lower ell");
-        assert_eq!(
-            ledger.min_probability(),
-            Some(DyadicProb::one_over_pow2(9).unwrap())
-        );
+        assert_eq!(ledger.min_probability(), Some(DyadicProb::one_over_pow2(9).unwrap()));
     }
 
     #[test]

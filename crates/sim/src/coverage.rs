@@ -70,9 +70,9 @@ pub fn measure(
 mod tests {
     use super::*;
     use crate::scenario::StrategyFactory;
+    use ants_automaton::library;
     use ants_core::baselines::{AutomatonStrategy, RandomWalk, SpiralSearch};
     use ants_core::NonUniformSearch;
-    use ants_automaton::library;
 
     fn factory_of<F>(f: F) -> StrategyFactory
     where
@@ -121,10 +121,7 @@ mod tests {
         let rw = factory_of(|_| Box::new(RandomWalk::new()));
         let c_alg1 = measure(&alg1, 1, steps, Rect::ball(d), 4).coverage();
         let c_rw = measure(&rw, 1, steps, Rect::ball(d), 4).coverage();
-        assert!(
-            c_alg1 > c_rw,
-            "Algorithm 1 coverage {c_alg1} should exceed random walk {c_rw}"
-        );
+        assert!(c_alg1 > c_rw, "Algorithm 1 coverage {c_alg1} should exceed random walk {c_rw}");
     }
 
     #[test]

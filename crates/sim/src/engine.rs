@@ -63,35 +63,56 @@ pub fn run_trial(scenario: &Scenario, trial_seed: u64) -> TrialResult {
     }
 }
 
-/// Run `n_trials` independent trials, parallelised across the machine's
-/// cores with deterministic per-trial seeds derived from `base_seed`.
-pub fn run_trials(scenario: &Scenario, n_trials: u64, base_seed: u64) -> Outcome {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(64);
-    // Pre-derive per-trial seeds so the result is independent of the
-    // thread count.
+/// Derive the per-trial seed sequence for `run_trials`.
+///
+/// Pre-deriving all seeds from a [`SplitMix64`] stream is the determinism
+/// contract: the result of `run_trials` is a pure function of
+/// `(scenario, n_trials, base_seed)`, independent of thread count, build
+/// features, or scheduling.
+fn trial_seeds(n_trials: u64, base_seed: u64) -> Vec<u64> {
     let mut seed_mixer = SplitMix64::new(base_seed);
-    let seeds: Vec<u64> = (0..n_trials).map(|_| seed_mixer.next_u64()).collect();
-    if threads <= 1 || n_trials < 4 {
-        let trials = seeds.iter().map(|&s| run_trial(scenario, s)).collect();
-        return Outcome::new(trials);
-    }
-    let chunks: Vec<&[u64]> = seeds.chunks(n_trials.div_ceil(threads as u64) as usize).collect();
-    let mut results: Vec<Vec<TrialResult>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk.iter().map(|&s| run_trial(scenario, s)).collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("trial worker panicked"));
+    (0..n_trials).map(|_| seed_mixer.next_u64()).collect()
+}
+
+/// Run every trial on the calling thread, in seed order.
+///
+/// This is the reference implementation `run_trials` must agree with
+/// byte-for-byte; the golden determinism test compares the two.
+pub fn run_trials_serial(scenario: &Scenario, n_trials: u64, base_seed: u64) -> Outcome {
+    let trials = trial_seeds(n_trials, base_seed).iter().map(|&s| run_trial(scenario, s)).collect();
+    Outcome::new(trials)
+}
+
+/// Run `n_trials` independent trials with deterministic per-trial seeds
+/// derived from `base_seed`.
+///
+/// With the default-on `parallel` feature the trials are spread across the
+/// machine's cores (`std::thread::scope`; chunked, results re-assembled in
+/// seed order), so the outcome is byte-identical to
+/// [`run_trials_serial`] — parallelism changes wall-clock time only.
+pub fn run_trials(scenario: &Scenario, n_trials: u64, base_seed: u64) -> Outcome {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(64);
+        if threads > 1 && n_trials >= 4 {
+            let seeds = trial_seeds(n_trials, base_seed);
+            let chunk_len = n_trials.div_ceil(threads as u64) as usize;
+            let chunks: Vec<&[u64]> = seeds.chunks(chunk_len).collect();
+            let results: Vec<Vec<TrialResult>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk.iter().map(|&s| run_trial(scenario, s)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("trial worker panicked")).collect()
+            });
+            return Outcome::new(results.into_iter().flatten().collect());
         }
-    })
-    .expect("crossbeam scope failed");
-    Outcome::new(results.into_iter().flatten().collect())
+    }
+    run_trials_serial(scenario, n_trials, base_seed)
 }
 
 #[cfg(test)]

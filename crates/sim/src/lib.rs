@@ -51,7 +51,7 @@ pub mod report;
 mod rounds;
 mod scenario;
 
-pub use engine::{run_trial, run_trials};
+pub use engine::{run_trial, run_trials, run_trials_serial};
 pub use metrics::{Outcome, Summary, TrialResult};
 pub use rounds::RoundExecutor;
 pub use scenario::{Scenario, ScenarioBuilder, StrategyFactory};

@@ -24,10 +24,7 @@ pub struct Table {
 impl Table {
     /// Create a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Self {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Append a row.
@@ -67,9 +64,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -132,8 +127,8 @@ mod tests {
         t.row(vec!["1".into(), "22222".into()]);
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4); // header, rule, two rows
-        // All lines equal width.
+        // Header, rule, two rows — all of equal width.
+        assert_eq!(lines.len(), 4);
         let w = lines[0].len();
         assert!(lines.iter().all(|l| l.len() == w), "{s}");
     }

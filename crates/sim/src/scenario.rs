@@ -150,7 +150,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "target is required")]
     fn missing_target_panics() {
-        let _ = Scenario::builder().move_budget(10).strategy(|_| Box::new(RandomWalk::new())).build();
+        let _ =
+            Scenario::builder().move_budget(10).strategy(|_| Box::new(RandomWalk::new())).build();
     }
 
     #[test]

@@ -16,9 +16,12 @@ use ants::sim::report::{fnum, Table};
 use ants::sim::{run_trials, Scenario};
 
 fn main() {
-    let colony_sizes = [4usize, 16, 64];
-    let food_distances = [8u64, 16, 32, 64];
-    let trials = 15;
+    // ANTS_SMOKE=1 shrinks the workload so CI can exercise this entry
+    // point end-to-end in seconds; the default is the full demo.
+    let smoke = std::env::var_os("ANTS_SMOKE").is_some();
+    let colony_sizes: &[usize] = if smoke { &[4, 16] } else { &[4, 16, 64] };
+    let food_distances: &[u64] = if smoke { &[3, 5] } else { &[8, 16, 32, 64] };
+    let trials = if smoke { 3 } else { 15 };
 
     println!("foraging: expected moves to the first food find\n");
     let mut table = Table::new(vec![
@@ -29,8 +32,8 @@ fn main() {
         "envelope D^2/n + D",
         "found %",
     ]);
-    for &n in &colony_sizes {
-        for &d in &food_distances {
+    for &n in colony_sizes {
+        for &d in food_distances {
             let scenario = Scenario::builder()
                 .agents(n)
                 .target(TargetPlacement::Ring { distance: d })

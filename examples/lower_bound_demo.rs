@@ -43,9 +43,7 @@ fn main() {
     show(
         "biased drift walk",
         library::drift_walk(3).expect("valid").chi(),
-        Box::new(|_| {
-            Box::new(AutomatonStrategy::new(library::drift_walk(3).expect("valid")))
-        }),
+        Box::new(|_| Box::new(AutomatonStrategy::new(library::drift_walk(3).expect("valid")))),
         d,
         steps,
         2,

@@ -22,10 +22,7 @@ fn dissect(name: &str, pfa: &ants::automaton::Pfa) {
         pfa.chi()
     );
     let analysis = markov::analyze(pfa);
-    println!(
-        "transient states: {:?}",
-        analysis.transient.iter().map(|s| s.0).collect::<Vec<_>>()
-    );
+    println!("transient states: {:?}", analysis.transient.iter().map(|s| s.0).collect::<Vec<_>>());
     for (i, class) in analysis.recurrent_classes.iter().enumerate() {
         println!(
             "recurrent class {i}: states {:?}, period {}, origin? {}, moves? {}",

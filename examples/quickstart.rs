@@ -13,8 +13,11 @@ use ants::grid::TargetPlacement;
 use ants::sim::{run_trials, Scenario};
 
 fn main() {
-    let n_agents = 16;
-    let distance = 32;
+    // ANTS_SMOKE=1 shrinks the workload so CI can exercise this entry
+    // point end-to-end in seconds; the default is the full demo.
+    let smoke = std::env::var_os("ANTS_SMOKE").is_some();
+    let n_agents = if smoke { 4 } else { 16 };
+    let distance = if smoke { 8 } else { 32 };
 
     // The paper's Algorithm 5: uniform in D (knows n, not D), with
     // probability resolution l = 1 (fair-ish coins only).
@@ -27,8 +30,9 @@ fn main() {
         })
         .build();
 
+    let trials = if smoke { 5 } else { 20 };
     println!("searching for a target within distance {distance} with {n_agents} agents…\n");
-    let outcome = run_trials(&scenario, 20, 0xC0FFEE);
+    let outcome = run_trials(&scenario, trials, 0xC0FFEE);
     let summary = outcome.summary();
 
     println!("trials:        {}", summary.trials());
@@ -36,10 +40,7 @@ fn main() {
     println!("mean  M_moves: {:.0}", summary.mean_moves());
     println!("median M_moves: {:.0}", summary.median_moves());
     println!("95% CI (mean): +/- {:.0}", summary.moves_ci95());
-    println!(
-        "selection complexity footprint: {}",
-        summary.chi_footprint()
-    );
+    println!("selection complexity footprint: {}", summary.chi_footprint());
 
     // For contrast: what does one agent alone need?
     let solo = Scenario::builder()
@@ -48,7 +49,7 @@ fn main() {
         .move_budget(50_000_000)
         .strategy(|_| Box::new(UniformSearch::new(1, 1, 2).expect("valid parameters")))
         .build();
-    let solo_summary = run_trials(&solo, 20, 0xC0FFEE).summary();
+    let solo_summary = run_trials(&solo, trials, 0xC0FFEE).summary();
     if let Some(speedup) = summary.speedup_vs(&solo_summary) {
         println!(
             "\nspeed-up over a single agent: {speedup:.1}x (optimal would be min{{n, D}} = {})",

@@ -17,15 +17,8 @@ use ants::sim::report::{fnum, Table};
 
 fn main() {
     println!("selection complexity chi = b + log2(ell) across target distances\n");
-    let mut table = Table::new(vec![
-        "strategy",
-        "D",
-        "b (bits)",
-        "ell",
-        "chi",
-        "threshold loglogD",
-        "regime",
-    ]);
+    let mut table =
+        Table::new(vec!["strategy", "D", "b (bits)", "ell", "chi", "threshold loglogD", "regime"]);
     for d_exp in [8u32, 16, 32] {
         let d = 1u64 << d_exp;
         let threshold = SelectionComplexity::threshold(d);

@@ -44,10 +44,7 @@ fn algorithm1_procedural_matches_compiled_pfa() {
     let pfa_mean = w.moves() as f64 / iters as f64;
 
     let rel = (procedural_mean - pfa_mean).abs() / pfa_mean;
-    assert!(
-        rel < 0.05,
-        "iteration lengths disagree: procedural {procedural_mean}, pfa {pfa_mean}"
-    );
+    assert!(rel < 0.05, "iteration lengths disagree: procedural {procedural_mean}, pfa {pfa_mean}");
 }
 
 /// Full upper-bound pipeline: the facade's types compose, the engine finds
@@ -186,10 +183,7 @@ fn uniform_algorithm_graceful_degradation() {
     };
     let near = time_at(4, 1);
     let far = time_at(32, 2);
-    assert!(
-        near < far,
-        "nearer food should be found sooner: near {near} vs far {far}"
-    );
+    assert!(near < far, "nearer food should be found sooner: near {near} vs far {far}");
 }
 
 /// Facade sanity: all re-exports resolve and basic types interoperate.

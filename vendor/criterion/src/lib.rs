@@ -1,0 +1,169 @@
+//! Minimal, dependency-free, API-compatible subset of the `criterion` crate.
+//!
+//! The workspace builds fully offline, so real criterion cannot be fetched.
+//! This shim supports the surface `crates/bench/benches/microbench.rs` uses:
+//! `Criterion::bench_function`, `benchmark_group` (with `sample_size` and
+//! `finish`), `black_box`, `criterion_group!`, `criterion_main!`.
+//!
+//! Timing model: each benchmark is warmed up briefly, then run in batches
+//! until `measurement_time` elapses; the reported figure is the median
+//! per-iteration time across batches. Environment knobs:
+//!
+//! * `CRITERION_MEASURE_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 300; set e.g. 50 for a quick smoke pass);
+//! * `CRITERION_JSON` — if set to a path, append one JSON line per
+//!   benchmark (`{"name": ..., "median_ns": ..., "batches": ...}`) so a
+//!   baseline file can be produced without parsing human output.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(name.to_owned(), f);
+        self
+    }
+
+    /// Start a named group; benchmark names get a `group/` prefix.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, prefix: name.to_owned() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's stopping rule is
+    /// time-based, so the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(format!("{}/{}", self.prefix, name), f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measured per-batch durations and iteration counts.
+    batches: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure the routine. Runs it repeatedly until the measurement budget
+    /// is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration: find an iteration count taking ~1ms.
+        let mut per_batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || per_batch >= 1 << 30 {
+                break;
+            }
+            per_batch *= 8;
+        }
+        let deadline = Instant::now() + measure_budget();
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.batches.push((t.elapsed(), per_batch));
+        }
+    }
+}
+
+fn run_named<F>(name: String, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { batches: Vec::new() };
+    f(&mut b);
+    let mut per_iter: Vec<f64> =
+        b.batches.iter().map(|(d, n)| d.as_secs_f64() * 1e9 / *n as f64).collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    let median = if per_iter.is_empty() { f64::NAN } else { per_iter[per_iter.len() / 2] };
+    println!("{name:<40} {median:>14.1} ns/iter ({} batches)", per_iter.len());
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"name\": \"{}\", \"median_ns\": {:.1}, \"batches\": {}}}",
+            name.replace('"', "'"),
+            median,
+            per_iter.len()
+        );
+        append_line(&path, &line);
+    }
+}
+
+fn append_line(path: &str, line: &str) {
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,101 @@
+//! Minimal, dependency-free, API-compatible subset of the `proptest` crate.
+//!
+//! This workspace builds fully offline, so the real `proptest` cannot be
+//! fetched from crates.io. This shim implements exactly the surface the
+//! workspace's test-suites use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) expanding to ordinary `#[test]` functions that draw each
+//!   argument from its strategy for a configurable number of cases;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map` and `prop_filter`;
+//! * strategies for integer ranges, tuples, `any::<T>()`, `Just`, and
+//!   [`collection::vec`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` (mapped to the
+//!   std assertions — failures panic immediately; there is no shrinking).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the panic message only. All
+//!   draws are deterministic (seeded from the test's module path and name),
+//!   so a failure is reproducible by re-running the test.
+//! * **Deterministic runs.** The same binary always tests the same cases.
+//!   Set `PROPTEST_CASES` to raise or lower the case count globally.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the test-suites import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property-based tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///
+///     /// Doc comments and attributes pass through.
+///     #[test]
+///     fn my_property(x in 0u64..100, (a, b) in my_strategy()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

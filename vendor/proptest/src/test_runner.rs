@@ -1,0 +1,91 @@
+//! Deterministic case generation for the [`proptest!`](crate::proptest) macro.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this shim trades coverage per run
+        // for a fast deterministic tier-1 suite. Raise via PROPTEST_CASES.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Apply the `PROPTEST_CASES` environment override, if present.
+///
+/// Panics on an unparseable or zero value: a typo'd override silently
+/// falling back (or running zero cases) would turn every property into a
+/// vacuous pass.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("PROPTEST_CASES must be a positive integer, got {v:?}"),
+        },
+        Err(_) => configured,
+    }
+}
+
+/// The RNG strategies draw from: SplitMix64, seeded from the test's name
+/// and the case index so every (test, case) pair is an independent,
+/// reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed from a test identifier and a case index.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` for `bound >= 1` (rejection sampling,
+    /// no modulo bias).
+    pub fn next_below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound >= 1);
+        if bound == 1 {
+            return 0;
+        }
+        let wide =
+            |rng: &mut TestRng| (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        let zone = u128::MAX - (u128::MAX % bound);
+        loop {
+            let x = wide(self);
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+}
