@@ -1,14 +1,10 @@
-//! Regenerates experiment e10_randomwalk at publication scale (see DESIGN.md).
+//! Regenerates experiment e10_randomwalk at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e10_randomwalk, Effort};
+use ants_bench::experiments::e10_randomwalk::E10RandomWalk;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e10_randomwalk::META);
-    let table = e10_randomwalk::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E10RandomWalk);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e11_b_vs_ell at publication scale (see DESIGN.md).
+//! Regenerates experiment e11_b_vs_ell at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e11_b_vs_ell, Effort};
+use ants_bench::experiments::e11_b_vs_ell::E11BVsEll;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e11_b_vs_ell::META);
-    let table = e11_b_vs_ell::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E11BVsEll);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e12_comparator at publication scale (see DESIGN.md).
+//! Regenerates experiment e12_comparator at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e12_comparator, Effort};
+use ants_bench::experiments::e12_comparator::E12Comparator;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e12_comparator::META);
-    let table = e12_comparator::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E12Comparator);
 }

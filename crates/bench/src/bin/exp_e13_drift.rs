@@ -1,14 +1,10 @@
-//! Regenerates experiment e13_drift at publication scale (see DESIGN.md).
+//! Regenerates experiment e13_drift at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e13_drift, Effort};
+use ants_bench::experiments::e13_drift::E13Drift;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e13_drift::META);
-    let table = e13_drift::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E13Drift);
 }

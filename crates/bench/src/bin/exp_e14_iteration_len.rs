@@ -1,14 +1,10 @@
-//! Regenerates experiment e14_iteration_len at publication scale (see DESIGN.md).
+//! Regenerates experiment e14_iteration_len at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e14_iteration_len, Effort};
+use ants_bench::experiments::e14_iteration_len::E14IterationLen;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e14_iteration_len::META);
-    let table = e14_iteration_len::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E14IterationLen);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e15_mixing at publication scale (see DESIGN.md).
+//! Regenerates experiment e15_mixing at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e15_mixing, Effort};
+use ants_bench::experiments::e15_mixing::E15Mixing;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e15_mixing::META);
-    let table = e15_mixing::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E15Mixing);
 }

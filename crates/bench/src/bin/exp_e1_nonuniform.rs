@@ -1,14 +1,10 @@
-//! Regenerates experiment e1_nonuniform at publication scale (see DESIGN.md).
+//! Regenerates experiment e1_nonuniform at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e1_nonuniform, Effort};
+use ants_bench::experiments::e1_nonuniform::E1Nonuniform;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e1_nonuniform::META);
-    let table = e1_nonuniform::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E1Nonuniform);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e2_iteration at publication scale (see DESIGN.md).
+//! Regenerates experiment e2_iteration at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e2_iteration, Effort};
+use ants_bench::experiments::e2_iteration::E2Iteration;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e2_iteration::META);
-    let table = e2_iteration::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E2Iteration);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e3_coin at publication scale (see DESIGN.md).
+//! Regenerates experiment e3_coin at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e3_coin, Effort};
+use ants_bench::experiments::e3_coin::E3Coin;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e3_coin::META);
-    let table = e3_coin::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E3Coin);
 }

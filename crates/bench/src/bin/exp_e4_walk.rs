@@ -1,14 +1,10 @@
-//! Regenerates experiment e4_walk at publication scale (see DESIGN.md).
+//! Regenerates experiment e4_walk at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e4_walk, Effort};
+use ants_bench::experiments::e4_walk::E4Walk;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e4_walk::META);
-    let table = e4_walk::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E4Walk);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e5_square at publication scale (see DESIGN.md).
+//! Regenerates experiment e5_square at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e5_square, Effort};
+use ants_bench::experiments::e5_square::E5Square;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e5_square::META);
-    let table = e5_square::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E5Square);
 }

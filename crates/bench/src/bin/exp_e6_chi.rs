@@ -1,14 +1,10 @@
-//! Regenerates experiment e6_chi at publication scale (see DESIGN.md).
+//! Regenerates experiment e6_chi at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e6_chi, Effort};
+use ants_bench::experiments::e6_chi::E6Chi;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e6_chi::META);
-    let table = e6_chi::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E6Chi);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e7_uniform at publication scale (see DESIGN.md).
+//! Regenerates experiment e7_uniform at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e7_uniform, Effort};
+use ants_bench::experiments::e7_uniform::E7Uniform;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e7_uniform::META);
-    let table = e7_uniform::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E7Uniform);
 }

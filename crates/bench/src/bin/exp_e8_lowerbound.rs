@@ -1,14 +1,10 @@
-//! Regenerates experiment e8_lowerbound at publication scale (see DESIGN.md).
+//! Regenerates experiment e8_lowerbound at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e8_lowerbound, Effort};
+use ants_bench::experiments::e8_lowerbound::E8LowerBound;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e8_lowerbound::META);
-    let table = e8_lowerbound::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E8LowerBound);
 }

@@ -1,14 +1,10 @@
-//! Regenerates experiment e9_tradeoff at publication scale (see DESIGN.md).
+//! Regenerates experiment e9_tradeoff at publication scale — a thin wrapper
+//! over the shared runner (`--smoke`, `--seed`, `--threads`, `--csv`,
+//! `--json`).
 
-use ants_bench::experiments::{e9_tradeoff, Effort};
+use ants_bench::experiments::e9_tradeoff::E9Tradeoff;
+use ants_bench::runner::bin_main;
 
 fn main() {
-    let effort =
-        if std::env::args().any(|a| a == "--smoke") { Effort::Smoke } else { Effort::Standard };
-    println!("{}", e9_tradeoff::META);
-    let table = e9_tradeoff::run(effort);
-    println!("{table}");
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", table.to_csv());
-    }
+    bin_main(&E9Tradeoff);
 }

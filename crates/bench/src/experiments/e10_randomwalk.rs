@@ -1,21 +1,48 @@
 //! E10 — the random-walk ceiling (the paper's ref.&nbsp;3, used as contrast):
 //! `n` uniform random walkers speed search up by only `min{log n, D}`.
 //!
-//! Sweep `n`, measure mean `M_moves` to a fixed near target, and compare
+//! Sweep `n`, measure median `M_moves` to a fixed near target, and compare
 //! the measured speed-up to `ln n`.
+//!
+//! Implements [`Experiment`]; the `n` sweep fans across one pool via
+//! [`run_sweep`].
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_analysis::speedup;
 use ants_core::baselines::RandomWalk;
 use ants_grid::TargetPlacement;
-use ants_sim::report::{fnum, Table};
-use ants_sim::{run_trials, Scenario};
+use ants_sim::{run_sweep, run_trials, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e10",
     id: "E10 (random-walk speed-up, paper ref [3])",
     claim: "n uniform random walkers achieve speed-up only min{log n, D}",
 };
+
+/// The E10 harness.
+pub struct E10RandomWalk;
+
+fn d_value(effort: Effort) -> u64 {
+    effort.pick(6, 10)
+}
+
+fn n_values(effort: Effort) -> &'static [usize] {
+    effort.pick(&[1, 8][..], &[1, 4, 16, 64, 256][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(10, 50)
+}
+
+fn scenario(d: u64, n: usize) -> Scenario {
+    Scenario::builder()
+        .agents(n)
+        .target(TargetPlacement::Ring { distance: d })
+        .move_budget(d * d * d * 40 + 200_000) // generous tail room
+        .strategy(|_| Box::new(RandomWalk::new()))
+        .build()
+}
 
 /// Median moves for `n` random walkers to a ring target at distance `d`.
 ///
@@ -25,42 +52,55 @@ pub const META: ExperimentMeta = ExperimentMeta {
 /// budget-truncation artifacts. The `min{log n, D}` speed-up claim is
 /// about typical behaviour, which the median captures.
 pub fn median_moves(d: u64, n: usize, trials: u64, seed: u64) -> f64 {
-    let scenario = Scenario::builder()
-        .agents(n)
-        .target(TargetPlacement::Ring { distance: d })
-        .move_budget(d * d * d * 40 + 200_000) // generous tail room
-        .strategy(|_| Box::new(RandomWalk::new()))
-        .build();
-    run_trials(&scenario, trials, seed).summary().median_moves()
+    run_trials(&scenario(d, n), trials, seed).summary().median_moves()
 }
 
-/// Run the sweep.
-pub fn run(effort: Effort) -> Table {
-    let d = effort.pick(6u64, 10);
-    let n_values: &[usize] = effort.pick(&[1, 8][..], &[1, 4, 16, 64, 256][..]);
-    let trials = effort.pick(10, 50);
-    let mut table = Table::new(vec![
-        "n",
-        "D",
-        "median moves",
-        "speed-up",
-        "ln n ceiling",
-        "optimal (min{n, D})",
-    ]);
-    let t1 = median_moves(d, 1, trials, 0xE10_001);
-    for &n in n_values {
-        let tn = if n == 1 { t1 } else { median_moves(d, n, trials, 0xE10_001 ^ (n as u64) << 8) };
-        let sp = t1 / tn;
-        table.row(vec![
-            n.to_string(),
-            d.to_string(),
-            fnum(tn),
-            fnum(sp),
-            fnum(speedup::random_walk_ceiling(n as u64, d).max(1.0)),
-            fnum(speedup::optimal_ceiling(n as u64, d)),
-        ]);
+impl Experiment for E10RandomWalk {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: n_values(effort).len(), trials_per_cell: trials(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let d = d_value(cfg.effort);
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec!["n", "D", "median moves", "speed-up", "ln n ceiling", "optimal (min{n, D})"],
+        );
+        report.param("D", d).param("trials", trials);
+        // n = 1 is the speed-up baseline; reuse its outcome when it is
+        // also the first sweep point.
+        let base_seed = cfg.seed(0xE10_001);
+        let jobs: Vec<SweepJob> = n_values(cfg.effort)
+            .iter()
+            .map(|&n| {
+                let seed = if n == 1 { base_seed } else { base_seed ^ (n as u64) << 8 };
+                SweepJob::new(scenario(d, n), trials, seed)
+            })
+            .collect();
+        let outcomes = run_sweep(&jobs, cfg.threads);
+        let t1 = match n_values(cfg.effort).iter().position(|&n| n == 1) {
+            Some(i) => outcomes[i].summary().median_moves(),
+            None => median_moves(d, 1, trials, base_seed),
+        };
+        for (&n, outcome) in n_values(cfg.effort).iter().zip(&outcomes) {
+            let tn = outcome.summary().median_moves();
+            report.row(vec![
+                n.into(),
+                d.into(),
+                tn.into(),
+                (t1 / tn).into(),
+                speedup::random_walk_ceiling(n as u64, d).max(1.0).into(),
+                speedup::optimal_ceiling(n as u64, d).into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +121,10 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 2);
+        let r = E10RandomWalk.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.len(), E10RandomWalk.config(Effort::Smoke).cells);
+        // The n = 1 row's speed-up is 1 by construction.
+        assert!((r.num(0, "speed-up") - 1.0).abs() < 1e-12);
     }
 }

@@ -9,54 +9,101 @@
 //! shifts between its two components, demonstrating that memory can
 //! substitute for probability resolution (but the converse direction has
 //! no analogous construction, per the Discussion).
+//!
+//! Implements [`Experiment`]; the split sweep fans across one pool via
+//! [`run_sweep`].
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::{CoinNonUniformSearch, SearchStrategy};
 use ants_grid::TargetPlacement;
-use ants_sim::report::{fnum, Table};
-use ants_sim::{run_trials, Scenario};
+use ants_sim::{run_sweep, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e11",
     id: "E11 (Discussion: b vs ell)",
     claim: "memory can simulate fine probabilities: sweeping the (b, ell) split at fixed kl = log D leaves performance flat",
 };
 
-/// Run the split sweep.
-pub fn run(effort: Effort) -> Table {
-    let d = effort.pick(32u64, 128);
-    let n = 4usize;
-    let trials = effort.pick(8, 40);
+/// The E11 harness.
+pub struct E11BVsEll;
+
+const N_AGENTS: usize = 4;
+
+fn d_value(effort: Effort) -> u64 {
+    effort.pick(32, 128)
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(8, 40)
+}
+
+/// The swept `ℓ` values: powers of two up to `log₂ D`.
+fn ell_values(effort: Effort) -> Vec<u32> {
+    let d = d_value(effort);
     let log_d = 64 - (d - 1).leading_zeros();
-    let mut table = Table::new(vec!["ell", "k", "b", "chi", "mean moves", "ratio to envelope"]);
+    let mut ells = Vec::new();
     let mut ell = 1u32;
     while ell <= log_d {
-        let scenario = Scenario::builder()
-            .agents(n)
-            .target(TargetPlacement::UniformInBall { distance: d })
-            .move_budget(d * d * 800)
-            .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, ell).expect("valid")))
-            .build();
-        let agent = CoinNonUniformSearch::new(d, ell).expect("valid");
-        let sc = agent.selection_complexity();
-        let summary = run_trials(&scenario, trials, 0xE11_000 ^ (ell as u64)).summary();
-        let env = (d * d) as f64 / n as f64 + d as f64;
-        table.row(vec![
-            ell.to_string(),
-            agent.k().to_string(),
-            sc.memory_bits().to_string(),
-            fnum(sc.chi()),
-            fnum(summary.mean_moves()),
-            fnum(summary.mean_moves() / env),
-        ]);
+        ells.push(ell);
         ell *= 2;
     }
-    table
+    ells
+}
+
+impl Experiment for E11BVsEll {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: ell_values(effort).len(), trials_per_cell: trials(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let d = d_value(cfg.effort);
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec!["ell", "k", "b", "chi", "mean moves", "ratio to envelope"],
+        );
+        report.param("D", d).param("n", N_AGENTS).param("trials", trials);
+        let ells = ell_values(cfg.effort);
+        let jobs: Vec<SweepJob> = ells
+            .iter()
+            .map(|&ell| {
+                let scenario = Scenario::builder()
+                    .agents(N_AGENTS)
+                    .target(TargetPlacement::UniformInBall { distance: d })
+                    .move_budget(d * d * 800)
+                    .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, ell).expect("valid")))
+                    .build();
+                SweepJob::new(scenario, trials, cfg.seed(0xE11_000 ^ (ell as u64)))
+            })
+            .collect();
+        for (&ell, outcome) in ells.iter().zip(run_sweep(&jobs, cfg.threads)) {
+            let agent = CoinNonUniformSearch::new(d, ell).expect("valid");
+            let sc = agent.selection_complexity();
+            let summary = outcome.summary();
+            let env = (d * d) as f64 / N_AGENTS as f64 + d as f64;
+            report.row(vec![
+                ell.into(),
+                agent.k().into(),
+                sc.memory_bits().into(),
+                sc.chi().into(),
+                summary.mean_moves().into(),
+                (summary.mean_moves() / env).into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ants_sim::run_trials;
 
     #[test]
     fn performance_flat_across_splits() {
@@ -93,7 +140,8 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert!(t.len() >= 3);
+        let r = E11BVsEll.run(&RunConfig::smoke());
+        assert!(r.len() >= 3);
+        assert_eq!(r.len(), E11BVsEll.config(Effort::Smoke).cells);
     }
 }

@@ -4,81 +4,116 @@
 //! At equal performance scale (`O(D²/n + D)` moves), the FKLS'12-style
 //! algorithm pays `χ = Θ(log D)` while the paper's algorithms pay
 //! `Θ(log log D)` — the gap that motivates the whole paper.
+//!
+//! Implements [`Experiment`]; the three strategies per `D` fan across one
+//! pool via [`run_sweep`].
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::baselines::HarmonicSearch;
 use ants_core::{CoinNonUniformSearch, UniformSearch};
 use ants_grid::TargetPlacement;
-use ants_sim::report::{fnum, Table};
-use ants_sim::{run_trials, Scenario};
+use ants_sim::{run_sweep, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e12",
     id: "E12 (vs FKLS'12)",
     claim: "equal O(D^2/n + D) performance; chi = Theta(log D) for FKLS vs Theta(log log D) for this paper",
 };
 
-/// Run the comparison.
-pub fn run(effort: Effort) -> Table {
-    let d_values: &[u64] = effort.pick(&[16][..], &[32, 64, 128][..]);
-    let n = 4usize;
-    let trials = effort.pick(8, 40);
-    let mut table = Table::new(vec![
-        "D",
-        "strategy",
-        "mean moves",
-        "chi footprint",
-        "chi / log2 D",
-        "chi / loglog2 D",
-    ]);
-    for &d in d_values {
-        let log_d = (d as f64).log2();
-        let loglog_d = log_d.log2();
-        let mut row = |name: &str, moves: f64, chi: f64| {
-            table.row(vec![
-                d.to_string(),
-                name.into(),
-                fnum(moves),
-                fnum(chi),
-                fnum(chi / log_d),
-                fnum(chi / loglog_d),
-            ]);
-        };
-        // Harmonic (FKLS'12-style).
-        let s = Scenario::builder()
-            .agents(n)
+/// The E12 harness.
+pub struct E12Comparator;
+
+const N_AGENTS: usize = 4;
+
+fn d_values(effort: Effort) -> &'static [u64] {
+    effort.pick(&[16][..], &[32, 64, 128][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(8, 40)
+}
+
+/// The three contenders at distance `d`: name plus scenario and seed tag.
+fn contenders(d: u64) -> [(&'static str, Scenario, u64); 3] {
+    let builder = |budget_factor: u64| {
+        Scenario::builder()
+            .agents(N_AGENTS)
             .target(TargetPlacement::UniformInBall { distance: d })
-            .move_budget(d * d * 800)
-            .strategy(move |_| Box::new(HarmonicSearch::new(n as u64)))
-            .build();
-        let o = run_trials(&s, trials, 0xE12_100 ^ d);
-        let summary = o.summary();
-        row("harmonic (FKLS)", summary.mean_moves(), summary.chi_footprint().chi());
-        // This paper, non-uniform.
-        let s = Scenario::builder()
-            .agents(n)
-            .target(TargetPlacement::UniformInBall { distance: d })
-            .move_budget(d * d * 800)
-            .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, 1).expect("valid")))
-            .build();
-        let summary = run_trials(&s, trials, 0xE12_200 ^ d).summary();
-        row("Alg 1 + coin", summary.mean_moves(), summary.chi_footprint().chi());
-        // This paper, uniform.
-        let s = Scenario::builder()
-            .agents(n)
-            .target(TargetPlacement::UniformInBall { distance: d })
-            .move_budget(d * d * 2000)
-            .strategy(move |_| Box::new(UniformSearch::new(1, n as u64, 2).expect("valid")))
-            .build();
-        let summary = run_trials(&s, trials, 0xE12_300 ^ d).summary();
-        row("Alg 5 uniform", summary.mean_moves(), summary.chi_footprint().chi());
+            .move_budget(d * d * budget_factor)
+    };
+    [
+        (
+            "harmonic (FKLS)",
+            builder(800).strategy(move |_| Box::new(HarmonicSearch::new(N_AGENTS as u64))).build(),
+            0xE12_100 ^ d,
+        ),
+        (
+            "Alg 1 + coin",
+            builder(800)
+                .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, 1).expect("valid")))
+                .build(),
+            0xE12_200 ^ d,
+        ),
+        (
+            "Alg 5 uniform",
+            builder(2000)
+                .strategy(move |_| {
+                    Box::new(UniformSearch::new(1, N_AGENTS as u64, 2).expect("valid"))
+                })
+                .build(),
+            0xE12_300 ^ d,
+        ),
+    ]
+}
+
+impl Experiment for E12Comparator {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: d_values(effort).len() * 3, trials_per_cell: trials(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec!["D", "strategy", "mean moves", "chi footprint", "chi / log2 D", "chi / loglog2 D"],
+        );
+        report.param("n", N_AGENTS).param("trials", trials);
+        let mut cells: Vec<(u64, &'static str)> = Vec::new();
+        let mut jobs: Vec<SweepJob> = Vec::new();
+        for &d in d_values(cfg.effort) {
+            for (name, scenario, tag) in contenders(d) {
+                cells.push((d, name));
+                jobs.push(SweepJob::new(scenario, trials, cfg.seed(tag)));
+            }
+        }
+        for (&(d, name), outcome) in cells.iter().zip(run_sweep(&jobs, cfg.threads)) {
+            let log_d = (d as f64).log2();
+            let loglog_d = log_d.log2();
+            let summary = outcome.summary();
+            let chi = summary.chi_footprint().chi();
+            report.row(vec![
+                d.into(),
+                name.into(),
+                summary.mean_moves().into(),
+                chi.into(),
+                (chi / log_d).into(),
+                (chi / loglog_d).into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ants_sim::run_trials;
 
     #[test]
     fn chi_gap_between_fkls_and_paper() {
@@ -109,7 +144,8 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 3);
+        let r = E12Comparator.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.len(), E12Comparator.config(Effort::Smoke).cells);
     }
 }

@@ -3,50 +3,86 @@
 //! For representative low-χ automata, measure `‖X_r − r·~p‖_∞` as `r`
 //! grows and compare against the `√(r·ln D)` scale of Lemma 4.9: the
 //! *relative* deviation must fall like `r^{-1/2}`.
+//!
+//! Implements [`Experiment`]; the deviation measurements use the analysis
+//! crate's walkers (no scenario engine), so the thread policy does not
+//! apply here.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_analysis::drift;
-use ants_automaton::library;
-use ants_sim::report::{fnum, Table};
+use ants_automaton::{library, Pfa};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e13",
     id: "E13 (Corollary 4.10)",
     claim: "||X_r - r*p|| = o(D/|S|): deviation grows like sqrt(r log D), relative deviation like r^{-1/2}",
 };
 
-/// Run the deviation sweep.
-pub fn run(effort: Effort) -> Table {
-    let steps_list: &[u64] = effort.pick(&[256, 1024][..], &[256, 1024, 4096, 16384, 65536][..]);
-    let trials = effort.pick(60, 300);
-    let d = 256; // reference scale for the log factor
-    let mut table = Table::new(vec![
-        "automaton",
-        "r (steps)",
-        "mean ||X_r - r p||",
-        "sqrt(r ln D) scale",
-        "ratio",
-        "relative dev",
-    ]);
-    for (name, pfa) in [
+/// The E13 harness.
+pub struct E13Drift;
+
+const D_REF: u64 = 256; // reference scale for the log factor
+
+fn steps_list(effort: Effort) -> &'static [u64] {
+    effort.pick(&[256, 1024][..], &[256, 1024, 4096, 16384, 65536][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(60, 300)
+}
+
+fn automata() -> Vec<(&'static str, Pfa)> {
+    vec![
         ("drift walk (e=2)", library::drift_walk(2).expect("valid")),
         ("drift walk (e=4)", library::drift_walk(4).expect("valid")),
         ("uniform walk", library::random_walk()),
-    ] {
-        for &r in steps_list {
-            let rep = drift::measure(&pfa, 64, r, trials, 0xE13 ^ r);
-            let scale = drift::predicted_deviation(r, d);
-            table.row(vec![
-                name.into(),
-                r.to_string(),
-                fnum(rep.deviation.mean()),
-                fnum(scale),
-                fnum(rep.deviation.mean() / scale),
-                format!("{:.5}", rep.relative_deviation()),
-            ]);
+    ]
+}
+
+impl Experiment for E13Drift {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig {
+            cells: automata().len() * steps_list(effort).len(),
+            trials_per_cell: trials(effort),
         }
     }
-    table
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "automaton",
+                "r (steps)",
+                "mean ||X_r - r p||",
+                "sqrt(r ln D) scale",
+                "ratio",
+                "relative dev",
+            ],
+        );
+        report.param("trials", trials).param("D_ref", D_REF);
+        for (name, pfa) in automata() {
+            for &r in steps_list(cfg.effort) {
+                let rep = drift::measure(&pfa, 64, r, trials, cfg.seed(0xE13 ^ r));
+                let scale = drift::predicted_deviation(r, D_REF);
+                report.row(vec![
+                    name.into(),
+                    r.into(),
+                    rep.deviation.mean().into(),
+                    scale.into(),
+                    (rep.deviation.mean() / scale).into(),
+                    rep.relative_deviation().into(),
+                ]);
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -79,7 +115,8 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 6);
+        let r = E13Drift.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.len(), E13Drift.config(Effort::Smoke).cells);
     }
 }

@@ -3,13 +3,16 @@
 //! `R ≤ 2D` (expected moves per iteration) and `R̂ ≤ 2R` (the same
 //! conditioned on *not* finding the target). We measure both: iterations
 //! that find a fixed target are separated from those that miss it.
+//!
+//! Implements [`Experiment`]; the iteration loop is bespoke (no scenario
+//! engine), so the thread policy does not apply here. Each lemma check
+//! reports its measured value and its verdict in separate typed columns.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_automaton::GridAction;
 use ants_core::{apply_action, NonUniformSearch, SearchStrategy};
 use ants_grid::Point;
 use ants_rng::derive_rng;
-use ants_sim::report::{fnum, Table};
 
 /// Per-iteration statistics for Algorithm 1 at distance `d` against a
 /// fixed target.
@@ -25,9 +28,21 @@ pub struct IterationStats {
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e14",
     id: "E14 (Lemmas 3.1, 3.2)",
     claim: "expected iteration length R <= 2D; conditioned on missing the target, R-hat <= 2R",
 };
+
+/// The E14 harness.
+pub struct E14IterationLen;
+
+fn d_values(effort: Effort) -> &'static [u64] {
+    effort.pick(&[8, 16][..], &[8, 16, 32, 64, 128][..])
+}
+
+fn iterations(effort: Effort) -> u64 {
+    effort.pick(4_000, 40_000)
+}
 
 /// Measure iteration statistics.
 pub fn measure(d: u64, target: Point, iterations: u64, seed: u64) -> IterationStats {
@@ -71,33 +86,47 @@ pub fn measure(d: u64, target: Point, iterations: u64, seed: u64) -> IterationSt
     }
 }
 
-/// Run the sweep.
-pub fn run(effort: Effort) -> Table {
-    let d_values: &[u64] = effort.pick(&[8, 16][..], &[8, 16, 32, 64, 128][..]);
-    let iterations = effort.pick(4_000, 40_000);
-    let mut table = Table::new(vec![
-        "D",
-        "iterations",
-        "mean R (<= 2D'?)",
-        "mean R-hat (miss)",
-        "R-hat / R (<= 2?)",
-    ]);
-    for &d in d_values {
-        let st = measure(d, Point::new(d as i64 / 2, d as i64 / 2), iterations, 0xE14 ^ d);
-        let d_prime = d.next_power_of_two();
-        table.row(vec![
-            d.to_string(),
-            st.iterations.to_string(),
-            format!("{} ({})", fnum(st.mean_all), st.mean_all <= 2.0 * d_prime as f64 * 1.05),
-            fnum(st.mean_missing),
-            format!(
-                "{:.3} ({})",
-                st.mean_missing / st.mean_all,
-                st.mean_missing <= 2.0 * st.mean_all
-            ),
-        ]);
+impl Experiment for E14IterationLen {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: d_values(effort).len(), trials_per_cell: iterations(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let iterations = iterations(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "D",
+                "iterations",
+                "mean R",
+                "R <= 2D'",
+                "mean R-hat (miss)",
+                "R-hat / R",
+                "R-hat <= 2R",
+            ],
+        );
+        report.param("iterations", iterations);
+        for &d in d_values(cfg.effort) {
+            let st =
+                measure(d, Point::new(d as i64 / 2, d as i64 / 2), iterations, cfg.seed(0xE14 ^ d));
+            let d_prime = d.next_power_of_two();
+            report.row(vec![
+                d.into(),
+                st.iterations.into(),
+                st.mean_all.into(),
+                (st.mean_all <= 2.0 * d_prime as f64 * 1.05).into(),
+                st.mean_missing.into(),
+                (st.mean_missing / st.mean_all).into(),
+                (st.mean_missing <= 2.0 * st.mean_all).into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +154,8 @@ mod tests {
 
     #[test]
     fn all_checks_true_in_table() {
-        let t = run(Effort::Smoke);
-        assert!(!t.to_string().contains("false"), "{t}");
+        let r = E14IterationLen.run(&RunConfig::smoke());
+        assert_eq!(r.len(), E14IterationLen.config(Effort::Smoke).cells);
+        assert!(r.all_checks_pass(), "a Lemma 3.1/3.2 check failed:\n{r}");
     }
 }

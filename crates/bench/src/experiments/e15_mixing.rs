@@ -5,49 +5,79 @@
 //! stationarity curve next to the Rosenthal envelope
 //! `(1 − p₀^{|S|})^{⌊k/|S|⌋}` the proof uses, and the paper's block
 //! length `β = c·|S|·ln D / p₀^{|S|}`.
+//!
+//! Implements [`Experiment`]; the mixing curves are closed-form matrix
+//! computations (no scenario engine), so the thread policy does not apply
+//! here.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_analysis::mixing;
-use ants_automaton::library;
-use ants_sim::report::{fnum, Table};
+use ants_automaton::{library, Pfa};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e15",
     id: "E15 (Corollary 4.6 / Lemma A.2)",
     claim: "TV distance to stationarity <= (1 - p0^{|S|})^{k/|S|}: small chains forget in D^{o(1)} rounds",
 };
 
-/// Run the mixing sweep.
-pub fn run(effort: Effort) -> Table {
-    let ks: &[u64] = effort.pick(&[1, 8, 64][..], &[1, 4, 16, 64, 256, 1024][..]);
-    let d = 256u64;
-    let mut table = Table::new(vec![
-        "automaton",
-        "k (rounds)",
-        "measured TV",
-        "Rosenthal bound",
-        "bound holds",
-        "beta (block length)",
-    ]);
-    for (name, pfa) in [
+/// The E15 harness.
+pub struct E15Mixing;
+
+const D_REF: u64 = 256;
+
+fn ks(effort: Effort) -> &'static [u64] {
+    effort.pick(&[1, 8, 64][..], &[1, 4, 16, 64, 256, 1024][..])
+}
+
+fn automata() -> Vec<(&'static str, Pfa)> {
+    vec![
         ("lazy walk", library::lazy_random_walk()),
         ("drift walk (e=3)", library::drift_walk(3).expect("valid")),
         ("Alg 1 machine, D=16", library::algorithm1(4).expect("valid")),
-    ] {
-        let curve = mixing::mixing_curve(&pfa, ks);
-        let beta = mixing::block_length(&pfa, 1.0, d);
-        for p in &curve.points {
-            table.row(vec![
-                name.into(),
-                p.k.to_string(),
-                format!("{:.2e}", p.tv),
-                format!("{:.2e}", p.rosenthal),
-                (p.tv <= p.rosenthal + 1e-9).to_string(),
-                fnum(beta),
-            ]);
-        }
+    ]
+}
+
+impl Experiment for E15Mixing {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        // Closed-form rows: one per (automaton, k), no Monte-Carlo trials.
+        SweepConfig { cells: automata().len() * ks(effort).len(), trials_per_cell: 1 }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "automaton",
+                "k (rounds)",
+                "measured TV",
+                "Rosenthal bound",
+                "bound holds",
+                "beta (block length)",
+            ],
+        );
+        report.param("D_ref", D_REF);
+        for (name, pfa) in automata() {
+            let curve = mixing::mixing_curve(&pfa, ks(cfg.effort));
+            let beta = mixing::block_length(&pfa, 1.0, D_REF);
+            for p in &curve.points {
+                report.row(vec![
+                    name.into(),
+                    p.k.into(),
+                    p.tv.into(),
+                    p.rosenthal.into(),
+                    (p.tv <= p.rosenthal + 1e-9).into(),
+                    beta.into(),
+                ]);
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -56,8 +86,9 @@ mod tests {
 
     #[test]
     fn envelope_holds_everywhere() {
-        let t = run(Effort::Smoke);
-        assert!(!t.to_string().contains("false"), "Rosenthal envelope violated:\n{t}");
+        let r = E15Mixing.run(&RunConfig::smoke());
+        assert_eq!(r.len(), E15Mixing.config(Effort::Smoke).cells);
+        assert!(r.all_checks_pass(), "Rosenthal envelope violated:\n{r}");
     }
 
     #[test]

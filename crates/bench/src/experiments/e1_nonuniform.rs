@@ -7,58 +7,93 @@
 //! bounded by a modest constant across the whole sweep (the theorem hides
 //! a constant; the proof's is ~64·4) and if the `D²/n → D` crossover
 //! appears around `n ≈ D`.
+//!
+//! Implements [`Experiment`]; the whole `D × n` grid fans across one
+//! thread pool via [`run_sweep`].
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::NonUniformSearch;
 use ants_grid::TargetPlacement;
-use ants_sim::report::{fnum, Table};
-use ants_sim::{run_trials, Scenario};
+use ants_sim::{run_sweep, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e1",
     id: "E1 (Theorem 3.5)",
     claim:
         "Algorithm 1 with n agents finds a target within distance D in O(D^2/n + D) expected moves",
 };
 
-/// Run the sweep.
-pub fn run(effort: Effort) -> Table {
-    let d_values: &[u64] = effort.pick(&[16, 32][..], &[32, 64, 128, 256][..]);
-    let n_values: &[usize] = effort.pick(&[1, 4][..], &[1, 4, 16, 64, 256][..]);
-    let trials = effort.pick(10, 60);
-    let mut table = Table::new(vec![
-        "D",
-        "n",
-        "trials",
-        "found",
-        "mean moves",
-        "ci95",
-        "envelope D^2/n+D",
-        "ratio",
-    ]);
-    for &d in d_values {
-        for &n in n_values {
-            let scenario = Scenario::builder()
-                .agents(n)
-                .target(TargetPlacement::UniformInBall { distance: d })
-                .move_budget(envelope(d, n) as u64 * 600 + 10_000)
-                .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid D")))
-                .build();
-            let summary = run_trials(&scenario, trials, seed(d, n)).summary();
-            let env = envelope(d, n);
-            table.row(vec![
-                d.to_string(),
-                n.to_string(),
-                summary.trials().to_string(),
-                summary.found().to_string(),
-                fnum(summary.mean_moves()),
-                fnum(summary.moves_ci95()),
-                fnum(env),
-                fnum(summary.mean_moves() / env),
-            ]);
+/// The E1 harness.
+pub struct E1Nonuniform;
+
+fn d_values(effort: Effort) -> &'static [u64] {
+    effort.pick(&[16, 32][..], &[32, 64, 128, 256][..])
+}
+
+fn n_values(effort: Effort) -> &'static [usize] {
+    effort.pick(&[1, 4][..], &[1, 4, 16, 64, 256][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(10, 60)
+}
+
+impl Experiment for E1Nonuniform {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig {
+            cells: d_values(effort).len() * n_values(effort).len(),
+            trials_per_cell: trials(effort),
         }
     }
-    table
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec!["D", "n", "trials", "found", "mean moves", "ci95", "envelope D^2/n+D", "ratio"],
+        );
+        report
+            .param("d_values", format!("{:?}", d_values(cfg.effort)))
+            .param("n_values", format!("{:?}", n_values(cfg.effort)))
+            .param("trials", trials);
+        let grid: Vec<(u64, usize)> = d_values(cfg.effort)
+            .iter()
+            .flat_map(|&d| n_values(cfg.effort).iter().map(move |&n| (d, n)))
+            .collect();
+        let jobs: Vec<SweepJob> = grid
+            .iter()
+            .map(|&(d, n)| {
+                let scenario = Scenario::builder()
+                    .agents(n)
+                    .target(TargetPlacement::UniformInBall { distance: d })
+                    .move_budget(envelope(d, n) as u64 * 600 + 10_000)
+                    .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid D")))
+                    .build();
+                SweepJob::new(scenario, trials, cfg.seed(seed(d, n)))
+            })
+            .collect();
+        for (&(d, n), outcome) in grid.iter().zip(run_sweep(&jobs, cfg.threads)) {
+            let summary = outcome.summary();
+            let env = envelope(d, n);
+            report.row(vec![
+                d.into(),
+                n.into(),
+                summary.trials().into(),
+                summary.found().into(),
+                summary.mean_moves().into(),
+                summary.moves_ci95().into(),
+                env.into(),
+                (summary.mean_moves() / env).into(),
+            ]);
+        }
+        report
+    }
 }
 
 /// The theorem's envelope `D²/n + D`.
@@ -76,11 +111,11 @@ mod tests {
 
     #[test]
     fn smoke_runs_and_ratios_bounded() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 4);
-        // Parse the ratio column; the constant should be modest.
-        for line in t.to_csv().lines().skip(1) {
-            let ratio: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+        let r = E1Nonuniform.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.len(), E1Nonuniform.config(Effort::Smoke).cells);
+        for row in 0..r.len() {
+            let ratio = r.num(row, "ratio");
             // The proof's hidden constant is ~256 (Lemma 3.4's 1/(64D)
             // success floor times the factor-4 iteration bound); measured
             // ratios sit around 2-60 depending on the (D, n) cell.
@@ -94,5 +129,14 @@ mod tests {
         // For n << D the D^2/n term dominates; for n >> D the D term does.
         assert!(envelope(128, 1) > 100.0 * 128.0);
         assert!((envelope(128, 128 * 128) - 129.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn base_seed_shifts_the_measurement() {
+        let a = E1Nonuniform.run(&RunConfig::smoke());
+        let b = E1Nonuniform.run(&RunConfig::smoke().with_seed(1));
+        let c = E1Nonuniform.run(&RunConfig::smoke());
+        assert_eq!(a.records(), c.records(), "same config must reproduce identically");
+        assert_ne!(a.records(), b.records(), "--seed must shift the sweep");
     }
 }

@@ -5,19 +5,33 @@
 //! For corner targets `(D, D)` (the worst case in the lemma's proof) we
 //! measure the per-iteration hit probability directly by running many
 //! independent iterations.
+//!
+//! Implements [`Experiment`]; the iteration loop is bespoke (no scenario
+//! engine), so the thread policy does not apply here.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_automaton::GridAction;
 use ants_core::{apply_action, NonUniformSearch, SearchStrategy};
 use ants_grid::Point;
 use ants_rng::derive_rng;
-use ants_sim::report::{fnum, Table};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e2",
     id: "E2 (Lemma 3.4)",
     claim: "one iteration of Algorithm 1 hits any target within distance D with probability >= 1/(64 D)",
 };
+
+/// The E2 harness.
+pub struct E2Iteration;
+
+fn d_values(effort: Effort) -> &'static [u64] {
+    effort.pick(&[8][..], &[8, 16, 32, 64][..])
+}
+
+fn iterations(effort: Effort) -> u64 {
+    effort.pick(4_000, 60_000)
+}
 
 /// Probability that a single iteration visits `target`, estimated over
 /// `iterations` independent iterations.
@@ -42,27 +56,42 @@ pub fn iteration_hit_probability(d: u64, target: Point, iterations: u64, seed: u
     hits as f64 / iterations as f64
 }
 
-/// Run the sweep.
-pub fn run(effort: Effort) -> Table {
-    let d_values: &[u64] = effort.pick(&[8][..], &[8, 16, 32, 64][..]);
-    let iterations = effort.pick(4_000, 60_000);
-    let mut table =
-        Table::new(vec!["D", "target", "iterations", "P[hit]", "lemma floor 1/(64D)", "margin"]);
-    for &d in d_values {
-        for target in [Point::new(d as i64, d as i64), Point::new(d as i64, 0)] {
-            let p = iteration_hit_probability(d, target, iterations, 0xE2 ^ d);
-            let floor = 1.0 / (64.0 * d as f64);
-            table.row(vec![
-                d.to_string(),
-                target.to_string(),
-                iterations.to_string(),
-                format!("{p:.5}"),
-                format!("{floor:.5}"),
-                fnum(p / floor),
-            ]);
+impl Experiment for E2Iteration {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig {
+            cells: d_values(effort).len() * 2, // corner + axis target per D
+            trials_per_cell: iterations(effort),
         }
     }
-    table
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let iterations = iterations(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec!["D", "target", "iterations", "P[hit]", "lemma floor 1/(64D)", "margin"],
+        );
+        report.param("iterations", iterations);
+        for &d in d_values(cfg.effort) {
+            for target in [Point::new(d as i64, d as i64), Point::new(d as i64, 0)] {
+                let p = iteration_hit_probability(d, target, iterations, cfg.seed(0xE2 ^ d));
+                let floor = 1.0 / (64.0 * d as f64);
+                report.row(vec![
+                    d.into(),
+                    target.to_string().into(),
+                    iterations.into(),
+                    p.into(),
+                    floor.into(),
+                    (p / floor).into(),
+                ]);
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +114,12 @@ mod tests {
 
     #[test]
     fn smoke_table_shape() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 2);
+        let r = E2Iteration.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.len(), E2Iteration.config(Effort::Smoke).cells);
+        // Every measured probability clears the lemma floor.
+        for row in 0..r.len() {
+            assert!(r.num(row, "margin") >= 1.0, "row {row} below the floor");
+        }
     }
 }

@@ -5,49 +5,68 @@
 //! empirical frequency against the exact value with a 5σ Wilson interval;
 //! the memory column is computed, not measured (it is a property of the
 //! construction).
+//!
+//! Implements [`Experiment`]; coin flipping is bespoke (no scenario
+//! engine), so the thread policy does not apply here.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_rng::stats::wilson_interval;
 use ants_rng::{derive_rng, Coin, CompositeCoin};
-use ants_sim::report::Table;
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e3",
     id: "E3 (Lemma 3.6)",
     claim:
         "coin(k, l) shows tails with probability exactly 1/2^{kl} using ceil(log k) bits of memory",
 };
 
-/// Run the grid.
-pub fn run(effort: Effort) -> Table {
-    let cases: &[(u32, u32)] =
-        effort.pick(&[(2, 2), (3, 1)][..], &[(1, 1), (2, 2), (3, 1), (4, 2), (5, 3), (10, 1)][..]);
-    let flips = effort.pick(200_000u64, 2_000_000);
-    let mut table = Table::new(vec![
-        "k",
-        "l",
-        "memory bits",
-        "exact 1/2^{kl}",
-        "measured",
-        "within 5-sigma Wilson",
-    ]);
-    for &(k, ell) in cases {
-        let coin = CompositeCoin::new(k, ell).expect("valid parameters");
-        let mut rng = derive_rng(0xE3, (k as u64) << 8 | ell as u64);
-        let tails: u64 = (0..flips).map(|_| u64::from(coin.flip(&mut rng).is_tails())).sum();
-        let exact = coin.tails_probability().to_f64();
-        let (lo, hi) = wilson_interval(tails, flips, 5.0);
-        let ok = lo <= exact && exact <= hi;
-        table.row(vec![
-            k.to_string(),
-            ell.to_string(),
-            coin.memory_bits().to_string(),
-            format!("{exact:.6}"),
-            format!("{:.6}", tails as f64 / flips as f64),
-            ok.to_string(),
-        ]);
+/// The E3 harness.
+pub struct E3Coin;
+
+fn cases(effort: Effort) -> &'static [(u32, u32)] {
+    effort.pick(&[(2, 2), (3, 1)][..], &[(1, 1), (2, 2), (3, 1), (4, 2), (5, 3), (10, 1)][..])
+}
+
+fn flips(effort: Effort) -> u64 {
+    effort.pick(200_000, 2_000_000)
+}
+
+impl Experiment for E3Coin {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: cases(effort).len(), trials_per_cell: flips(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let flips = flips(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec!["k", "l", "memory bits", "exact 1/2^{kl}", "measured", "within 5-sigma Wilson"],
+        );
+        report.param("flips", flips);
+        for &(k, ell) in cases(cfg.effort) {
+            let coin = CompositeCoin::new(k, ell).expect("valid parameters");
+            let mut rng = derive_rng(cfg.seed(0xE3), (k as u64) << 8 | ell as u64);
+            let tails: u64 = (0..flips).map(|_| u64::from(coin.flip(&mut rng).is_tails())).sum();
+            let exact = coin.tails_probability().to_f64();
+            let (lo, hi) = wilson_interval(tails, flips, 5.0);
+            let ok = lo <= exact && exact <= hi;
+            report.row(vec![
+                k.into(),
+                ell.into(),
+                coin.memory_bits().into(),
+                exact.into(),
+                (tails as f64 / flips as f64).into(),
+                ok.into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -56,9 +75,8 @@ mod tests {
 
     #[test]
     fn all_cases_within_interval() {
-        let t = run(Effort::Smoke);
-        for line in t.to_csv().lines().skip(1) {
-            assert!(line.ends_with("true"), "frequency outside Wilson interval: {line}");
-        }
+        let r = E3Coin.run(&RunConfig::smoke());
+        assert_eq!(r.len(), E3Coin.config(Effort::Smoke).cells);
+        assert!(r.all_checks_pass(), "a frequency fell outside its Wilson interval:\n{r}");
     }
 }

@@ -4,18 +4,33 @@
 //! * `P[exactly i moves] ≥ 1/2^{kℓ+2}` for every `i ∈ {0, …, 2^{kℓ}}`;
 //! * `P[at least 2^{kℓ} moves] ≥ 1/4`;
 //! * `E[moves] < 2^{kℓ}`.
+//!
+//! Implements [`Experiment`]; the walk sampling is bespoke (no scenario
+//! engine), so the thread policy does not apply here. Each lemma check
+//! reports its measured value and its verdict in separate typed columns.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::components::GeometricWalk;
 use ants_grid::Direction;
 use ants_rng::derive_rng;
-use ants_sim::report::{fnum, Table};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e4",
     id: "E4 (Lemma 3.8)",
     claim: "walk(k,l): point masses >= 1/2^{kl+2} on 0..2^{kl}, tail P[>= 2^{kl}] >= 1/4, mean < 2^{kl}",
 };
+
+/// The E4 harness.
+pub struct E4Walk;
+
+fn cases(effort: Effort) -> &'static [(u32, u32)] {
+    effort.pick(&[(2, 2)][..], &[(2, 2), (4, 1), (3, 2), (2, 4)][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(30_000, 300_000)
+}
 
 /// One full walk's move count.
 fn walk_length(k: u32, ell: u32, seed: u64) -> u64 {
@@ -33,51 +48,71 @@ fn walk_length(k: u32, ell: u32, seed: u64) -> u64 {
     }
 }
 
-/// Run the grid.
-pub fn run(effort: Effort) -> Table {
-    let cases: &[(u32, u32)] = effort.pick(&[(2, 2)][..], &[(2, 2), (4, 1), (3, 2), (2, 4)][..]);
-    let trials = effort.pick(30_000u64, 300_000);
-    let mut table = Table::new(vec![
-        "k",
-        "l",
-        "2^{kl}",
-        "mean (< 2^{kl}?)",
-        "P[>= 2^{kl}] (>= 0.25?)",
-        "min point mass x 2^{kl+2} (>= 1?)",
-    ]);
-    for &(k, ell) in cases {
-        let bound = 1u64 << (k * ell);
-        let mut counts = vec![0u64; bound as usize + 1];
-        let mut total = 0u64;
-        let mut tail = 0u64;
-        for s in 0..trials {
-            let m = walk_length(k, ell, 0xE4_0000 ^ s ^ ((k as u64) << 40) ^ ((ell as u64) << 48));
-            total += m;
-            if m >= bound {
-                tail += 1;
-            }
-            if m <= bound {
-                counts[m as usize] += 1;
-            }
-        }
-        let mean = total as f64 / trials as f64;
-        let tail_p = tail as f64 / trials as f64;
-        let min_mass =
-            counts.iter().map(|&c| c as f64 / trials as f64).fold(f64::INFINITY, f64::min);
-        table.row(vec![
-            k.to_string(),
-            ell.to_string(),
-            bound.to_string(),
-            format!("{} ({})", fnum(mean), mean < bound as f64),
-            format!("{tail_p:.3} ({})", tail_p >= 0.24),
-            format!(
-                "{:.2} ({})",
-                min_mass * (4 * bound) as f64,
-                min_mass * (4 * bound) as f64 >= 0.9
-            ),
-        ]);
+impl Experiment for E4Walk {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: cases(effort).len(), trials_per_cell: trials(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "k",
+                "l",
+                "2^{kl}",
+                "mean",
+                "mean < 2^{kl}",
+                "P[>= 2^{kl}]",
+                "tail >= 1/4",
+                "min mass x 2^{kl+2}",
+                "masses >= 1",
+            ],
+        );
+        report.param("trials", trials);
+        for &(k, ell) in cases(cfg.effort) {
+            let bound = 1u64 << (k * ell);
+            let mut counts = vec![0u64; bound as usize + 1];
+            let mut total = 0u64;
+            let mut tail = 0u64;
+            for s in 0..trials {
+                let m = walk_length(
+                    k,
+                    ell,
+                    cfg.seed(0xE4_0000 ^ s ^ ((k as u64) << 40) ^ ((ell as u64) << 48)),
+                );
+                total += m;
+                if m >= bound {
+                    tail += 1;
+                }
+                if m <= bound {
+                    counts[m as usize] += 1;
+                }
+            }
+            let mean = total as f64 / trials as f64;
+            let tail_p = tail as f64 / trials as f64;
+            let min_mass =
+                counts.iter().map(|&c| c as f64 / trials as f64).fold(f64::INFINITY, f64::min);
+            let scaled_mass = min_mass * (4 * bound) as f64;
+            report.row(vec![
+                k.into(),
+                ell.into(),
+                bound.into(),
+                mean.into(),
+                (mean < bound as f64).into(),
+                tail_p.into(),
+                (tail_p >= 0.24).into(),
+                scaled_mass.into(),
+                (scaled_mass >= 0.9).into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -86,9 +121,9 @@ mod tests {
 
     #[test]
     fn all_lemma_checks_pass() {
-        let t = run(Effort::Smoke);
-        let rendered = t.to_string();
-        assert!(!rendered.contains("false"), "a Lemma 3.8 check failed:\n{rendered}");
+        let r = E4Walk.run(&RunConfig::smoke());
+        assert_eq!(r.len(), E4Walk.config(Effort::Smoke).cells);
+        assert!(r.all_checks_pass(), "a Lemma 3.8 check failed:\n{r}");
     }
 
     #[test]

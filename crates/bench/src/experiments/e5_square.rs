@@ -3,19 +3,44 @@
 //!
 //! We sample representative lattice points (corners, axes, interior) and
 //! estimate each visit probability over many full searches.
+//!
+//! Implements [`Experiment`]; the search sampling is bespoke (no scenario
+//! engine), so the thread policy does not apply here.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::apply_action;
 use ants_core::components::SquareSearch;
 use ants_grid::Point;
 use ants_rng::derive_rng;
-use ants_sim::report::Table;
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e5",
     id: "E5 (Lemma 3.9)",
     claim: "search(k,l) visits each point of the side-2^{kl} square with probability >= 1/2^{kl+6}",
 };
+
+/// The E5 harness.
+pub struct E5Square;
+
+const K: u32 = 4;
+const ELL: u32 = 1; // side 16
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(20_000, 200_000)
+}
+
+fn targets() -> [Point; 6] {
+    let side = 1i64 << (K * ELL);
+    [
+        Point::new(1, 1),
+        Point::new(side / 2, side / 2),
+        Point::new(side, side),
+        Point::new(-side, side / 4),
+        Point::new(0, -side),
+        Point::new(side / 4, -side / 2),
+    ]
+}
 
 /// Does one search visit `target`?
 fn search_visits(k: u32, ell: u32, target: Point, seed: u64) -> bool {
@@ -37,35 +62,46 @@ fn search_visits(k: u32, ell: u32, target: Point, seed: u64) -> bool {
     }
 }
 
-/// Run the point sample.
-pub fn run(effort: Effort) -> Table {
-    let (k, ell) = (4u32, 1u32); // side 16
-    let side = 1i64 << (k * ell);
-    let trials = effort.pick(20_000u64, 200_000);
-    let floor = 1.0 / (1u64 << (k * ell + 6)) as f64;
-    let targets = [
-        Point::new(1, 1),
-        Point::new(side / 2, side / 2),
-        Point::new(side, side),
-        Point::new(-side, side / 4),
-        Point::new(0, -side),
-        Point::new(side / 4, -side / 2),
-    ];
-    let mut table = Table::new(vec!["point", "trials", "P[visit]", "floor 1/2^{kl+6}", "margin"]);
-    for (ti, target) in targets.iter().enumerate() {
-        let hits: u64 = (0..trials)
-            .map(|s| u64::from(search_visits(k, ell, *target, 0xE5_0000 ^ s ^ ((ti as u64) << 32))))
-            .sum();
-        let p = hits as f64 / trials as f64;
-        table.row(vec![
-            target.to_string(),
-            trials.to_string(),
-            format!("{p:.5}"),
-            format!("{floor:.5}"),
-            format!("{:.1}", p / floor),
-        ]);
+impl Experiment for E5Square {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: targets().len(), trials_per_cell: trials(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let floor = 1.0 / (1u64 << (K * ELL + 6)) as f64;
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec!["point", "trials", "P[visit]", "floor 1/2^{kl+6}", "margin"],
+        );
+        report.param("k", K).param("l", ELL).param("trials", trials);
+        for (ti, target) in targets().iter().enumerate() {
+            let hits: u64 = (0..trials)
+                .map(|s| {
+                    u64::from(search_visits(
+                        K,
+                        ELL,
+                        *target,
+                        cfg.seed(0xE5_0000 ^ s ^ ((ti as u64) << 32)),
+                    ))
+                })
+                .sum();
+            let p = hits as f64 / trials as f64;
+            report.row(vec![
+                target.to_string().into(),
+                trials.into(),
+                p.into(),
+                floor.into(),
+                (p / floor).into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -74,10 +110,11 @@ mod tests {
 
     #[test]
     fn sampled_points_meet_floor() {
-        let t = run(Effort::Smoke);
-        for line in t.to_csv().lines().skip(1) {
-            let margin: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
-            assert!(margin >= 1.0, "visit probability below the Lemma 3.9 floor: {line}");
+        let r = E5Square.run(&RunConfig::smoke());
+        assert_eq!(r.len(), E5Square.config(Effort::Smoke).cells);
+        for row in 0..r.len() {
+            let margin = r.num(row, "margin");
+            assert!(margin >= 1.0, "visit probability below the Lemma 3.9 floor (row {row})");
         }
     }
 

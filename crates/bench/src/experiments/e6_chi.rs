@@ -5,71 +5,109 @@
 //! measured χ and `log log D` must stay bounded) and a performance spot
 //! check at fixed `D, n` comparing the composite-coin agent against the
 //! plain one.
+//!
+//! Implements [`Experiment`]; the spot-check scenarios (coin + plain per
+//! simulation-friendly `D`) fan across one pool via [`run_sweep`].
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::{CoinNonUniformSearch, NonUniformSearch, SearchStrategy, SelectionComplexity};
 use ants_grid::TargetPlacement;
-use ants_sim::report::{fnum, Table};
-use ants_sim::{run_trials, Scenario};
+use ants_sim::{run_sweep, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e6",
     id: "E6 (Theorem 3.7)",
     claim: "composite-coin Algorithm 1: same O(D^2/n + D) moves, chi = log log D + O(1)",
 };
 
-/// Run the audit + spot check.
-pub fn run(effort: Effort) -> Table {
-    let mut table = Table::new(vec![
-        "D",
-        "ell",
-        "b",
-        "chi",
-        "log log D",
-        "chi - loglogD",
-        "mean moves (n=4)",
-        "plain Alg1 moves",
-    ]);
-    let d_exps: &[u32] = effort.pick(&[6][..], &[6, 8, 10, 12, 16, 20][..]);
-    let trials = effort.pick(8, 40);
-    for &d_exp in d_exps {
-        let d = 1u64 << d_exp;
-        let agent = CoinNonUniformSearch::new(d, 1).expect("valid");
-        let sc = agent.selection_complexity();
-        let loglog = SelectionComplexity::threshold(d);
-        // Performance spot check only at simulation-friendly sizes.
-        let (coin_moves, plain_moves) = if d <= 256 {
-            let coin = Scenario::builder()
-                .agents(4)
-                .target(TargetPlacement::UniformInBall { distance: d })
-                .move_budget(d * d * 800)
-                .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, 1).expect("valid")))
-                .build();
-            let plain = Scenario::builder()
-                .agents(4)
-                .target(TargetPlacement::UniformInBall { distance: d })
-                .move_budget(d * d * 800)
-                .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid")))
-                .build();
-            (
-                run_trials(&coin, trials, 0xE6 ^ d).summary().mean_moves(),
-                run_trials(&plain, trials, 0xE6 ^ d).summary().mean_moves(),
-            )
-        } else {
-            (f64::NAN, f64::NAN)
-        };
-        table.row(vec![
-            format!("2^{d_exp}"),
-            sc.ell().to_string(),
-            sc.memory_bits().to_string(),
-            fnum(sc.chi()),
-            fnum(loglog),
-            fnum(sc.chi() - loglog),
-            if coin_moves.is_nan() { "-".into() } else { fnum(coin_moves) },
-            if plain_moves.is_nan() { "-".into() } else { fnum(plain_moves) },
-        ]);
+/// The E6 harness.
+pub struct E6Chi;
+
+fn d_exps(effort: Effort) -> &'static [u32] {
+    effort.pick(&[6][..], &[6, 8, 10, 12, 16, 20][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(8, 40)
+}
+
+/// The spot-check pair (coin, plain) for one simulation-friendly `D`.
+fn spot_check_jobs(d: u64, trials: u64, cfg: &RunConfig) -> [SweepJob; 2] {
+    let coin = Scenario::builder()
+        .agents(4)
+        .target(TargetPlacement::UniformInBall { distance: d })
+        .move_budget(d * d * 800)
+        .strategy(move |_| Box::new(CoinNonUniformSearch::new(d, 1).expect("valid")))
+        .build();
+    let plain = Scenario::builder()
+        .agents(4)
+        .target(TargetPlacement::UniformInBall { distance: d })
+        .move_budget(d * d * 800)
+        .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid")))
+        .build();
+    let seed = cfg.seed(0xE6 ^ d);
+    [SweepJob::new(coin, trials, seed), SweepJob::new(plain, trials, seed)]
+}
+
+impl Experiment for E6Chi {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
     }
-    table
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig { cells: d_exps(effort).len(), trials_per_cell: trials(effort) }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "D",
+                "ell",
+                "b",
+                "chi",
+                "log log D",
+                "chi - loglogD",
+                "mean moves (n=4)",
+                "plain Alg1 moves",
+            ],
+        );
+        report.param("d_exps", format!("{:?}", d_exps(cfg.effort))).param("trials", trials);
+        // Performance spot checks only at simulation-friendly sizes; the
+        // chi audit covers every D.
+        let sim_ds: Vec<u64> =
+            d_exps(cfg.effort).iter().map(|&e| 1u64 << e).filter(|&d| d <= 256).collect();
+        let jobs: Vec<SweepJob> =
+            sim_ds.iter().flat_map(|&d| spot_check_jobs(d, trials, cfg)).collect();
+        let outcomes = run_sweep(&jobs, cfg.threads);
+        for &d_exp in d_exps(cfg.effort) {
+            let d = 1u64 << d_exp;
+            let agent = CoinNonUniformSearch::new(d, 1).expect("valid");
+            let sc = agent.selection_complexity();
+            let loglog = SelectionComplexity::threshold(d);
+            let (coin_moves, plain_moves) = match sim_ds.iter().position(|&s| s == d) {
+                Some(i) => (
+                    outcomes[2 * i].summary().mean_moves(),
+                    outcomes[2 * i + 1].summary().mean_moves(),
+                ),
+                None => (f64::NAN, f64::NAN),
+            };
+            report.row(vec![
+                format!("2^{d_exp}").into(),
+                sc.ell().into(),
+                sc.memory_bits().into(),
+                sc.chi().into(),
+                loglog.into(),
+                (sc.chi() - loglog).into(),
+                coin_moves.into(),
+                plain_moves.into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +136,12 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 1);
+        let r = E6Chi.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.len(), E6Chi.config(Effort::Smoke).cells);
+        // The smoke D = 2^6 = 64 is simulation-friendly, so the spot
+        // check must have run (finite mean moves).
+        assert!(r.num(0, "mean moves (n=4)").is_finite());
+        assert!(r.num(0, "plain Alg1 moves").is_finite());
     }
 }

@@ -4,79 +4,116 @@
 //! Two sweeps: `D × n` at fixed `ℓ = 1` (the envelope ratio must stay
 //! bounded, like E1 but without knowing `D`), and `ℓ` at fixed `D, n`
 //! (the overshoot factor should grow roughly like `2^{cℓ}`).
+//!
+//! Implements [`Experiment`]; both sweeps fan across one shared pool via
+//! [`run_sweep`].
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::UniformSearch;
 use ants_grid::TargetPlacement;
-use ants_sim::report::{fnum, Table};
-use ants_sim::{run_trials, Scenario};
+use ants_sim::{run_sweep, run_trials, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e7",
     id: "E7 (Theorem 3.14)",
     claim: "uniform Algorithm 5: (D^2/n + D) * 2^{O(l)} moves, chi <= 3 log log D + O(1)",
 };
 
-/// Mean moves for the uniform algorithm at the given parameters.
-pub fn mean_moves(d: u64, n: usize, ell: u32, trials: u64, seed: u64) -> f64 {
-    let scenario = Scenario::builder()
+/// The E7 harness.
+pub struct E7Uniform;
+
+fn d_values(effort: Effort) -> &'static [u64] {
+    effort.pick(&[16][..], &[16, 32, 64, 128][..])
+}
+
+fn n_values(effort: Effort) -> &'static [usize] {
+    effort.pick(&[1][..], &[1, 4, 16, 64][..])
+}
+
+fn ells(effort: Effort) -> &'static [u32] {
+    effort.pick(&[1, 2][..], &[1, 2, 3, 4][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(6, 30)
+}
+
+fn scenario(d: u64, n: usize, ell: u32) -> Scenario {
+    Scenario::builder()
         .agents(n)
         .target(TargetPlacement::UniformInBall { distance: d })
         .move_budget(d * d * 3000 + 50_000)
         .strategy(move |_| {
             Box::new(UniformSearch::new(ell, n as u64, 2).expect("valid parameters"))
         })
-        .build();
-    run_trials(&scenario, trials, seed).summary().mean_moves()
+        .build()
 }
 
-/// Run both sweeps.
-pub fn run(effort: Effort) -> Table {
-    let mut table = Table::new(vec![
-        "sweep",
-        "D",
-        "n",
-        "ell",
-        "mean moves",
-        "envelope D^2/n+D",
-        "ratio (2^{O(l)} overshoot)",
-    ]);
-    // Sweep 1: D x n at ell = 1.
-    let d_values: &[u64] = effort.pick(&[16][..], &[16, 32, 64, 128][..]);
-    let n_values: &[usize] = effort.pick(&[1][..], &[1, 4, 16, 64][..]);
-    let trials = effort.pick(6, 30);
-    for &d in d_values {
-        for &n in n_values {
-            let m = mean_moves(d, n, 1, trials, 0xE7_0000 ^ d ^ (n as u64) << 20);
-            let env = (d * d) as f64 / n as f64 + d as f64;
-            table.row(vec![
-                "D x n".into(),
-                d.to_string(),
-                n.to_string(),
-                "1".into(),
-                fnum(m),
-                fnum(env),
-                fnum(m / env),
-            ]);
+/// Mean moves for the uniform algorithm at the given parameters.
+pub fn mean_moves(d: u64, n: usize, ell: u32, trials: u64, seed: u64) -> f64 {
+    run_trials(&scenario(d, n, ell), trials, seed).summary().mean_moves()
+}
+
+impl Experiment for E7Uniform {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig {
+            cells: d_values(effort).len() * n_values(effort).len() + ells(effort).len(),
+            trials_per_cell: trials(effort),
         }
     }
-    // Sweep 2: ell at fixed D, n.
-    let ells: &[u32] = effort.pick(&[1, 2][..], &[1, 2, 3, 4][..]);
-    let (d, n) = (32u64, 4usize);
-    for &ell in ells {
-        let m = mean_moves(d, n, ell, trials, 0xE7_1111 ^ (ell as u64) << 8);
-        let env = (d * d) as f64 / n as f64 + d as f64;
-        table.row(vec![
-            "ell".into(),
-            d.to_string(),
-            n.to_string(),
-            ell.to_string(),
-            fnum(m),
-            fnum(env),
-            fnum(m / env),
-        ]);
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "sweep",
+                "D",
+                "n",
+                "ell",
+                "mean moves",
+                "envelope D^2/n+D",
+                "ratio (2^{O(l)} overshoot)",
+            ],
+        );
+        report.param("trials", trials);
+        // Sweep 1: D x n at ell = 1; sweep 2: ell at fixed D, n. One
+        // batched job list covers both.
+        let (fixed_d, fixed_n) = (32u64, 4usize);
+        let mut cells: Vec<(&str, u64, usize, u32, u64)> = Vec::new();
+        for &d in d_values(cfg.effort) {
+            for &n in n_values(cfg.effort) {
+                cells.push(("D x n", d, n, 1, 0xE7_0000 ^ d ^ (n as u64) << 20));
+            }
+        }
+        for &ell in ells(cfg.effort) {
+            cells.push(("ell", fixed_d, fixed_n, ell, 0xE7_1111 ^ (ell as u64) << 8));
+        }
+        let jobs: Vec<SweepJob> = cells
+            .iter()
+            .map(|&(_, d, n, ell, tag)| SweepJob::new(scenario(d, n, ell), trials, cfg.seed(tag)))
+            .collect();
+        for (&(sweep, d, n, ell, _), outcome) in cells.iter().zip(run_sweep(&jobs, cfg.threads)) {
+            let m = outcome.summary().mean_moves();
+            let env = (d * d) as f64 / n as f64 + d as f64;
+            report.row(vec![
+                sweep.into(),
+                d.into(),
+                n.into(),
+                ell.into(),
+                m.into(),
+                env.into(),
+                (m / env).into(),
+            ]);
+        }
+        report
     }
-    table
 }
 
 #[cfg(test)]
@@ -109,7 +146,8 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 3);
+        let r = E7Uniform.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.len(), E7Uniform.config(Effort::Smoke).cells);
     }
 }

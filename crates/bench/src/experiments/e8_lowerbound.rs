@@ -8,23 +8,41 @@
 //! whether an adversarial cell survives, and the rate at which a uniformly
 //! random target is found (the theorem's `o(1)`). The contrast row runs
 //! Algorithm 1 at the same budget: coverage near 1, adversarial target
-//! found.
+//! found (against a *corner* target — the `target` column names the
+//! placement).
+//!
+//! Implements [`Experiment`]; the find-rate scenarios (5 zoo members + 1
+//! contrast per `D`) fan across one pool via [`run_sweep`]; the coverage
+//! measurements stay serial (they are joint-grid walks, not trials).
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_automaton::{library, Pfa};
 use ants_core::baselines::AutomatonStrategy;
 use ants_core::NonUniformSearch;
 use ants_grid::{Rect, TargetPlacement};
 use ants_rng::derive_rng;
 use ants_sim::coverage::measure;
-use ants_sim::report::{fnum, Table};
-use ants_sim::{run_trials, Scenario, StrategyFactory};
+use ants_sim::{run_sweep, Scenario, StrategyFactory, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e8",
     id: "E8 (Theorem 4.1 / Corollary 4.11)",
     claim: "chi <= log log D - w(1) => joint coverage o(D^2) within D^2 steps; adversarial target missed, uniform target found with probability o(1)",
 };
+
+/// The E8 harness.
+pub struct E8LowerBound;
+
+const N_AGENTS: usize = 4;
+
+fn d_values(effort: Effort) -> &'static [u64] {
+    effort.pick(&[32][..], &[64, 128, 256][..])
+}
+
+fn trials(effort: Effort) -> u64 {
+    effort.pick(10, 40)
+}
 
 /// The low-χ automaton zoo.
 pub fn zoo() -> Vec<(&'static str, Pfa)> {
@@ -38,71 +56,104 @@ pub fn zoo() -> Vec<(&'static str, Pfa)> {
     ]
 }
 
-/// Fraction of trials in which `n` agents find a uniformly placed target
-/// within `budget` moves each.
-fn uniform_target_find_rate(pfa: &Pfa, n: usize, d: u64, budget: u64, trials: u64) -> f64 {
+/// Scenario: `n` agents of `pfa` hunting a uniform target at distance `d`.
+fn zoo_scenario(pfa: &Pfa, d: u64, budget: u64) -> Scenario {
     let pfa = pfa.clone();
-    let scenario = Scenario::builder()
-        .agents(n)
+    Scenario::builder()
+        .agents(N_AGENTS)
         .target(TargetPlacement::UniformInBall { distance: d })
         .move_budget(budget)
         .strategy(move |_| Box::new(AutomatonStrategy::new(pfa.clone())))
-        .build();
-    run_trials(&scenario, trials, 0xE8_0001 ^ d).summary().success_rate()
+        .build()
 }
 
-/// Run the sweep.
-pub fn run(effort: Effort) -> Table {
-    let d_values: &[u64] = effort.pick(&[32][..], &[64, 128, 256][..]);
-    let n = 4usize;
-    let trials = effort.pick(10, 40);
-    let mut table = Table::new(vec![
-        "automaton",
-        "chi",
-        "D",
-        "coverage of ball",
-        "adversarial cell left",
-        "uniform-target find rate",
-    ]);
-    for &d in d_values {
-        let budget = d * d;
-        for (name, pfa) in zoo() {
-            let factory: StrategyFactory = {
-                let pfa = pfa.clone();
-                Box::new(move |_| Box::new(AutomatonStrategy::new(pfa.clone())))
-            };
-            let report = measure(&factory, n, budget, Rect::ball(d), 0xE8_0100 ^ d);
-            let find = uniform_target_find_rate(&pfa, n, d, budget, trials);
-            table.row(vec![
-                name.into(),
-                fnum(pfa.chi()),
-                d.to_string(),
-                format!("{:.4}", report.coverage()),
-                report.adversarial_target().is_some().to_string(),
-                format!("{find:.2}"),
+impl Experiment for E8LowerBound {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        SweepConfig {
+            cells: d_values(effort).len() * (zoo().len() + 1),
+            trials_per_cell: trials(effort),
+        }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let trials = trials(cfg.effort);
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "automaton",
+                "chi",
+                "D",
+                "coverage of ball",
+                "adversarial cell left",
+                "find rate",
+                "target",
+            ],
+        );
+        report.param("n_agents", N_AGENTS).param("trials", trials);
+        // One batched job list: per D, the 5 zoo find-rate scenarios plus
+        // the Algorithm 1 corner contrast.
+        let mut jobs: Vec<SweepJob> = Vec::new();
+        for &d in d_values(cfg.effort) {
+            let budget = d * d;
+            for (_, pfa) in zoo() {
+                jobs.push(SweepJob::new(
+                    zoo_scenario(&pfa, d, budget),
+                    trials,
+                    cfg.seed(0xE8_0001 ^ d),
+                ));
+            }
+            let contrast = Scenario::builder()
+                .agents(N_AGENTS)
+                .target(TargetPlacement::Corner { distance: d })
+                .move_budget(8 * budget)
+                .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid")))
+                .build();
+            jobs.push(SweepJob::new(contrast, trials, cfg.seed(0xE8_0300 ^ d)));
+        }
+        let mut outcomes = run_sweep(&jobs, cfg.threads).into_iter();
+        for &d in d_values(cfg.effort) {
+            let budget = d * d;
+            for (name, pfa) in zoo() {
+                let factory: StrategyFactory = {
+                    let pfa = pfa.clone();
+                    Box::new(move |_| Box::new(AutomatonStrategy::new(pfa.clone())))
+                };
+                let cover =
+                    measure(&factory, N_AGENTS, budget, Rect::ball(d), cfg.seed(0xE8_0100 ^ d));
+                let find = outcomes.next().expect("zoo outcome").summary().success_rate();
+                report.row(vec![
+                    name.into(),
+                    pfa.chi().into(),
+                    d.into(),
+                    cover.coverage().into(),
+                    cover.adversarial_target().is_some().into(),
+                    find.into(),
+                    "uniform".into(),
+                ]);
+            }
+            // Contrast: Algorithm 1 (above the threshold) at the same budget.
+            let factory: StrategyFactory =
+                Box::new(move |_| Box::new(NonUniformSearch::new(d).expect("valid")));
+            let cover =
+                measure(&factory, N_AGENTS, 8 * budget, Rect::ball(d), cfg.seed(0xE8_0200 ^ d));
+            let corner_rate = outcomes.next().expect("contrast outcome").summary().success_rate();
+            report.row(vec![
+                "Algorithm 1 (contrast)".into(),
+                (2.0 * (d as f64).log2().log2() + 4.0).into(),
+                d.into(),
+                cover.coverage().into(),
+                cover.adversarial_target().is_some().into(),
+                corner_rate.into(),
+                "corner".into(),
             ]);
         }
-        // Contrast: Algorithm 1 (above the threshold) at the same budget.
-        let factory: StrategyFactory =
-            Box::new(move |_| Box::new(NonUniformSearch::new(d).expect("valid")));
-        let report = measure(&factory, n, 8 * budget, Rect::ball(d), 0xE8_0200 ^ d);
-        let scenario = Scenario::builder()
-            .agents(n)
-            .target(TargetPlacement::Corner { distance: d })
-            .move_budget(8 * budget)
-            .strategy(move |_| Box::new(NonUniformSearch::new(d).expect("valid")))
-            .build();
-        let corner_rate = run_trials(&scenario, trials, 0xE8_0300 ^ d).summary().success_rate();
-        table.row(vec![
-            "Algorithm 1 (contrast)".into(),
-            fnum(2.0 * (d as f64).log2().log2() + 4.0),
-            d.to_string(),
-            format!("{:.4}", report.coverage()),
-            report.adversarial_target().is_some().to_string(),
-            format!("{corner_rate:.2} (corner!)"),
-        ]);
+        report
     }
-    table
 }
 
 #[cfg(test)]
@@ -152,7 +203,18 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 6); // 5 zoo members + contrast
+        let r = E8LowerBound.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 6); // 5 zoo members + contrast
+        assert_eq!(r.len(), E8LowerBound.config(Effort::Smoke).cells);
+        // The contrast row (Algorithm 1, above the threshold) covers more
+        // of the ball than any zoo member at the same D.
+        let contrast = r.num(5, "coverage of ball");
+        for row in 0..5 {
+            let zoo_cover = r.num(row, "coverage of ball");
+            assert!(
+                contrast > zoo_cover,
+                "Algorithm 1 coverage {contrast} should beat zoo row {row} ({zoo_cover})"
+            );
+        }
     }
 }

@@ -1,30 +1,45 @@
 //! E9 — the headline trade-off: speed-up versus selection complexity.
 //!
 //! At fixed `D` and `n`, run every strategy with `n = 1` and with `n`
-//! agents; speed-up is the ratio of mean `M_moves`. Plotting speed-up
+//! agents; speed-up is the ratio of median `M_moves`. Plotting speed-up
 //! against `χ` exposes the paper's knee at `χ ≈ log log D`: strategies
 //! below the threshold (random walks, tiny PFAs) are stuck near
 //! `min{log n, D^{o(1)}}`; strategies at or above it (Algorithms 1/5,
 //! harmonic search) reach `Θ(min{n, D})`.
+//!
+//! Medians, not means: below-threshold strategies have heavy-tailed or
+//! infinite-expectation hitting times, and budget-truncated means would
+//! flatter them.
+//!
+//! Implements [`Experiment`]; the whole zoo (two scenarios per strategy)
+//! fans across one pool via [`run_sweep`] — each strategy's factory is
+//! shared between its `n = 1` and `n = n` scenarios through an `Arc`.
 
-use super::{Effort, ExperimentMeta};
+use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_automaton::library;
 use ants_core::baselines::{AutomatonStrategy, HarmonicSearch, RandomWalk};
 use ants_core::{CoinNonUniformSearch, NonUniformSearch, SearchStrategy as _, UniformSearch};
 use ants_grid::TargetPlacement;
-use ants_sim::report::{fnum, Table};
-use ants_sim::StrategyFactory;
+use ants_sim::{run_sweep, Outcome, Scenario, StrategyFactory, SweepJob};
+use std::sync::Arc;
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
+    key: "e9",
     id: "E9 (headline trade-off)",
     claim: "speed-up vs chi shows the knee at log log D: below it speed-up ~ min{log n, D^{o(1)}}, above it ~ min{n, D}",
 };
 
+/// The E9 harness.
+pub struct E9Tradeoff;
+
 /// A named strategy factory with its static χ (at the experiment's D).
+///
+/// The factory sits behind an `Arc` so the `n = 1` and `n = n` scenarios
+/// of the same strategy can share it.
 struct Entry {
     name: &'static str,
-    factory: StrategyFactory,
+    factory: Arc<StrategyFactory>,
     chi: f64,
 }
 
@@ -35,32 +50,36 @@ fn entries(d: u64, n: usize) -> Vec<Entry> {
     vec![
         Entry {
             name: "random walk",
-            factory: Box::new(|_| Box::new(RandomWalk::new())),
+            factory: Arc::new(Box::new(|_| Box::new(RandomWalk::new()))),
             chi: RandomWalk::new().selection_complexity().chi(),
         },
         Entry {
             name: "tiny pfa",
             factory: {
                 let t = tiny.clone();
-                Box::new(move |_| Box::new(AutomatonStrategy::new(t.clone())))
+                Arc::new(Box::new(move |_| Box::new(AutomatonStrategy::new(t.clone()))))
             },
             chi: tiny_chi,
         },
         Entry {
             name: "Alg 1 + coin",
-            factory: Box::new(move |_| Box::new(CoinNonUniformSearch::new(d, 1).expect("valid"))),
+            factory: Arc::new(Box::new(move |_| {
+                Box::new(CoinNonUniformSearch::new(d, 1).expect("valid"))
+            })),
             chi: CoinNonUniformSearch::new(d, 1).expect("valid").selection_complexity().chi(),
         },
         Entry {
             name: "Alg 1 plain",
-            factory: Box::new(move |_| Box::new(NonUniformSearch::new(d).expect("valid"))),
+            factory: Arc::new(Box::new(move |_| {
+                Box::new(NonUniformSearch::new(d).expect("valid"))
+            })),
             chi: NonUniformSearch::new(d).expect("valid").selection_complexity().chi(),
         },
         Entry {
             name: "Alg 5 uniform",
-            factory: Box::new(move |_| {
+            factory: Arc::new(Box::new(move |_| {
                 Box::new(UniformSearch::new(1, n as u64, 2).expect("valid"))
-            }),
+            })),
             // chi at the success phase i0 ~ log2 D: 3 log log D + O(1)
             // (Theorem 3.14's footprint; the engine also measures this
             // dynamically via TrialResult::chi_footprint).
@@ -68,153 +87,114 @@ fn entries(d: u64, n: usize) -> Vec<Entry> {
         },
         Entry {
             name: "harmonic (FKLS)",
-            factory: Box::new(move |_| Box::new(HarmonicSearch::new(n as u64))),
+            factory: Arc::new(Box::new(move |_| Box::new(HarmonicSearch::new(n as u64)))),
             // Memory at the success phase ~ 2 log D + O(1).
             chi: 2.0 * (d as f64).log2() + 5.0,
         },
     ]
 }
 
-/// Mean moves for a factory at a given agent count.
-///
-/// Drives the trials directly (the factory is borrowed, while
-/// [`Scenario`] requires an owned `'static` factory).
-fn mean_moves(factory: &StrategyFactory, d: u64, n: usize, trials: u64, seed: u64) -> (f64, f64) {
-    let budget = d * d * 400 + 100_000;
-    let run_with = |agents: usize, s: u64| {
-        let mut results = Vec::new();
-        for t in 0..trials {
-            let trial_seed = s ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut target_rng = ants_rng::derive_rng(trial_seed, u64::MAX);
-            let target = TargetPlacement::UniformInBall { distance: d }.place(&mut target_rng);
-            let mut best: Option<u64> = None;
-            for agent_idx in 0..agents {
-                let cap = best.map_or(budget, |b| b.saturating_sub(1));
-                if cap == 0 {
-                    break;
-                }
-                let mut strat = factory(agent_idx);
-                let mut rng = ants_rng::derive_rng(trial_seed, agent_idx as u64);
-                let mut pos = ants_grid::Point::ORIGIN;
-                let mut moves = 0u64;
-                while moves < cap {
-                    let a = strat.step(&mut rng);
-                    if a.is_move() {
-                        moves += 1;
-                    }
-                    pos = ants_core::apply_action(pos, a);
-                    if pos == target {
-                        best = Some(moves);
-                        break;
-                    }
-                }
-            }
-            if let Some(m) = best {
-                results.push(m as f64);
-            }
-        }
-        if results.is_empty() {
-            return f64::NAN;
-        }
-        // Median, not mean: below-threshold strategies (random walks)
-        // have heavy-tailed or infinite-expectation hitting times, and
-        // budget-truncated means would flatter them.
-        results.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let k = results.len();
-        if k % 2 == 1 {
-            results[k / 2]
-        } else {
-            (results[k / 2 - 1] + results[k / 2]) / 2.0
-        }
-    };
-    (run_with(1, seed), run_with(n, seed ^ 0xABCD))
+/// Scenario for one entry at a given agent count.
+fn entry_scenario(entry: &Entry, d: u64, agents: usize) -> Scenario {
+    let factory = Arc::clone(&entry.factory);
+    Scenario::builder()
+        .agents(agents)
+        .target(TargetPlacement::UniformInBall { distance: d })
+        .move_budget(d * d * 400 + 100_000)
+        .strategy(move |i| factory(i))
+        .build()
 }
 
-/// Run the trade-off table.
-pub fn run(effort: Effort) -> Table {
-    let d = effort.pick(16u64, 64);
-    let n = effort.pick(4usize, 64);
-    let trials = effort.pick(6u64, 30);
-    let threshold = (d as f64).log2().log2();
-    let mut table = Table::new(vec![
-        "strategy",
-        "chi",
-        "vs threshold loglogD",
-        "T(1) median",
-        "T(n) median",
-        "speed-up",
-        "optimal min{n,D}",
-    ]);
-    for e in entries(d, n) {
-        let (t1, tn) = mean_moves(&e.factory, d, n, trials, 0xE9_0000 ^ d);
-        let speedup = if t1.is_nan() || tn.is_nan() { f64::NAN } else { t1 / tn };
-        table.row(vec![
-            e.name.into(),
-            fnum(e.chi),
-            if e.chi < threshold { "below".into() } else { "above".into() },
-            if t1.is_nan() { "timeout".into() } else { fnum(t1) },
-            if tn.is_nan() { "timeout".into() } else { fnum(tn) },
-            if speedup.is_nan() { "-".into() } else { fnum(speedup) },
-            fnum((n as f64).min(d as f64)),
-        ]);
+/// Median `M_moves` over successful trials, NaN when every trial timed
+/// out within the budget.
+fn median_or_nan(outcome: &Outcome) -> f64 {
+    let s = outcome.summary();
+    if s.found() == 0 {
+        f64::NAN
+    } else {
+        s.median_moves()
     }
-    table
+}
+
+fn params(effort: Effort) -> (u64, usize, u64) {
+    (effort.pick(16u64, 64), effort.pick(4usize, 64), effort.pick(6u64, 30))
+}
+
+impl Experiment for E9Tradeoff {
+    fn meta(&self) -> &ExperimentMeta {
+        &META
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        let (d, n, trials) = params(effort);
+        SweepConfig { cells: entries(d, n).len(), trials_per_cell: 2 * trials }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let (d, n, trials) = params(cfg.effort);
+        let threshold = (d as f64).log2().log2();
+        let mut report = Report::new(
+            &META,
+            cfg,
+            vec![
+                "strategy",
+                "chi",
+                "vs threshold loglogD",
+                "T(1) median",
+                "T(n) median",
+                "speed-up",
+                "optimal min{n,D}",
+            ],
+        );
+        report.param("D", d).param("n", n).param("trials", trials);
+        let zoo = entries(d, n);
+        let seed = cfg.seed(0xE9_0000 ^ d);
+        let jobs: Vec<SweepJob> = zoo
+            .iter()
+            .flat_map(|e| {
+                [
+                    SweepJob::new(entry_scenario(e, d, 1), trials, seed),
+                    SweepJob::new(entry_scenario(e, d, n), trials, seed ^ 0xABCD),
+                ]
+            })
+            .collect();
+        let outcomes = run_sweep(&jobs, cfg.threads);
+        for (i, e) in zoo.iter().enumerate() {
+            let t1 = median_or_nan(&outcomes[2 * i]);
+            let tn = median_or_nan(&outcomes[2 * i + 1]);
+            report.row(vec![
+                e.name.into(),
+                e.chi.into(),
+                if e.chi < threshold { "below" } else { "above" }.into(),
+                t1.into(),
+                tn.into(),
+                (t1 / tn).into(),
+                (n as f64).min(d as f64).into(),
+            ]);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ants_sim::run_trials;
 
-    /// Median T(n) only (skips the expensive single-agent run).
-    fn median_at_n(factory: &StrategyFactory, d: u64, n: usize, trials: u64, seed: u64) -> f64 {
-        let budget = d * d * 400 + 100_000;
-        let mut results = Vec::new();
-        for t in 0..trials {
-            let trial_seed = seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut target_rng = ants_rng::derive_rng(trial_seed, u64::MAX);
-            let target = TargetPlacement::UniformInBall { distance: d }.place(&mut target_rng);
-            let mut best: Option<u64> = None;
-            for agent_idx in 0..n {
-                let cap = best.map_or(budget, |b| b.saturating_sub(1));
-                if cap == 0 {
-                    break;
-                }
-                let mut strat = factory(agent_idx);
-                let mut rng = ants_rng::derive_rng(trial_seed, agent_idx as u64);
-                let mut pos = ants_grid::Point::ORIGIN;
-                let mut moves = 0u64;
-                while moves < cap {
-                    let a = strat.step(&mut rng);
-                    if a.is_move() {
-                        moves += 1;
-                    }
-                    pos = ants_core::apply_action(pos, a);
-                    if pos == target {
-                        best = Some(moves);
-                        break;
-                    }
-                }
-            }
-            if let Some(m) = best {
-                results.push(m as f64);
-            }
-        }
-        results.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        results[results.len() / 2]
+    /// Median T(n) for one entry through the engine.
+    fn median_at_n(entry: &Entry, d: u64, n: usize, trials: u64, seed: u64) -> f64 {
+        median_or_nan(&run_trials(&entry_scenario(entry, d, n), trials, seed))
     }
 
     #[test]
     fn above_threshold_wins_outright_at_n() {
         // The robust form of the headline claim: once n exceeds the
-        // random-walk saturation point (measured: the walk stops improving
-        // near n ~ 32 at D = 32, exactly the min{log n, .} ceiling at
+        // random-walk saturation point (the min{log n, .} ceiling at
         // work), Algorithm 1 keeps scaling and wins clearly.
         let (d, n, trials) = (32u64, 64usize, 120u64);
         let es = entries(d, n);
-        let rw = &es[0]; // random walk
-        let alg1 = &es[3]; // plain Alg 1
-        let rwn = median_at_n(&rw.factory, d, n, trials, 1);
-        let an = median_at_n(&alg1.factory, d, n, trials, 2);
+        let rwn = median_at_n(&es[0], d, n, trials, 1); // random walk
+        let an = median_at_n(&es[3], d, n, trials, 2); // plain Alg 1
         assert!(
             an * 1.1 < rwn,
             "Algorithm 1 at n = {n} ({an}) should clearly beat the random walk ({rwn})"
@@ -225,15 +205,16 @@ mod tests {
     fn alg1_speedup_is_substantial() {
         let (d, n, trials) = (16u64, 8usize, 15u64);
         let es = entries(d, n);
-        let alg1 = &es[3];
-        let (a1, an) = mean_moves(&alg1.factory, d, n, trials, 3);
-        let sp = a1 / an;
+        let t1 = median_at_n(&es[3], d, 1, trials, 3);
+        let tn = median_at_n(&es[3], d, n, trials, 4);
+        let sp = t1 / tn;
         assert!(sp > 2.0, "Algorithm 1 speed-up {sp} at n = 8 should be substantial");
     }
 
     #[test]
     fn smoke_runs() {
-        let t = run(Effort::Smoke);
-        assert_eq!(t.len(), 6);
+        let r = E9Tradeoff.run(&RunConfig::smoke());
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.len(), E9Tradeoff.config(Effort::Smoke).cells);
     }
 }

@@ -1,8 +1,13 @@
 //! # ants-bench — experiment harnesses
 //!
-//! One module per experiment in DESIGN.md's index (E1–E14). Every module
-//! exposes `run(effort) -> ants_sim::report::Table`, printed by the
-//! `exp_*` binaries and by `ants-cli`. Tests run every experiment at
+//! One module per experiment (E1–E15), each implementing the
+//! [`Experiment`] trait: identity ([`experiments::ExperimentMeta`]),
+//! sweep shape ([`experiments::SweepConfig`]), and a `run` that returns a
+//! typed [`Report`] (numbers stay `f64`/`u64` until render time; text,
+//! CSV, and JSON all derive from the same records). The shared
+//! [`Runner`] stamps wall-clock times and writes
+//! `target/reports/<id>.json`; scenario grids fan across one thread pool
+//! via `ants_sim::run_sweep`. Tests run every experiment at
 //! [`Effort::Smoke`] so the whole battery stays exercised in CI.
 //!
 //! The paper is a theory paper — its "tables and figures" are the
@@ -14,5 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod runner;
 
-pub use experiments::Effort;
+pub use experiments::{Effort, Experiment, Report, RunConfig};
+pub use runner::Runner;

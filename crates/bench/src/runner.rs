@@ -1,0 +1,187 @@
+//! The shared experiment runner: wall-clock stamping, JSON report files,
+//! and the flag parsing the CLI and the 15 `exp_*` binaries have in
+//! common.
+
+use crate::experiments::{self, Effort, Experiment, Report, RunConfig};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Default directory for machine-readable reports, relative to the
+/// working directory.
+pub const REPORT_DIR: &str = "target/reports";
+
+/// Runs experiments under one [`RunConfig`], stamping wall-clock times.
+pub struct Runner {
+    cfg: RunConfig,
+}
+
+impl Runner {
+    /// A runner with the given configuration.
+    pub fn new(cfg: RunConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this runner applies.
+    pub fn cfg(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Run one experiment and stamp its wall-clock time.
+    pub fn run(&self, exp: &dyn Experiment) -> Report {
+        let start = Instant::now();
+        let mut report = exp.run(&self.cfg);
+        report.set_wall_ms(start.elapsed().as_secs_f64() * 1e3);
+        report
+    }
+
+    /// Run the whole battery, in registry order.
+    pub fn run_all(&self) -> Vec<Report> {
+        experiments::all().iter().map(|e| self.run(e.as_ref())).collect()
+    }
+
+    /// Write a report's JSON document to `dir/<key>.json` (creating the
+    /// directory), returning the path.
+    pub fn write_json(report: &Report, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", report.key()));
+        std::fs::write(&path, report.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Flags shared by `ants run`/`ants all` and the `exp_*` binaries.
+#[derive(Debug, Clone)]
+pub struct Flags {
+    /// Effort, seed, and thread policy.
+    pub cfg: RunConfig,
+    /// `--json`: write `target/reports/<key>.json`.
+    pub json: bool,
+    /// `--csv`: print the table as CSV after the text rendering.
+    pub csv: bool,
+}
+
+/// Parse the common run flags: `--smoke`, `--effort smoke|standard`,
+/// `--seed N`, `--threads K`, `--json`, `--csv`.
+///
+/// Unknown arguments are an error (callers print usage).
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut cfg = RunConfig::standard();
+    let mut json = false;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => cfg.effort = Effort::Smoke,
+            "--effort" => {
+                let v = it.next().ok_or("--effort needs a value (smoke|standard)")?;
+                cfg.effort = Effort::parse(v).ok_or(format!("unknown effort '{v}'"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.base_seed = v.parse().map_err(|_| format!("invalid seed '{v}'"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let t: usize = v.parse().map_err(|_| format!("invalid thread count '{v}'"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cfg.threads = Some(t);
+            }
+            "--json" => json = true,
+            "--csv" => csv = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Flags { cfg, json, csv })
+}
+
+/// Print a finished report and honour the `--csv`/`--json` flags:
+/// CSV after the text table, JSON to [`REPORT_DIR`] (exits with status 1
+/// if the file cannot be written).
+pub fn emit(report: &Report, csv: bool, json: bool) {
+    print!("{report}");
+    if csv {
+        print!("{}", report.to_csv());
+    }
+    if json {
+        match Runner::write_json(report, Path::new(REPORT_DIR)) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write JSON report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Entry point for the 15 `exp_*` binaries: parse flags, run the one
+/// experiment at publication scale (or `--smoke`), print, and honour
+/// `--csv`/`--json`.
+pub fn bin_main(exp: &dyn Experiment) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: {} [--smoke | --effort smoke|standard] [--seed N] \
+                 [--threads K] [--csv] [--json]",
+                exp.meta().key
+            );
+            std::process::exit(2);
+        }
+    };
+    emit(&Runner::new(flags.cfg).run(exp), flags.csv, flags.json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_surface() {
+        let f = parse_flags(&args(&["--smoke", "--seed", "42", "--threads", "3", "--json"]))
+            .expect("valid flags");
+        assert_eq!(f.cfg.effort, Effort::Smoke);
+        assert_eq!(f.cfg.base_seed, 42);
+        assert_eq!(f.cfg.threads, Some(3));
+        assert!(f.json);
+        assert!(!f.csv);
+    }
+
+    #[test]
+    fn effort_flag_overrides_default() {
+        let f = parse_flags(&args(&["--effort", "smoke", "--csv"])).unwrap();
+        assert_eq!(f.cfg.effort, Effort::Smoke);
+        assert!(f.csv);
+        let f = parse_flags(&args(&["--effort", "standard"])).unwrap();
+        assert_eq!(f.cfg.effort, Effort::Standard);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_flags(&args(&["--bogus"])).is_err());
+        assert!(parse_flags(&args(&["--seed"])).is_err());
+        assert!(parse_flags(&args(&["--seed", "x"])).is_err());
+        assert!(parse_flags(&args(&["--effort", "publication"])).is_err());
+        assert!(parse_flags(&args(&["--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn runner_stamps_wall_clock_and_writes_json() {
+        let exp = crate::experiments::find("e3").expect("e3 registered");
+        let report = Runner::new(RunConfig::smoke()).run(exp.as_ref());
+        assert!(report.wall_ms().is_finite() && report.wall_ms() >= 0.0);
+        let dir = std::env::temp_dir().join(format!("ants-report-test-{}", std::process::id()));
+        let path = Runner::write_json(&report, &dir).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let parsed = ants_sim::json::Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("id").and_then(|v| v.as_str()), Some("e3"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,95 @@
+//! Registry completeness: every experiment module must be registered in
+//! `experiments::all()`, with a well-formed unique key, so adding an E16
+//! module without wiring it into the registry (and therefore the CLI)
+//! fails CI.
+
+use ants_bench::experiments::{self, Effort};
+use ants_bench::RunConfig;
+
+/// The experiment keys implied by the module list in
+/// `src/experiments/mod.rs` — `pub mod e10_randomwalk;` implies `e10`.
+fn module_keys() -> Vec<String> {
+    let src = include_str!("../src/experiments/mod.rs");
+    let mut keys: Vec<String> = src
+        .lines()
+        .filter_map(|line| line.trim().strip_prefix("pub mod "))
+        .map(|m| {
+            let module = m.trim_end_matches(';');
+            module.split('_').next().expect("module name has a prefix").to_string()
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn registry_matches_the_module_list_exactly() {
+    let mut registered: Vec<String> =
+        experiments::all().iter().map(|e| e.meta().key.to_string()).collect();
+    registered.sort();
+    assert_eq!(
+        registered,
+        module_keys(),
+        "experiments::all() and the `pub mod` list in experiments/mod.rs disagree — \
+         register the new module (or remove the stale registration)"
+    );
+}
+
+#[test]
+fn registry_keys_are_unique_and_well_formed() {
+    let all = experiments::all();
+    let mut seen = std::collections::HashSet::new();
+    for e in &all {
+        let meta = e.meta();
+        assert!(seen.insert(meta.key), "duplicate registry key '{}'", meta.key);
+        assert!(
+            meta.key.strip_prefix('e').is_some_and(|n| n.parse::<u32>().is_ok()),
+            "key '{}' is not of the form e<N>",
+            meta.key
+        );
+        assert!(!meta.id.is_empty() && !meta.claim.is_empty(), "{}: empty id/claim", meta.key);
+        assert_eq!(
+            experiments::find(meta.key).expect("find resolves every registered key").meta().id,
+            meta.id
+        );
+    }
+    assert!(experiments::find("e999").is_none());
+}
+
+#[test]
+fn every_experiment_plans_a_nonempty_sweep() {
+    for e in experiments::all() {
+        for effort in [Effort::Smoke, Effort::Standard] {
+            let cfg = e.config(effort);
+            assert!(cfg.cells > 0, "{}: no cells at {effort:?}", e.meta().key);
+            assert!(cfg.trials_per_cell > 0, "{}: no trials at {effort:?}", e.meta().key);
+        }
+    }
+}
+
+#[test]
+fn reports_serialize_with_stable_field_order() {
+    // One cheap end-to-end check through a real experiment: run E15
+    // (closed-form, fast), serialize, parse, and pin the field order the
+    // dashboards rely on.
+    let exp = experiments::find("e15").expect("registered");
+    let report = ants_bench::Runner::new(RunConfig::smoke()).run(exp.as_ref());
+    assert!(!report.is_empty(), "smoke run must produce rows");
+    let parsed = ants_sim::json::Json::parse(&report.to_json()).expect("valid JSON");
+    assert_eq!(
+        parsed.keys(),
+        vec![
+            "schema", "id", "title", "claim", "effort", "seed", "threads", "wall_ms", "params",
+            "columns", "rows"
+        ]
+    );
+    assert_eq!(parsed.get("id").and_then(|v| v.as_str()), Some("e15"));
+    assert_eq!(parsed.get("effort").and_then(|v| v.as_str()), Some("smoke"));
+    let rows = parsed.get("rows").and_then(|v| v.as_array()).expect("rows array");
+    assert_eq!(rows.len(), report.len());
+    let columns = parsed.get("columns").and_then(|v| v.as_array()).expect("columns array");
+    assert_eq!(columns.len(), report.records().columns().len());
+    // Round-trip: a serialized-again document is byte-identical (stable
+    // order is a property of the serializer, not of a hash map).
+    assert_eq!(report.to_json(), report.to_json());
+}

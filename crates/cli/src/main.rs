@@ -1,44 +1,141 @@
 //! `ants` — the experiment runner.
 //!
 //! ```text
-//! ants list                 # list experiments with their claims
-//! ants run <id> [--smoke]   # run one experiment (e.g. `ants run e7`)
-//! ants all [--smoke]        # run the whole battery
-//! ants demo [D]             # quick visual: coverage of low- vs high-chi agents
+//! ants list [--smoke]            # list experiments, claims, workloads
+//! ants run <id> [flags]          # run one experiment (e.g. `ants run e7`)
+//! ants all [flags]               # run the whole battery
+//! ants demo [D]                  # coverage of low- vs high-chi agents
+//! ants validate [dir]            # validate emitted JSON reports
+//!
+//! flags: --smoke | --effort smoke|standard   effort (default standard)
+//!        --seed N                            shift every sweep's seeds
+//!        --threads K                         pin the sweep thread pool
+//!        --json                              write target/reports/<id>.json
+//!        --csv                               print CSV after the table
 //! ```
+//!
+//! Experiments come from the `ants_bench::experiments` registry (the
+//! [`Experiment`](ants_bench::Experiment) trait); this binary only
+//! parses arguments, streams reports, and validates JSON output.
 
-use ants_bench::experiments::{self, Effort};
+use ants_bench::experiments;
+use ants_bench::runner::{self, emit, parse_flags, Runner};
+use ants_sim::json::Json;
 use ants_sim::report::Table;
+use std::path::Path;
 
-type Runner = fn(Effort) -> Table;
-
-/// The experiment registry: id, claim, runner.
-fn registry() -> Vec<(&'static str, &'static str, Runner)> {
-    use experiments::*;
-    vec![
-        ("e1", e1_nonuniform::META.claim, e1_nonuniform::run as Runner),
-        ("e2", e2_iteration::META.claim, e2_iteration::run),
-        ("e3", e3_coin::META.claim, e3_coin::run),
-        ("e4", e4_walk::META.claim, e4_walk::run),
-        ("e5", e5_square::META.claim, e5_square::run),
-        ("e6", e6_chi::META.claim, e6_chi::run),
-        ("e7", e7_uniform::META.claim, e7_uniform::run),
-        ("e8", e8_lowerbound::META.claim, e8_lowerbound::run),
-        ("e9", e9_tradeoff::META.claim, e9_tradeoff::run),
-        ("e10", e10_randomwalk::META.claim, e10_randomwalk::run),
-        ("e11", e11_b_vs_ell::META.claim, e11_b_vs_ell::run),
-        ("e12", e12_comparator::META.claim, e12_comparator::run),
-        ("e13", e13_drift::META.claim, e13_drift::run),
-        ("e14", e14_iteration_len::META.claim, e14_iteration_len::run),
-        ("e15", e15_mixing::META.claim, e15_mixing::run),
-    ]
+fn usage() -> ! {
+    eprintln!(
+        "usage: ants <list|run <id>|all|demo [D]|validate [dir]> \
+         [--smoke | --effort smoke|standard] [--seed N] [--threads K] [--csv] [--json]\n\
+         reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
+    );
+    std::process::exit(2);
 }
 
-fn effort_from_args(args: &[String]) -> Effort {
-    if args.iter().any(|a| a == "--smoke") {
-        Effort::Smoke
-    } else {
-        Effort::Standard
+fn list(args: &[String]) {
+    // Accept the shared flag surface so `ants list --effort smoke` works
+    // and typos are rejected; only the effort matters for the preview.
+    let flags = parse_flags(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    let effort = flags.cfg.effort;
+    let mut t = Table::new(vec!["id", "cells", "trials/cell", "claim"]);
+    for exp in experiments::all() {
+        let cfg = exp.config(effort);
+        t.row(vec![
+            exp.meta().key.into(),
+            cfg.cells.to_string(),
+            cfg.trials_per_cell.to_string(),
+            exp.meta().claim.into(),
+        ]);
+    }
+    println!("effort: {}\n\n{t}", effort.as_str());
+}
+
+fn run_one(args: &[String]) {
+    let Some(id) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
+    let Some(exp) = experiments::find(id) else {
+        eprintln!("unknown experiment {id}; try `ants list`");
+        std::process::exit(2);
+    };
+    let flags = parse_flags(&args[1..]).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    emit(&Runner::new(flags.cfg).run(exp.as_ref()), flags.csv, flags.json);
+}
+
+fn run_all(args: &[String]) {
+    let flags = parse_flags(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    let runner = Runner::new(flags.cfg);
+    for exp in experiments::all() {
+        emit(&runner.run(exp.as_ref()), flags.csv, flags.json);
+        println!();
+    }
+}
+
+/// Validate every `*.json` report in `dir`: parseable, the right schema,
+/// and at least one data row. Exit code 1 on any failure.
+fn validate(dir: &Path) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        checked += 1;
+        let name = path.display();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {name}: unreadable: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match Json::parse(&text) {
+            Ok(doc) => {
+                let schema = doc.get("schema").and_then(|v| v.as_str());
+                let rows = doc.get("rows").and_then(|v| v.as_array()).map_or(0, <[Json]>::len);
+                let id = doc.get("id").and_then(|v| v.as_str()).unwrap_or("");
+                if schema != Some("ants-report/v1") {
+                    eprintln!("FAIL {name}: unexpected schema {schema:?}");
+                    failures += 1;
+                } else if rows == 0 {
+                    eprintln!("FAIL {name}: no data rows");
+                    failures += 1;
+                } else {
+                    println!("ok   {name}: id {id}, {rows} rows");
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("error: no .json reports in {}", dir.display());
+        std::process::exit(1);
+    }
+    println!("validated {checked} report(s), {failures} failure(s)");
+    if failures > 0 {
+        std::process::exit(1);
     }
 }
 
@@ -70,43 +167,17 @@ fn demo(d: u64) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("list") => {
-            let mut t = Table::new(vec!["id", "claim"]);
-            for (id, claim, _) in registry() {
-                t.row(vec![id.into(), claim.into()]);
-            }
-            println!("{t}");
-        }
-        Some("run") => {
-            let Some(id) = args.get(1) else {
-                eprintln!("usage: ants run <id> [--smoke] [--csv]");
-                std::process::exit(2);
-            };
-            let Some((_, claim, runner)) = registry().into_iter().find(|(rid, _, _)| rid == id)
-            else {
-                eprintln!("unknown experiment {id}; try `ants list`");
-                std::process::exit(2);
-            };
-            println!("== {id} ==\nclaim: {claim}\n");
-            let table = runner(effort_from_args(&args));
-            println!("{table}");
-            if args.iter().any(|a| a == "--csv") {
-                print!("{}", table.to_csv());
-            }
-        }
-        Some("all") => {
-            experiments::run_all(effort_from_args(&args));
-        }
+        Some("list") => list(&args[1..]),
+        Some("run") => run_one(&args[1..]),
+        Some("all") => run_all(&args[1..]),
         Some("demo") => {
             let d = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(24);
             demo(d);
         }
-        _ => {
-            eprintln!(
-                "usage: ants <list|run <id>|all|demo [D]> [--smoke] [--csv]\n\
-                 reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
-            );
-            std::process::exit(2);
+        Some("validate") => {
+            let dir = args.get(1).map_or_else(|| runner::REPORT_DIR.to_string(), Clone::clone);
+            validate(Path::new(&dir));
         }
+        _ => usage(),
     }
 }

@@ -55,6 +55,7 @@ mod strategy;
 mod uniform;
 mod uniform_n;
 
+pub use ants_automaton::GridAction;
 pub use non_uniform::{CoinNonUniformSearch, NonUniformSearch};
 pub use selection::SelectionComplexity;
 pub use strategy::{apply_action, SearchStrategy};

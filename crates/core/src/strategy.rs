@@ -41,6 +41,19 @@ pub trait SearchStrategy: Send {
 
     /// Restart from the initial state (new agent, fresh memory).
     fn reset(&mut self);
+
+    /// Abandon the current origin-to-origin excursion ("guess").
+    ///
+    /// The simulator calls this when a scenario's per-guess move-budget
+    /// ceiling trips (see `ScenarioBuilder::guess_move_ceiling` in
+    /// `ants-sim`): the agent has been teleported home by the return
+    /// oracle and should start its next attempt. Phase-based strategies
+    /// override this to keep their phase progress; the default is a full
+    /// [`reset`](SearchStrategy::reset), which is always model-legal (an
+    /// agent may forget everything) and correct for memoryless baselines.
+    fn abort_guess(&mut self) {
+        self.reset();
+    }
 }
 
 /// Apply a strategy's action to a position, per the model's semantics.
@@ -79,5 +92,29 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes_boxed(_: Box<dyn SearchStrategy>) {}
+    }
+
+    #[test]
+    fn default_abort_guess_is_a_reset() {
+        struct Dummy {
+            resets: u32,
+        }
+        impl SearchStrategy for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn step(&mut self, _rng: &mut DefaultRng) -> GridAction {
+                GridAction::None
+            }
+            fn selection_complexity(&self) -> SelectionComplexity {
+                SelectionComplexity::new(0, 0)
+            }
+            fn reset(&mut self) {
+                self.resets += 1;
+            }
+        }
+        let mut d = Dummy { resets: 0 };
+        d.abort_guess();
+        assert_eq!(d.resets, 1, "default abort_guess must delegate to reset");
     }
 }

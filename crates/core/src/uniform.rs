@@ -155,6 +155,13 @@ impl SearchStrategy for UniformSearch {
         self.phase_i = 1;
         self.state = UniformState::PhaseCoin { tails_run: 0 };
     }
+
+    /// Abandon the current search, keeping the phase: the agent is back
+    /// at the origin and resumes the phase-coin loop, so an interrupted
+    /// overshooting excursion costs progress only within its phase.
+    fn abort_guess(&mut self) {
+        self.state = UniformState::PhaseCoin { tails_run: 0 };
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +269,24 @@ mod tests {
             }
         }
         assert!(searches_seen > 5, "expected several completed searches");
+    }
+
+    #[test]
+    fn abort_guess_keeps_phase() {
+        let mut agent = UniformSearch::new(1, 1, 2).unwrap();
+        let mut rng = derive_rng(9, 0);
+        // Walk until the agent is mid-search in some phase > 1.
+        for _ in 0..200_000 {
+            let _ = agent.step(&mut rng);
+            if agent.phase() > 1 && matches!(agent.state, UniformState::Searching(_)) {
+                break;
+            }
+        }
+        let phase = agent.phase();
+        assert!(phase > 1, "agent never left phase 1 mid-search");
+        agent.abort_guess();
+        assert_eq!(agent.phase(), phase, "abort_guess must not lose phase progress");
+        assert!(matches!(agent.state, UniformState::PhaseCoin { tails_run: 0 }));
     }
 
     #[test]

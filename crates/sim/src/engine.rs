@@ -2,7 +2,7 @@
 
 use crate::metrics::{Outcome, TrialResult};
 use crate::scenario::Scenario;
-use ants_core::{apply_action, SelectionComplexity};
+use ants_core::{apply_action, GridAction, SelectionComplexity};
 use ants_grid::Point;
 use ants_rng::{derive_rng, Rng64, SplitMix64};
 
@@ -37,7 +37,7 @@ pub fn run_trial(scenario: &Scenario, trial_seed: u64) -> TrialResult {
         let mut pos = Point::ORIGIN;
         let mut moves = 0u64;
         let mut steps = 0u64;
-        chi = chi.max(strategy.selection_complexity());
+        let mut guess_moves = 0u64;
         // A target is "found" when the agent's position coincides with it;
         // the origin case is excluded by TargetPlacement's invariants.
         while moves < cap {
@@ -45,13 +45,35 @@ pub fn run_trial(scenario: &Scenario, trial_seed: u64) -> TrialResult {
             steps += 1;
             if action.is_move() {
                 moves += 1;
+                guess_moves += 1;
+            } else if action == GridAction::Origin {
+                guess_moves = 0;
             }
             pos = apply_action(pos, action);
             if pos == target {
                 best = Some((moves, steps, agent_idx));
                 break;
             }
+            if let Some(ceiling) = scenario.guess_move_ceiling() {
+                if guess_moves >= ceiling {
+                    // The guess overshot its budget: give up on this
+                    // excursion, take the return oracle home (free, like
+                    // any GridAction::Origin) and let the strategy start
+                    // its next attempt. Sample chi first — the default
+                    // abort_guess is a full reset, which may shrink a
+                    // phase-based strategy's footprint.
+                    chi = chi.max(strategy.selection_complexity());
+                    strategy.abort_guess();
+                    pos = Point::ORIGIN;
+                    guess_moves = 0;
+                }
+            }
         }
+        // Between aborts the selection-complexity footprint is monotone
+        // over an agent's lifetime (static for fixed automata,
+        // non-decreasing for phase-based strategies whose counters
+        // widen), so sampling here — plus once before each abort above —
+        // captures the whole trial's maximum.
         chi = chi.max(strategy.selection_complexity());
     }
     TrialResult {
@@ -83,6 +105,18 @@ pub fn run_trials_serial(scenario: &Scenario, n_trials: u64, base_seed: u64) -> 
     Outcome::new(trials)
 }
 
+/// Resolve a thread policy to a concrete count.
+///
+/// `None` means "all available cores"; explicit counts are honoured as
+/// given (an oversubscribed count is allowed — useful for benchmarking
+/// the scheduling overhead). Both are clamped to `1..=64`.
+#[cfg(feature = "parallel")]
+fn resolve_threads(threads: Option<usize>) -> usize {
+    threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        .clamp(1, 64)
+}
+
 /// Run `n_trials` independent trials with deterministic per-trial seeds
 /// derived from `base_seed`.
 ///
@@ -91,9 +125,24 @@ pub fn run_trials_serial(scenario: &Scenario, n_trials: u64, base_seed: u64) -> 
 /// seed order), so the outcome is byte-identical to
 /// [`run_trials_serial`] — parallelism changes wall-clock time only.
 pub fn run_trials(scenario: &Scenario, n_trials: u64, base_seed: u64) -> Outcome {
+    run_trials_with(scenario, n_trials, base_seed, None)
+}
+
+/// [`run_trials`] with an explicit thread policy: `Some(k)` pins the
+/// worker count, `None` uses all available cores.
+///
+/// The result is byte-identical across all thread policies (per-trial
+/// seeds are pre-derived); without the `parallel` feature the policy is
+/// ignored and the run is serial.
+pub fn run_trials_with(
+    scenario: &Scenario,
+    n_trials: u64,
+    base_seed: u64,
+    threads: Option<usize>,
+) -> Outcome {
     #[cfg(feature = "parallel")]
     {
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(64);
+        let threads = resolve_threads(threads);
         if threads > 1 && n_trials >= 4 {
             let seeds = trial_seeds(n_trials, base_seed);
             let chunk_len = n_trials.div_ceil(threads as u64) as usize;
@@ -112,7 +161,88 @@ pub fn run_trials(scenario: &Scenario, n_trials: u64, base_seed: u64) -> Outcome
             return Outcome::new(results.into_iter().flatten().collect());
         }
     }
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
     run_trials_serial(scenario, n_trials, base_seed)
+}
+
+/// One cell of a batched scenario sweep: a scenario plus its trial count
+/// and base seed.
+///
+/// The contract is that `run_sweep(&jobs, _)[i]` is byte-identical to
+/// `run_trials_serial(&jobs[i].scenario, jobs[i].trials, jobs[i].seed)` —
+/// batching changes wall-clock time only.
+pub struct SweepJob {
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Number of Monte-Carlo trials.
+    pub trials: u64,
+    /// Base seed for this cell's trial-seed stream.
+    pub seed: u64,
+}
+
+impl SweepJob {
+    /// Bundle a scenario with its trial count and seed.
+    pub fn new(scenario: Scenario, trials: u64, seed: u64) -> Self {
+        Self { scenario, trials, seed }
+    }
+}
+
+/// Run a batch of scenario sweeps across one shared thread pool.
+///
+/// Experiment harnesses sweep parameter grids (E1 runs `D × n` cells);
+/// running each cell through [`run_trials`] parallelises only *within* a
+/// cell and joins the pool between cells, so small cells leave cores
+/// idle. `run_sweep` flattens every `(cell, trial)` pair into one work
+/// list and splits that across the pool, so the whole grid drains without
+/// barriers. Results come back per job, in job order, byte-identical to
+/// the serial path (see [`SweepJob`]).
+///
+/// `threads`: `Some(k)` pins the worker count, `None` uses all available
+/// cores. Without the `parallel` feature the sweep runs serially.
+pub fn run_sweep(jobs: &[SweepJob], threads: Option<usize>) -> Vec<Outcome> {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = resolve_threads(threads);
+        let total: u64 = jobs.iter().map(|j| j.trials).sum();
+        if threads > 1 && total >= 4 {
+            // Flatten to (job index, trial seed) pairs, in job order —
+            // re-assembly below is a plain in-order scan.
+            let flat: Vec<(usize, u64)> = jobs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, j)| trial_seeds(j.trials, j.seed).into_iter().map(move |s| (i, s)))
+                .collect();
+            let chunk_len = flat.len().div_ceil(threads);
+            let chunks: Vec<&[(usize, u64)]> = flat.chunks(chunk_len).collect();
+            let results: Vec<Vec<TrialResult>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&(i, s)| run_trial(&jobs[i].scenario, s))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+            });
+            let mut all = results.into_iter().flatten();
+            return jobs
+                .iter()
+                .map(|j| {
+                    Outcome::new(
+                        (0..j.trials).map(|_| all.next().expect("sweep length mismatch")).collect(),
+                    )
+                })
+                .collect();
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+    jobs.iter().map(|j| run_trials_serial(&j.scenario, j.trials, j.seed)).collect()
 }
 
 #[cfg(test)]
@@ -219,6 +349,75 @@ mod tests {
         let r = run_trial(&s, 11);
         assert!(r.found());
         assert!(r.winner.unwrap() < 4);
+    }
+
+    #[test]
+    fn run_sweep_matches_serial_reference() {
+        let jobs: Vec<SweepJob> = [(3u64, 11u64), (5, 22), (7, 33)]
+            .into_iter()
+            .map(|(d, seed)| SweepJob::new(spiral_scenario(d, 2), 6, seed))
+            .collect();
+        for threads in [None, Some(1), Some(3), Some(16)] {
+            let outcomes = run_sweep(&jobs, threads);
+            assert_eq!(outcomes.len(), jobs.len());
+            for (job, outcome) in jobs.iter().zip(&outcomes) {
+                let reference = run_trials_serial(&job.scenario, job.trials, job.seed);
+                assert_eq!(
+                    outcome.trials(),
+                    reference.trials(),
+                    "sweep diverged from serial at threads {threads:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_sweep_handles_empty_and_tiny_batches() {
+        assert!(run_sweep(&[], None).is_empty());
+        let jobs = vec![SweepJob::new(spiral_scenario(2, 1), 1, 9)];
+        let outcomes = run_sweep(&jobs, Some(8));
+        assert_eq!(outcomes[0].trials(), run_trials_serial(&jobs[0].scenario, 1, 9).trials());
+    }
+
+    #[test]
+    fn run_trials_with_is_thread_count_invariant() {
+        let s = spiral_scenario(4, 2);
+        let reference = run_trials_serial(&s, 12, 77);
+        for threads in [Some(1), Some(2), Some(5), None] {
+            let outcome = run_trials_with(&s, 12, 77, threads);
+            assert_eq!(outcome.trials(), reference.trials(), "threads {threads:?} diverged");
+        }
+    }
+
+    #[test]
+    fn guess_ceiling_aborts_overlong_guesses() {
+        use ants_core::UniformSearch;
+        // A uniform searcher hunting a corner target: without a ceiling
+        // some excursions run very long; with one, every origin-to-origin
+        // segment is bounded, and the target must still be found.
+        let mk = |ceiling: Option<u64>| {
+            let mut b = Scenario::builder()
+                .agents(2)
+                .target(TargetPlacement::Corner { distance: 4 })
+                .move_budget(2_000_000)
+                .strategy(|_| Box::new(UniformSearch::new(1, 2, 2).expect("valid")));
+            if let Some(c) = ceiling {
+                b = b.guess_move_ceiling(c);
+            }
+            b.build()
+        };
+        let capped = run_trials(&mk(Some(1_000)), 12, 5);
+        assert!(
+            capped.summary().success_rate() > 0.8,
+            "ceiling should not stop the search: {}",
+            capped.summary().success_rate()
+        );
+        // Determinism is preserved under the ceiling.
+        let again = run_trials(&mk(Some(1_000)), 12, 5);
+        assert_eq!(capped.trials(), again.trials());
+        // And the ceiling genuinely changes trajectories vs. uncapped.
+        let uncapped = run_trials(&mk(None), 12, 5);
+        assert_ne!(capped.trials(), uncapped.trials());
     }
 
     #[test]

@@ -9,13 +9,18 @@
 //!   (deterministically seeded, optionally across threads) and report the
 //!   paper's metrics `M_moves` and `M_steps` (the minimum over agents of
 //!   moves/steps until the target is found);
+//! * [`run_sweep`] — batch a whole parameter grid of scenarios
+//!   ([`SweepJob`]s) across one shared thread pool, byte-identical to
+//!   running each cell serially;
 //! * [`Summary`] — aggregate statistics with confidence intervals;
 //! * [`RoundExecutor`] — the Section 4 synchronous round model, for
 //!   experiments that need joint per-round positions;
 //! * [`coverage`] — joint visited-cell measurement for the lower-bound
 //!   experiments (Theorem 4.1 is a statement about coverage);
-//! * [`report`] — fixed-width tables and CSV output for the experiment
-//!   harnesses.
+//! * [`report`] — typed records, fixed-width tables, and CSV output for
+//!   the experiment harnesses;
+//! * [`json`] — a dependency-free JSON writer/parser for machine-readable
+//!   reports (the workspace builds offline; no serde).
 //!
 //! The engine exploits the model's defining feature: agents do not
 //! communicate, so their trajectories are independent and each can be
@@ -46,12 +51,13 @@
 
 pub mod coverage;
 mod engine;
+pub mod json;
 mod metrics;
 pub mod report;
 mod rounds;
 mod scenario;
 
-pub use engine::{run_trial, run_trials, run_trials_serial};
+pub use engine::{run_sweep, run_trial, run_trials, run_trials_serial, run_trials_with, SweepJob};
 pub use metrics::{Outcome, Summary, TrialResult};
 pub use rounds::RoundExecutor;
 pub use scenario::{Scenario, ScenarioBuilder, StrategyFactory};

@@ -17,6 +17,7 @@ pub struct Scenario {
     n_agents: usize,
     target: TargetPlacement,
     move_budget: u64,
+    guess_move_ceiling: Option<u64>,
     factory: StrategyFactory,
 }
 
@@ -42,6 +43,22 @@ impl Scenario {
         self.move_budget
     }
 
+    /// Per-guess move-budget ceiling, if any.
+    ///
+    /// A *guess* is one origin-to-origin excursion (the segment between
+    /// two `GridAction::Origin` returns — one iteration of Algorithm 1,
+    /// one `search` of Algorithm 5). When an
+    /// agent exceeds this many moves within a single guess, the engine
+    /// aborts the excursion: the agent takes the return oracle home and
+    /// [`SearchStrategy::abort_guess`](ants_core::SearchStrategy::abort_guess)
+    /// tells the strategy to start its next attempt. This tames the
+    /// geometric overshoot tails of `UniformSearch` (phase-`i` excursions
+    /// are unbounded with tiny probability) without touching the budget
+    /// across guesses.
+    pub fn guess_move_ceiling(&self) -> Option<u64> {
+        self.guess_move_ceiling
+    }
+
     /// Instantiate the strategy for a given agent index.
     pub fn make_strategy(&self, agent: usize) -> Box<dyn SearchStrategy> {
         (self.factory)(agent)
@@ -64,6 +81,7 @@ pub struct ScenarioBuilder {
     n_agents: Option<usize>,
     target: Option<TargetPlacement>,
     move_budget: Option<u64>,
+    guess_move_ceiling: Option<u64>,
     factory: Option<StrategyFactory>,
 }
 
@@ -83,6 +101,22 @@ impl ScenarioBuilder {
     /// Set the per-agent move budget (required).
     pub fn move_budget(mut self, budget: u64) -> Self {
         self.move_budget = Some(budget);
+        self
+    }
+
+    /// Cap the moves an agent may spend inside a single origin-to-origin
+    /// guess (optional; default unlimited).
+    ///
+    /// See [`Scenario::guess_move_ceiling`]. A ceiling below ~`2D` makes
+    /// the target unreachable — pick a multiple of the largest guess area
+    /// you care about (e.g. `64 · D²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ceiling` is zero.
+    pub fn guess_move_ceiling(mut self, ceiling: u64) -> Self {
+        assert!(ceiling >= 1, "guess move ceiling must be positive");
+        self.guess_move_ceiling = Some(ceiling);
         self
     }
 
@@ -109,7 +143,13 @@ impl ScenarioBuilder {
         let move_budget = self.move_budget.expect("scenario move budget is required");
         assert!(move_budget >= 1, "move budget must be positive");
         let factory = self.factory.expect("scenario strategy factory is required");
-        Scenario { n_agents, target, move_budget, factory }
+        Scenario {
+            n_agents,
+            target,
+            move_budget,
+            guess_move_ceiling: self.guess_move_ceiling,
+            factory,
+        }
     }
 }
 
@@ -132,6 +172,7 @@ mod tests {
             .build();
         assert_eq!(s.n_agents(), 7);
         assert_eq!(s.move_budget(), 1000);
+        assert_eq!(s.guess_move_ceiling(), None);
         assert_eq!(s.target(), TargetPlacement::Corner { distance: 3 });
         let agent = s.make_strategy(0);
         assert_eq!(agent.name(), "uniform random walk");
@@ -169,6 +210,28 @@ mod tests {
         let _ = Scenario::builder()
             .target(TargetPlacement::Corner { distance: 1 })
             .move_budget(10)
+            .build();
+    }
+
+    #[test]
+    fn guess_ceiling_is_recorded() {
+        let s = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 2 })
+            .move_budget(100)
+            .guess_move_ceiling(64)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .build();
+        assert_eq!(s.guess_move_ceiling(), Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling must be positive")]
+    fn zero_guess_ceiling_panics() {
+        let _ = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 2 })
+            .move_budget(100)
+            .guess_move_ceiling(0)
+            .strategy(|_| Box::new(RandomWalk::new()))
             .build();
     }
 

@@ -9,6 +9,15 @@
 //! the time to the *first* find scales — the paper's promise is that the
 //! uniform algorithm's time degrades gracefully (closer food is found
 //! faster) even though no agent stores more than `O(log log D)` bits.
+//!
+//! Tail latency: `UniformSearch` excursions have geometric tails, so a
+//! rare excursion can overshoot the interesting range by orders of
+//! magnitude. The scenario's per-guess move-budget ceiling
+//! (`ScenarioBuilder::guess_move_ceiling`) aborts any single
+//! origin-to-origin excursion beyond `64 · D_max²` moves — far outside
+//! the scale that can find food at distance `D_max`, so the statistics
+//! are unaffected while the slowest trials stop dominating wall-clock
+//! time.
 
 use ants::core::UniformSearch;
 use ants::grid::TargetPlacement;
@@ -22,6 +31,8 @@ fn main() {
     let colony_sizes: &[usize] = if smoke { &[4, 16] } else { &[4, 16, 64] };
     let food_distances: &[u64] = if smoke { &[3, 5] } else { &[8, 16, 32, 64] };
     let trials = if smoke { 3 } else { 15 };
+    let d_max = *food_distances.last().expect("non-empty");
+    let guess_ceiling = 64 * d_max * d_max;
 
     println!("foraging: expected moves to the first food find\n");
     let mut table = Table::new(vec![
@@ -38,6 +49,7 @@ fn main() {
                 .agents(n)
                 .target(TargetPlacement::Ring { distance: d })
                 .move_budget(200_000_000)
+                .guess_move_ceiling(guess_ceiling)
                 .strategy(move |_| {
                     Box::new(UniformSearch::new(1, n as u64, 2).expect("valid parameters"))
                 })

@@ -12,12 +12,15 @@
 //! * [`automaton`] — probabilistic finite automata and Markov-chain analysis;
 //! * [`core`] — the paper's search algorithms and the `χ = b + log ℓ` metric;
 //! * [`sim`] — the Monte-Carlo simulation engine and statistics;
-//! * [`analysis`] — lower-bound machinery (coverage prediction, drift).
+//! * [`analysis`] — lower-bound machinery (coverage prediction, drift);
+//! * [`bench`] — the E1–E15 experiment battery behind the
+//!   [`Experiment`](ants_bench::Experiment) trait and its shared runner.
 
 #![forbid(unsafe_code)]
 
 pub use ants_analysis as analysis;
 pub use ants_automaton as automaton;
+pub use ants_bench as bench;
 pub use ants_core as core;
 pub use ants_grid as grid;
 pub use ants_rng as rng;
