@@ -5,13 +5,13 @@
 //! the measured speed-up to `ln n`.
 //!
 //! Implements [`Experiment`]; the `n` sweep fans across one pool via
-//! [`run_sweep`].
+//! [`run_sweep_with`].
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_analysis::speedup;
 use ants_core::baselines::RandomWalk;
 use ants_grid::TargetPlacement;
-use ants_sim::{run_sweep, run_trials, Scenario, SweepJob};
+use ants_sim::{run_sweep_with, run_trials, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -83,7 +83,7 @@ impl Experiment for E10RandomWalk {
                 SweepJob::new(scenario(d, n), trials, seed)
             })
             .collect();
-        let outcomes = run_sweep(&jobs, cfg.threads);
+        let outcomes = run_sweep_with(&jobs, &cfg.sweep_options());
         let t1 = match n_values(cfg.effort).iter().position(|&n| n == 1) {
             Some(i) => outcomes[i].summary().median_moves(),
             None => median_moves(d, 1, trials, base_seed),

@@ -11,12 +11,12 @@
 //! no analogous construction, per the Discussion).
 //!
 //! Implements [`Experiment`]; the split sweep fans across one pool via
-//! [`run_sweep`].
+//! [`run_sweep_with`].
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::{CoinNonUniformSearch, SearchStrategy};
 use ants_grid::TargetPlacement;
-use ants_sim::{run_sweep, Scenario, SweepJob};
+use ants_sim::{run_sweep_with, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -82,7 +82,7 @@ impl Experiment for E11BVsEll {
                 SweepJob::new(scenario, trials, cfg.seed(0xE11_000 ^ (ell as u64)))
             })
             .collect();
-        for (&ell, outcome) in ells.iter().zip(run_sweep(&jobs, cfg.threads)) {
+        for (&ell, outcome) in ells.iter().zip(run_sweep_with(&jobs, &cfg.sweep_options())) {
             let agent = CoinNonUniformSearch::new(d, ell).expect("valid");
             let sc = agent.selection_complexity();
             let summary = outcome.summary();

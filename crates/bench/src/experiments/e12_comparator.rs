@@ -6,13 +6,13 @@
 //! `Θ(log log D)` — the gap that motivates the whole paper.
 //!
 //! Implements [`Experiment`]; the three strategies per `D` fan across one
-//! pool via [`run_sweep`].
+//! pool via [`run_sweep_with`].
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::baselines::HarmonicSearch;
 use ants_core::{CoinNonUniformSearch, UniformSearch};
 use ants_grid::TargetPlacement;
-use ants_sim::{run_sweep, Scenario, SweepJob};
+use ants_sim::{run_sweep_with, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -92,7 +92,7 @@ impl Experiment for E12Comparator {
                 jobs.push(SweepJob::new(scenario, trials, cfg.seed(tag)));
             }
         }
-        for (&(d, name), outcome) in cells.iter().zip(run_sweep(&jobs, cfg.threads)) {
+        for (&(d, name), outcome) in cells.iter().zip(run_sweep_with(&jobs, &cfg.sweep_options())) {
             let log_d = (d as f64).log2();
             let loglog_d = log_d.log2();
             let summary = outcome.summary();

@@ -9,12 +9,12 @@
 //! appears around `n ≈ D`.
 //!
 //! Implements [`Experiment`]; the whole `D × n` grid fans across one
-//! thread pool via [`run_sweep`].
+//! thread pool via [`run_sweep_with`].
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::NonUniformSearch;
 use ants_grid::TargetPlacement;
-use ants_sim::{run_sweep, Scenario, SweepJob};
+use ants_sim::{run_sweep_with, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -78,7 +78,7 @@ impl Experiment for E1Nonuniform {
                 SweepJob::new(scenario, trials, cfg.seed(seed(d, n)))
             })
             .collect();
-        for (&(d, n), outcome) in grid.iter().zip(run_sweep(&jobs, cfg.threads)) {
+        for (&(d, n), outcome) in grid.iter().zip(run_sweep_with(&jobs, &cfg.sweep_options())) {
             let summary = outcome.summary();
             let env = envelope(d, n);
             report.row(vec![

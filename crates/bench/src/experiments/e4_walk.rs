@@ -6,13 +6,18 @@
 //! * `E[moves] < 2^{kℓ}`.
 //!
 //! Implements [`Experiment`]; the walk sampling is bespoke (no scenario
-//! engine), so the thread policy does not apply here. Each lemma check
-//! reports its measured value and its verdict in separate typed columns.
+//! engine), so it routes through [`ants_sim::map_indexed`] — the
+//! engine's agent-level scheduling primitive — instead of `run_sweep`:
+//! per-sample seeds are derived by index and the per-chunk results are
+//! reduced in canonical index order, so the histogram is byte-identical
+//! at every thread count. Each lemma check reports its measured value
+//! and its verdict in separate typed columns.
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::components::GeometricWalk;
 use ants_grid::Direction;
 use ants_rng::derive_rng;
+use ants_sim::map_indexed;
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -75,17 +80,23 @@ impl Experiment for E4Walk {
             ],
         );
         report.param("trials", trials);
+        let opts = cfg.sweep_options();
         for &(k, ell) in cases(cfg.effort) {
             let bound = 1u64 << (k * ell);
             let mut counts = vec![0u64; bound as usize + 1];
             let mut total = 0u64;
             let mut tail = 0u64;
-            for s in 0..trials {
-                let m = walk_length(
+            // Sample the walk lengths across the pool; the fold below is
+            // in canonical sample order (and commutative anyway), so the
+            // histogram is identical at every thread count.
+            let lengths = map_indexed(trials, &opts, |s| {
+                walk_length(
                     k,
                     ell,
                     cfg.seed(0xE4_0000 ^ s ^ ((k as u64) << 40) ^ ((ell as u64) << 48)),
-                );
+                )
+            });
+            for m in lengths {
                 total += m;
                 if m >= bound {
                     tail += 1;

@@ -7,12 +7,12 @@
 //! plain one.
 //!
 //! Implements [`Experiment`]; the spot-check scenarios (coin + plain per
-//! simulation-friendly `D`) fan across one pool via [`run_sweep`].
+//! simulation-friendly `D`) fan across one pool via [`run_sweep_with`].
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::{CoinNonUniformSearch, NonUniformSearch, SearchStrategy, SelectionComplexity};
 use ants_grid::TargetPlacement;
-use ants_sim::{run_sweep, Scenario, SweepJob};
+use ants_sim::{run_sweep_with, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -82,7 +82,7 @@ impl Experiment for E6Chi {
             d_exps(cfg.effort).iter().map(|&e| 1u64 << e).filter(|&d| d <= 256).collect();
         let jobs: Vec<SweepJob> =
             sim_ds.iter().flat_map(|&d| spot_check_jobs(d, trials, cfg)).collect();
-        let outcomes = run_sweep(&jobs, cfg.threads);
+        let outcomes = run_sweep_with(&jobs, &cfg.sweep_options());
         for &d_exp in d_exps(cfg.effort) {
             let d = 1u64 << d_exp;
             let agent = CoinNonUniformSearch::new(d, 1).expect("valid");

@@ -6,12 +6,12 @@
 //! (the overshoot factor should grow roughly like `2^{cℓ}`).
 //!
 //! Implements [`Experiment`]; both sweeps fan across one shared pool via
-//! [`run_sweep`].
+//! [`run_sweep_with`].
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
 use ants_core::UniformSearch;
 use ants_grid::TargetPlacement;
-use ants_sim::{run_sweep, run_trials, Scenario, SweepJob};
+use ants_sim::{run_sweep_with, run_trials, Scenario, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -99,7 +99,9 @@ impl Experiment for E7Uniform {
             .iter()
             .map(|&(_, d, n, ell, tag)| SweepJob::new(scenario(d, n, ell), trials, cfg.seed(tag)))
             .collect();
-        for (&(sweep, d, n, ell, _), outcome) in cells.iter().zip(run_sweep(&jobs, cfg.threads)) {
+        for (&(sweep, d, n, ell, _), outcome) in
+            cells.iter().zip(run_sweep_with(&jobs, &cfg.sweep_options()))
+        {
             let m = outcome.summary().mean_moves();
             let env = (d * d) as f64 / n as f64 + d as f64;
             report.row(vec![

@@ -12,7 +12,7 @@
 //! placement).
 //!
 //! Implements [`Experiment`]; the find-rate scenarios (5 zoo members + 1
-//! contrast per `D`) fan across one pool via [`run_sweep`]; the coverage
+//! contrast per `D`) fan across one pool via [`run_sweep_with`]; the coverage
 //! measurements stay serial (they are joint-grid walks, not trials).
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
@@ -22,7 +22,7 @@ use ants_core::NonUniformSearch;
 use ants_grid::{Rect, TargetPlacement};
 use ants_rng::derive_rng;
 use ants_sim::coverage::measure;
-use ants_sim::{run_sweep, Scenario, StrategyFactory, SweepJob};
+use ants_sim::{run_sweep_with, Scenario, StrategyFactory, SweepJob};
 
 /// Identity and claim.
 pub const META: ExperimentMeta = ExperimentMeta {
@@ -115,7 +115,7 @@ impl Experiment for E8LowerBound {
                 .build();
             jobs.push(SweepJob::new(contrast, trials, cfg.seed(0xE8_0300 ^ d)));
         }
-        let mut outcomes = run_sweep(&jobs, cfg.threads).into_iter();
+        let mut outcomes = run_sweep_with(&jobs, &cfg.sweep_options()).into_iter();
         for &d in d_values(cfg.effort) {
             let budget = d * d;
             for (name, pfa) in zoo() {

@@ -12,7 +12,7 @@
 //! flatter them.
 //!
 //! Implements [`Experiment`]; the whole zoo (two scenarios per strategy)
-//! fans across one pool via [`run_sweep`] — each strategy's factory is
+//! fans across one pool via [`run_sweep_with`] — each strategy's factory is
 //! shared between its `n = 1` and `n = n` scenarios through an `Arc`.
 
 use super::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
@@ -20,7 +20,7 @@ use ants_automaton::library;
 use ants_core::baselines::{AutomatonStrategy, HarmonicSearch, RandomWalk};
 use ants_core::{CoinNonUniformSearch, NonUniformSearch, SearchStrategy as _, UniformSearch};
 use ants_grid::TargetPlacement;
-use ants_sim::{run_sweep, Outcome, Scenario, StrategyFactory, SweepJob};
+use ants_sim::{run_sweep_with, Outcome, Scenario, StrategyFactory, SweepJob};
 use std::sync::Arc;
 
 /// Identity and claim.
@@ -158,7 +158,7 @@ impl Experiment for E9Tradeoff {
                 ]
             })
             .collect();
-        let outcomes = run_sweep(&jobs, cfg.threads);
+        let outcomes = run_sweep_with(&jobs, &cfg.sweep_options());
         for (i, e) in zoo.iter().enumerate() {
             let t1 = median_or_nan(&outcomes[2 * i]);
             let tn = median_or_nan(&outcomes[2 * i + 1]);

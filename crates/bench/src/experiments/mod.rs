@@ -9,7 +9,7 @@
 //! Experiments collect their sweeps as typed
 //! [`Records`](ants_sim::report::Records) inside a [`Report`] (numbers
 //! stay `f64`/`u64` until render time) and route scenario grids through
-//! [`ants_sim::run_sweep`], so one shared thread pool drains the whole
+//! [`ants_sim::run_sweep_with`], so one shared thread pool drains the whole
 //! grid; see [`crate::runner`] for wall-clock stamping and JSON output.
 
 pub mod e10_randomwalk;
@@ -30,6 +30,7 @@ pub mod e9_tradeoff;
 
 use ants_sim::json;
 use ants_sim::report::{Records, Table, Value};
+use ants_sim::{Granularity, SweepOptions};
 use std::fmt;
 
 /// How hard an experiment should try.
@@ -102,12 +103,14 @@ pub struct SweepConfig {
 }
 
 /// Everything a [`Experiment::run`] call needs: effort, base seed, thread
-/// policy.
+/// policy, and the sweep's unit-of-work policy.
 ///
 /// The base seed (default 0) is XOR-mixed into every per-cell seed via
 /// [`RunConfig::seed`], so `--seed N` shifts the whole battery while the
-/// default reproduces the recorded tables. `threads` is handed to
-/// [`ants_sim::run_sweep`]: `None` means all cores.
+/// default reproduces the recorded tables. `threads`, `granularity`, and
+/// `chunk` are handed to [`ants_sim::run_sweep_with`] via
+/// [`RunConfig::sweep_options`]: they change scheduling (wall-clock
+/// time), never results.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Smoke or standard scale.
@@ -116,12 +119,16 @@ pub struct RunConfig {
     pub base_seed: u64,
     /// Thread policy for scenario sweeps (`None` = all cores).
     pub threads: Option<usize>,
+    /// Sweep unit-of-work policy (`--granularity auto|trial|agent`).
+    pub granularity: Granularity,
+    /// Agents per chunk for agent-level scheduling (`--chunk N`).
+    pub chunk: Option<usize>,
 }
 
 impl RunConfig {
     /// A config at the given effort with default seed and thread policy.
     pub fn new(effort: Effort) -> Self {
-        Self { effort, base_seed: 0, threads: None }
+        Self { effort, base_seed: 0, threads: None, granularity: Granularity::Auto, chunk: None }
     }
 
     /// Shorthand for `RunConfig::new(Effort::Smoke)`.
@@ -144,6 +151,28 @@ impl RunConfig {
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Set the sweep granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Set the agents-per-chunk override for agent-level scheduling.
+    pub fn with_chunk(mut self, chunk: Option<usize>) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// The [`SweepOptions`] this config induces — what experiments hand
+    /// to [`ants_sim::run_sweep_with`] / [`ants_sim::map_indexed`].
+    pub fn sweep_options(&self) -> SweepOptions {
+        let mut opts = SweepOptions::with_threads(self.threads).granularity(self.granularity);
+        if let Some(chunk) = self.chunk {
+            opts = opts.chunk(chunk);
+        }
+        opts
     }
 
     /// Derive a concrete seed from a per-cell tag.

@@ -3,6 +3,7 @@
 //! common.
 
 use crate::experiments::{self, Effort, Experiment, Report, RunConfig};
+use ants_sim::Granularity;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -62,7 +63,8 @@ pub struct Flags {
 }
 
 /// Parse the common run flags: `--smoke`, `--effort smoke|standard`,
-/// `--seed N`, `--threads K`, `--json`, `--csv`.
+/// `--seed N`, `--threads K`, `--granularity auto|trial|agent`,
+/// `--chunk N`, `--json`, `--csv`.
 ///
 /// Unknown arguments are an error (callers print usage).
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -88,6 +90,19 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     return Err("--threads must be at least 1".into());
                 }
                 cfg.threads = Some(t);
+            }
+            "--granularity" => {
+                let v = it.next().ok_or("--granularity needs a value (auto|trial|agent)")?;
+                cfg.granularity =
+                    Granularity::parse(v).ok_or(format!("unknown granularity '{v}'"))?;
+            }
+            "--chunk" => {
+                let v = it.next().ok_or("--chunk needs a value")?;
+                let c: usize = v.parse().map_err(|_| format!("invalid chunk size '{v}'"))?;
+                if c == 0 {
+                    return Err("--chunk must be at least 1".into());
+                }
+                cfg.chunk = Some(c);
             }
             "--json" => json = true,
             "--csv" => csv = true,
@@ -126,7 +141,7 @@ pub fn bin_main(exp: &dyn Experiment) {
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: {} [--smoke | --effort smoke|standard] [--seed N] \
-                 [--threads K] [--csv] [--json]",
+                 [--threads K] [--granularity auto|trial|agent] [--chunk N] [--csv] [--json]",
                 exp.meta().key
             );
             std::process::exit(2);
@@ -145,13 +160,40 @@ mod tests {
 
     #[test]
     fn parses_the_full_flag_surface() {
-        let f = parse_flags(&args(&["--smoke", "--seed", "42", "--threads", "3", "--json"]))
-            .expect("valid flags");
+        let f = parse_flags(&args(&[
+            "--smoke",
+            "--seed",
+            "42",
+            "--threads",
+            "3",
+            "--granularity",
+            "agent",
+            "--chunk",
+            "4",
+            "--json",
+        ]))
+        .expect("valid flags");
         assert_eq!(f.cfg.effort, Effort::Smoke);
         assert_eq!(f.cfg.base_seed, 42);
         assert_eq!(f.cfg.threads, Some(3));
+        assert_eq!(f.cfg.granularity, Granularity::Agent);
+        assert_eq!(f.cfg.chunk, Some(4));
         assert!(f.json);
         assert!(!f.csv);
+    }
+
+    #[test]
+    fn granularity_defaults_to_auto_and_parses_all_values() {
+        assert_eq!(parse_flags(&[]).unwrap().cfg.granularity, Granularity::Auto);
+        for (v, want) in [
+            ("auto", Granularity::Auto),
+            ("trial", Granularity::Trial),
+            ("agent", Granularity::Agent),
+        ] {
+            let f = parse_flags(&args(&["--granularity", v])).unwrap();
+            assert_eq!(f.cfg.granularity, want);
+            assert_eq!(f.cfg.chunk, None);
+        }
     }
 
     #[test]
@@ -170,6 +212,11 @@ mod tests {
         assert!(parse_flags(&args(&["--seed", "x"])).is_err());
         assert!(parse_flags(&args(&["--effort", "publication"])).is_err());
         assert!(parse_flags(&args(&["--threads", "0"])).is_err());
+        assert!(parse_flags(&args(&["--granularity"])).is_err());
+        assert!(parse_flags(&args(&["--granularity", "cell"])).is_err());
+        assert!(parse_flags(&args(&["--chunk"])).is_err());
+        assert!(parse_flags(&args(&["--chunk", "0"])).is_err());
+        assert!(parse_flags(&args(&["--chunk", "x"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Cross-granularity parity for the whole registered battery.
+//!
+//! Acceptance contract for the agent-granularity engine: every
+//! registered experiment, run in smoke mode, emits byte-identical data
+//! across granularity {trial, agent} and threads {1, 2, 4}. Reports
+//! render through `to_csv()` (the full typed record set, excluding
+//! wall-clock time), so any drift in any cell of any experiment fails
+//! here with the experiment named.
+
+use ants_bench::experiments::{self, RunConfig};
+use ants_sim::Granularity;
+
+#[test]
+fn battery_is_byte_identical_across_granularity_and_threads() {
+    for exp in experiments::all() {
+        let reference = exp.run(&RunConfig::smoke().with_threads(Some(1))).to_csv();
+        for (threads, granularity, chunk) in [
+            (2usize, Granularity::Trial, None),
+            (2, Granularity::Agent, Some(3)),
+            (4, Granularity::Agent, Some(2)),
+            (4, Granularity::Auto, None),
+        ] {
+            let cfg = RunConfig::smoke()
+                .with_threads(Some(threads))
+                .with_granularity(granularity)
+                .with_chunk(chunk);
+            let got = exp.run(&cfg).to_csv();
+            assert_eq!(
+                got,
+                reference,
+                "{} drifted at threads {threads}, granularity {granularity:?}, chunk {chunk:?}",
+                exp.meta().key
+            );
+        }
+    }
+}

@@ -10,9 +10,16 @@
 //! flags: --smoke | --effort smoke|standard   effort (default standard)
 //!        --seed N                            shift every sweep's seeds
 //!        --threads K                         pin the sweep thread pool
+//!        --granularity auto|trial|agent      sweep unit of work (default auto)
+//!        --chunk N                           agents per chunk (agent granularity)
 //!        --json                              write target/reports/<id>.json
 //!        --csv                               print CSV after the table
 //! ```
+//!
+//! Granularity and chunk size change scheduling only: report output is
+//! byte-identical across every `--threads`/`--granularity`/`--chunk`
+//! combination (pinned by `crates/sim/tests/determinism.rs` and the
+//! bench parity test).
 //!
 //! Experiments come from the `ants_bench::experiments` registry (the
 //! [`Experiment`](ants_bench::Experiment) trait); this binary only
@@ -27,7 +34,8 @@ use std::path::Path;
 fn usage() -> ! {
     eprintln!(
         "usage: ants <list|run <id>|all|demo [D]|validate [dir]> \
-         [--smoke | --effort smoke|standard] [--seed N] [--threads K] [--csv] [--json]\n\
+         [--smoke | --effort smoke|standard] [--seed N] [--threads K] \
+         [--granularity auto|trial|agent] [--chunk N] [--csv] [--json]\n\
          reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
     );
     std::process::exit(2);
@@ -80,8 +88,17 @@ fn run_all(args: &[String]) {
 }
 
 /// Validate every `*.json` report in `dir`: parseable, the right schema,
-/// and at least one data row. Exit code 1 on any failure.
+/// and at least one data row. Exit code 1 on any failure — including a
+/// missing or empty report directory, so a battery run that silently
+/// wrote nothing can never validate vacuously.
 fn validate(dir: &Path) {
+    if !dir.is_dir() {
+        eprintln!(
+            "error: report directory {} does not exist (run `ants all --json` first)",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(e) => {

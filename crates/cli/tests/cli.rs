@@ -1,0 +1,110 @@
+//! End-to-end tests of the `ants` binary: exit codes and the flag
+//! surface, driven through the real executable.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn ants(args: &[&str], cwd: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ants"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn ants")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ants-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// `ants validate` must exit non-zero when the report directory is
+/// missing entirely — a battery run that wrote nothing can never
+/// validate vacuously.
+#[test]
+fn validate_missing_directory_fails() {
+    let cwd = temp_dir("validate-missing");
+    // Default directory (target/reports relative to cwd): absent.
+    let out = ants(&["validate"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("does not exist"), "stderr: {}", stderr(&out));
+    // Explicit missing directory: same contract.
+    let out = ants(&["validate", "no/such/dir"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// An existing directory with no reports is a failure too.
+#[test]
+fn validate_empty_directory_fails() {
+    let cwd = temp_dir("validate-empty");
+    let reports = cwd.join("reports");
+    std::fs::create_dir_all(&reports).unwrap();
+    let out = ants(&["validate", "reports"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("no .json reports"), "stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// A well-formed report validates; a malformed one flips the exit code.
+#[test]
+fn validate_checks_report_schema() {
+    let cwd = temp_dir("validate-schema");
+    let reports = cwd.join("reports");
+    std::fs::create_dir_all(&reports).unwrap();
+    std::fs::write(
+        reports.join("e0.json"),
+        r#"{"schema":"ants-report/v1","id":"e0","columns":["x"],"rows":[[1]]}"#,
+    )
+    .unwrap();
+    let out = ants(&["validate", "reports"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    std::fs::write(reports.join("bad.json"), r#"{"schema":"wrong/v0","rows":[[1]]}"#).unwrap();
+    let out = ants(&["validate", "reports"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unexpected schema"), "stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// The scheduling flag surface is accepted on a real run and the output
+/// is identical across granularities (the CLI-level determinism
+/// contract).
+#[test]
+fn granularity_flags_round_trip() {
+    let cwd = temp_dir("granularity");
+    let base = ants(&["run", "e4", "--smoke", "--threads", "2"], &cwd);
+    assert_eq!(base.status.code(), Some(0), "stderr: {}", stderr(&base));
+    for extra in [&["--granularity", "trial"][..], &["--granularity", "agent", "--chunk", "3"][..]]
+    {
+        let mut args = vec!["run", "e4", "--smoke", "--threads", "2"];
+        args.extend_from_slice(extra);
+        let out = ants(&args, &cwd);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+        assert_eq!(
+            out.stdout, base.stdout,
+            "stdout drifted under {extra:?} — scheduling leaked into results"
+        );
+    }
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// Bad scheduling flags are rejected with the usage exit code.
+#[test]
+fn bad_granularity_flags_are_rejected() {
+    let cwd = temp_dir("bad-flags");
+    for args in [
+        &["list", "--granularity", "cell"][..],
+        &["list", "--granularity"][..],
+        &["list", "--chunk", "0"][..],
+        &["run", "e4", "--chunk", "x"][..],
+    ] {
+        let out = ants(args, &cwd);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} stderr: {}", stderr(&out));
+    }
+    std::fs::remove_dir_all(&cwd).ok();
+}

@@ -1,10 +1,336 @@
 //! The trial executor.
+//!
+//! [`run_trial`] is a thin wrapper over [`TrialPlan`]: the trial's agents
+//! are partitioned into fixed-size chunks, every chunk is simulated
+//! independently, and the chunk results are reduced in canonical agent
+//! order. The reduction reproduces the serial engine's early-cap
+//! semantics byte for byte at *every* chunk size, which is what lets the
+//! sweep scheduler (see [`crate::sched`]) execute agent chunks across
+//! threads without changing any output.
 
 use crate::metrics::{Outcome, TrialResult};
 use crate::scenario::Scenario;
 use ants_core::{apply_action, GridAction, SelectionComplexity};
 use ants_grid::Point;
 use ants_rng::{derive_rng, Rng64, SplitMix64};
+
+/// One agent simulated under an explicit move cap.
+///
+/// Pure in `(scenario, trial_seed, agent index, cap)`: the agent's RNG
+/// stream is derived directly from the trial seed and its index, so the
+/// run is identical no matter which chunk (or thread) executes it.
+#[derive(Debug, Clone)]
+struct AgentRun {
+    /// The cap this agent ran with (always >= 1; a chunk truncates when
+    /// its local cap reaches zero).
+    cap: u64,
+    /// Moves until the target, if found within `cap`.
+    moves: Option<u64>,
+    /// Steps until the target, for the same stop.
+    steps: Option<u64>,
+    /// Running-max selection-complexity footprint at the agent's stop.
+    chi: SelectionComplexity,
+    /// Footprint breakpoints `(moves, running max)`, recorded only for
+    /// speculative chunks (chunk index > 0). They let the canonical
+    /// reduction evaluate the footprint at any cap at or below the
+    /// speculative stop without re-simulating. Empty when tracking was
+    /// off (chunk 0 runs with the exact serial caps and never needs it).
+    chi_curve: Vec<(u64, SelectionComplexity)>,
+}
+
+impl AgentRun {
+    /// The footprint the serial engine would report had this agent been
+    /// stopped at `cap` moves (`cap` at most the recorded stop).
+    ///
+    /// Valid because the tracked running max is monotone in the move
+    /// count: footprints are non-decreasing between guess aborts, and the
+    /// footprint right before each abort is folded in when it happens.
+    fn chi_at(&self, cap: u64) -> SelectionComplexity {
+        debug_assert!(!self.chi_curve.is_empty(), "chi_at needs a tracked run");
+        let mut out = SelectionComplexity::new(0, 0);
+        for &(m, chi) in &self.chi_curve {
+            if m > cap {
+                break;
+            }
+            out = chi;
+        }
+        out
+    }
+}
+
+/// Simulate one agent until it finds `target`, exhausts `cap` moves, or
+/// (with a guess ceiling) keeps aborting overlong excursions.
+///
+/// This is the serial engine's inner loop, verbatim, with the cap passed
+/// in. With `track` the running-max footprint is snapshotted after every
+/// completed move (including that move's abort processing), producing the
+/// breakpoint curve [`AgentRun::chi_at`] evaluates.
+fn run_agent(
+    scenario: &Scenario,
+    trial_seed: u64,
+    target: Point,
+    agent_idx: usize,
+    cap: u64,
+    track: bool,
+) -> AgentRun {
+    debug_assert!(cap > 0, "callers skip capped-out agents");
+    let mut strategy = scenario.make_strategy(agent_idx);
+    let mut rng = derive_rng(trial_seed, agent_idx as u64);
+    let mut pos = Point::ORIGIN;
+    let mut moves = 0u64;
+    let mut steps = 0u64;
+    let mut guess_moves = 0u64;
+    let mut chi = SelectionComplexity::new(0, 0);
+    let mut chi_curve: Vec<(u64, SelectionComplexity)> = Vec::new();
+    let mut found = false;
+    // A target is "found" when the agent's position coincides with it;
+    // the origin case is excluded by TargetPlacement's invariants.
+    while moves < cap {
+        let action = strategy.step(&mut rng);
+        steps += 1;
+        let moved = action.is_move();
+        if moved {
+            moves += 1;
+            guess_moves += 1;
+        } else if action == GridAction::Origin {
+            guess_moves = 0;
+        }
+        pos = apply_action(pos, action);
+        if pos == target {
+            found = true;
+            break;
+        }
+        if let Some(ceiling) = scenario.guess_move_ceiling() {
+            if guess_moves >= ceiling {
+                // The guess overshot its budget: give up on this
+                // excursion, take the return oracle home (free, like any
+                // GridAction::Origin) and let the strategy start its next
+                // attempt. Sample chi first — the default abort_guess is
+                // a full reset, which may shrink a phase-based strategy's
+                // footprint.
+                chi = chi.max(strategy.selection_complexity());
+                strategy.abort_guess();
+                pos = Point::ORIGIN;
+                guess_moves = 0;
+            }
+        }
+        if track && moved {
+            let at = chi.max(strategy.selection_complexity());
+            if chi_curve.last().is_none_or(|&(_, prev)| prev != at) {
+                chi_curve.push((moves, at));
+            }
+        }
+    }
+    // Between aborts the selection-complexity footprint is monotone over
+    // an agent's lifetime (static for fixed automata, non-decreasing for
+    // phase-based strategies whose counters widen), so sampling here —
+    // plus once before each abort above — captures the run's maximum.
+    chi = chi.max(strategy.selection_complexity());
+    AgentRun { cap, moves: found.then_some(moves), steps: found.then_some(steps), chi, chi_curve }
+}
+
+/// The results of one agent chunk of a [`TrialPlan`], opaque to callers:
+/// produce it with [`TrialPlan::run_chunk`] and hand it back to
+/// [`TrialPlan::reduce`].
+#[derive(Debug, Clone)]
+pub struct ChunkRun {
+    first_agent: usize,
+    agents: Vec<AgentRun>,
+}
+
+impl ChunkRun {
+    /// Number of agents simulated in this chunk (fewer than the chunk
+    /// width when a one-move find capped out the rest).
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Is the chunk empty? (Never true for chunks produced by
+    /// [`TrialPlan::run_chunk`].)
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+}
+
+/// A trial split into deterministic agent chunks.
+///
+/// The plan partitions the scenario's agents into `chunk`-sized runs of
+/// consecutive indices. Each chunk is a pure function of
+/// `(scenario, trial_seed, chunk index)` — agent RNG streams are derived
+/// per agent index straight from the trial seed, so a chunk needs no
+/// state from its predecessors and can execute on any thread, in any
+/// order.
+///
+/// # Determinism contract
+///
+/// `plan.reduce(chunks)` — and therefore [`TrialPlan::run`] and
+/// [`run_trial`] — is byte-identical for every chunk size, thread count,
+/// and execution order. Two mechanisms make this hold:
+///
+/// * **Moves/steps/winner.** An agent's trajectory does not depend on its
+///   cap (the cap only stops the loop), so the minimum over agents is
+///   chunking-invariant; the reduction walks agents in canonical index
+///   order and replays the serial early-cap rule (each agent is capped at
+///   one move below the best prefix result, and the trial stops when the
+///   cap reaches zero).
+/// * **Chi footprint.** Chunks after the first run with *speculative*
+///   caps (their local prefix best, which is never below the serial cap),
+///   and record running-max footprint breakpoints per move; the reduction
+///   evaluates each agent's footprint at its exact serial stop via
+///   [`AgentRun::chi_at`]. Chunk 0's local caps equal the serial caps, so
+///   it skips tracking entirely — a single-chunk plan is the serial
+///   engine, unchanged.
+pub struct TrialPlan<'a> {
+    scenario: &'a Scenario,
+    trial_seed: u64,
+    chunk: usize,
+}
+
+impl<'a> TrialPlan<'a> {
+    /// Plan a trial with `chunk` agents per chunk (clamped to >= 1;
+    /// values above the agent count simply yield a single chunk).
+    pub fn new(scenario: &'a Scenario, trial_seed: u64, chunk: usize) -> Self {
+        Self { scenario, trial_seed, chunk: chunk.max(1) }
+    }
+
+    /// Agents per chunk.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Number of chunks the trial splits into.
+    pub fn n_chunks(&self) -> usize {
+        self.scenario.n_agents().div_ceil(self.chunk)
+    }
+
+    fn place_target(&self) -> Point {
+        // Stream u64::MAX is reserved for the target; agents use streams
+        // indexed by their agent number.
+        let mut target_rng = derive_rng(self.trial_seed, u64::MAX);
+        self.scenario.target().place(&mut target_rng)
+    }
+
+    /// Execute one chunk: simulate its agents in index order with
+    /// chunk-local early caps (each agent capped one move below the best
+    /// result found *within this chunk*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_idx >= self.n_chunks()`.
+    pub fn run_chunk(&self, chunk_idx: usize) -> ChunkRun {
+        assert!(chunk_idx < self.n_chunks(), "chunk {chunk_idx} out of range");
+        let first_agent = chunk_idx * self.chunk;
+        let end = (first_agent + self.chunk).min(self.scenario.n_agents());
+        // Chunk 0's local caps coincide with the serial caps, so its chi
+        // values are exact as-is; later chunks speculate and must track
+        // the footprint curve for the reduction to rewind.
+        let track = chunk_idx > 0;
+        let target = self.place_target();
+        let budget = self.scenario.move_budget();
+        let mut best: Option<u64> = None;
+        let mut agents = Vec::with_capacity(end - first_agent);
+        for agent_idx in first_agent..end {
+            let cap = match best {
+                // A later agent only matters if strictly faster.
+                Some(m) => m.saturating_sub(1),
+                None => budget,
+            };
+            if cap == 0 {
+                // A chunk-local one-move find caps out the rest of the
+                // chunk. The global prefix best is at most the local one,
+                // so the reduction's own cap reaches zero at or before
+                // this agent and never reads past the truncation.
+                break;
+            }
+            let run = run_agent(self.scenario, self.trial_seed, target, agent_idx, cap, track);
+            if let Some(m) = run.moves {
+                best = Some(m);
+            }
+            agents.push(run);
+        }
+        ChunkRun { first_agent, agents }
+    }
+
+    /// Reduce chunk results in canonical agent order into the trial's
+    /// [`TrialResult`], byte-identical to the serial engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks are not exactly this plan's chunks in order.
+    pub fn reduce(&self, chunks: &[ChunkRun]) -> TrialResult {
+        self.reduce_iter(chunks.iter())
+    }
+
+    pub(crate) fn reduce_iter<'c>(
+        &self,
+        chunks: impl Iterator<Item = &'c ChunkRun>,
+    ) -> TrialResult {
+        let target = self.place_target();
+        let budget = self.scenario.move_budget();
+        let mut best: Option<(u64, u64, usize)> = None; // (moves, steps, agent)
+        let mut chi = SelectionComplexity::new(0, 0);
+        let mut consumed = 0usize;
+        'trial: for (chunk_idx, chunk) in chunks.enumerate() {
+            assert_eq!(chunk.first_agent, chunk_idx * self.chunk, "chunks out of order");
+            for (offset, run) in chunk.agents.iter().enumerate() {
+                consumed = chunk.first_agent + offset + 1;
+                let cap = match best {
+                    Some((m, _, _)) => m.saturating_sub(1),
+                    None => budget,
+                };
+                if cap == 0 {
+                    // The serial engine breaks out of the agent loop here:
+                    // remaining agents never run and never contribute chi.
+                    break 'trial;
+                }
+                match run.moves {
+                    Some(m) if m <= cap => {
+                        // Found within the serial cap: the chunk stop is
+                        // the found point, identical to the serial stop.
+                        chi = chi.max(run.chi);
+                        best = Some((
+                            m,
+                            run.steps.expect("found agents record steps"),
+                            chunk.first_agent + offset,
+                        ));
+                    }
+                    _ if run.cap == cap => {
+                        // Not found, and the chunk-local cap was already
+                        // the serial cap: same stop, chi is exact.
+                        debug_assert!(run.moves.is_none());
+                        chi = chi.max(run.chi);
+                    }
+                    _ => {
+                        // The chunk speculated past the serial cap (its
+                        // local prefix best is never below the serial
+                        // prefix best, so `run.cap > cap`); rewind the
+                        // tracked footprint curve to the serial stop.
+                        debug_assert!(run.cap > cap, "chunk cap below the serial cap");
+                        chi = chi.max(run.chi_at(cap));
+                    }
+                }
+            }
+        }
+        assert!(
+            best.is_some_and(|(m, _, _)| m == 1) || consumed == self.scenario.n_agents(),
+            "reduction consumed {consumed} of {} agents",
+            self.scenario.n_agents()
+        );
+        TrialResult {
+            target,
+            moves: best.map(|(m, _, _)| m),
+            steps: best.map(|(_, s, _)| s),
+            winner: best.map(|(_, _, a)| a),
+            chi_footprint: chi,
+        }
+    }
+
+    /// Run every chunk on the calling thread and reduce.
+    pub fn run(&self) -> TrialResult {
+        let chunks: Vec<ChunkRun> = (0..self.n_chunks()).map(|c| self.run_chunk(c)).collect();
+        self.reduce(&chunks)
+    }
+}
 
 /// Run one trial: place the target, release `n` fresh agents, report the
 /// paper's `M_moves`/`M_steps` minimum.
@@ -13,76 +339,14 @@ use ants_rng::{derive_rng, Rng64, SplitMix64};
 /// The target draw and each agent's randomness come from independent
 /// derived streams.
 ///
-/// Exactness: because agents never interact, each is simulated on its own.
-/// Agent `a` is capped at the best move count found so far (it cannot
-/// improve the minimum beyond that), which keeps the cost near
-/// `n · min(budget, best)` instead of `n · budget`.
+/// Exactness: because agents never interact, each is simulated on its
+/// own. Agent `a` is capped at the best move count found so far (it
+/// cannot improve the minimum beyond that), which keeps the cost near
+/// `n · min(budget, best)` instead of `n · budget`. This is a thin
+/// wrapper over a single-chunk [`TrialPlan`]; chunked plans produce the
+/// same result byte for byte (see the plan's determinism contract).
 pub fn run_trial(scenario: &Scenario, trial_seed: u64) -> TrialResult {
-    // Stream 0 is reserved for the target; agents use streams 1..=n.
-    let mut target_rng = derive_rng(trial_seed, u64::MAX);
-    let target = scenario.target().place(&mut target_rng);
-    let mut best: Option<(u64, u64, usize)> = None; // (moves, steps, agent)
-    let mut chi = SelectionComplexity::new(0, 0);
-    for agent_idx in 0..scenario.n_agents() {
-        let cap = match best {
-            // A later agent only matters if strictly faster.
-            Some((m, _, _)) => m.saturating_sub(1),
-            None => scenario.move_budget(),
-        };
-        if cap == 0 {
-            break;
-        }
-        let mut strategy = scenario.make_strategy(agent_idx);
-        let mut rng = derive_rng(trial_seed, agent_idx as u64);
-        let mut pos = Point::ORIGIN;
-        let mut moves = 0u64;
-        let mut steps = 0u64;
-        let mut guess_moves = 0u64;
-        // A target is "found" when the agent's position coincides with it;
-        // the origin case is excluded by TargetPlacement's invariants.
-        while moves < cap {
-            let action = strategy.step(&mut rng);
-            steps += 1;
-            if action.is_move() {
-                moves += 1;
-                guess_moves += 1;
-            } else if action == GridAction::Origin {
-                guess_moves = 0;
-            }
-            pos = apply_action(pos, action);
-            if pos == target {
-                best = Some((moves, steps, agent_idx));
-                break;
-            }
-            if let Some(ceiling) = scenario.guess_move_ceiling() {
-                if guess_moves >= ceiling {
-                    // The guess overshot its budget: give up on this
-                    // excursion, take the return oracle home (free, like
-                    // any GridAction::Origin) and let the strategy start
-                    // its next attempt. Sample chi first — the default
-                    // abort_guess is a full reset, which may shrink a
-                    // phase-based strategy's footprint.
-                    chi = chi.max(strategy.selection_complexity());
-                    strategy.abort_guess();
-                    pos = Point::ORIGIN;
-                    guess_moves = 0;
-                }
-            }
-        }
-        // Between aborts the selection-complexity footprint is monotone
-        // over an agent's lifetime (static for fixed automata,
-        // non-decreasing for phase-based strategies whose counters
-        // widen), so sampling here — plus once before each abort above —
-        // captures the whole trial's maximum.
-        chi = chi.max(strategy.selection_complexity());
-    }
-    TrialResult {
-        target,
-        moves: best.map(|(m, _, _)| m),
-        steps: best.map(|(_, s, _)| s),
-        winner: best.map(|(_, _, a)| a),
-        chi_footprint: chi,
-    }
+    TrialPlan::new(scenario, trial_seed, scenario.n_agents()).run()
 }
 
 /// Derive the per-trial seed sequence for `run_trials`.
@@ -91,15 +355,16 @@ pub fn run_trial(scenario: &Scenario, trial_seed: u64) -> TrialResult {
 /// contract: the result of `run_trials` is a pure function of
 /// `(scenario, n_trials, base_seed)`, independent of thread count, build
 /// features, or scheduling.
-fn trial_seeds(n_trials: u64, base_seed: u64) -> Vec<u64> {
+pub(crate) fn trial_seeds(n_trials: u64, base_seed: u64) -> Vec<u64> {
     let mut seed_mixer = SplitMix64::new(base_seed);
     (0..n_trials).map(|_| seed_mixer.next_u64()).collect()
 }
 
 /// Run every trial on the calling thread, in seed order.
 ///
-/// This is the reference implementation `run_trials` must agree with
-/// byte-for-byte; the golden determinism test compares the two.
+/// This is the reference implementation `run_trials` and
+/// [`crate::sched::run_sweep_with`] must agree with byte-for-byte; the
+/// golden determinism test compares them.
 pub fn run_trials_serial(scenario: &Scenario, n_trials: u64, base_seed: u64) -> Outcome {
     let trials = trial_seeds(n_trials, base_seed).iter().map(|&s| run_trial(scenario, s)).collect();
     Outcome::new(trials)
@@ -111,7 +376,7 @@ pub fn run_trials_serial(scenario: &Scenario, n_trials: u64, base_seed: u64) -> 
 /// given (an oversubscribed count is allowed — useful for benchmarking
 /// the scheduling overhead). Both are clamped to `1..=64`.
 #[cfg(feature = "parallel")]
-fn resolve_threads(threads: Option<usize>) -> usize {
+pub(crate) fn resolve_threads(threads: Option<usize>) -> usize {
     threads
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
         .clamp(1, 64)
@@ -164,85 +429,6 @@ pub fn run_trials_with(
     #[cfg(not(feature = "parallel"))]
     let _ = threads;
     run_trials_serial(scenario, n_trials, base_seed)
-}
-
-/// One cell of a batched scenario sweep: a scenario plus its trial count
-/// and base seed.
-///
-/// The contract is that `run_sweep(&jobs, _)[i]` is byte-identical to
-/// `run_trials_serial(&jobs[i].scenario, jobs[i].trials, jobs[i].seed)` —
-/// batching changes wall-clock time only.
-pub struct SweepJob {
-    /// The scenario to run.
-    pub scenario: Scenario,
-    /// Number of Monte-Carlo trials.
-    pub trials: u64,
-    /// Base seed for this cell's trial-seed stream.
-    pub seed: u64,
-}
-
-impl SweepJob {
-    /// Bundle a scenario with its trial count and seed.
-    pub fn new(scenario: Scenario, trials: u64, seed: u64) -> Self {
-        Self { scenario, trials, seed }
-    }
-}
-
-/// Run a batch of scenario sweeps across one shared thread pool.
-///
-/// Experiment harnesses sweep parameter grids (E1 runs `D × n` cells);
-/// running each cell through [`run_trials`] parallelises only *within* a
-/// cell and joins the pool between cells, so small cells leave cores
-/// idle. `run_sweep` flattens every `(cell, trial)` pair into one work
-/// list and splits that across the pool, so the whole grid drains without
-/// barriers. Results come back per job, in job order, byte-identical to
-/// the serial path (see [`SweepJob`]).
-///
-/// `threads`: `Some(k)` pins the worker count, `None` uses all available
-/// cores. Without the `parallel` feature the sweep runs serially.
-pub fn run_sweep(jobs: &[SweepJob], threads: Option<usize>) -> Vec<Outcome> {
-    #[cfg(feature = "parallel")]
-    {
-        let threads = resolve_threads(threads);
-        let total: u64 = jobs.iter().map(|j| j.trials).sum();
-        if threads > 1 && total >= 4 {
-            // Flatten to (job index, trial seed) pairs, in job order —
-            // re-assembly below is a plain in-order scan.
-            let flat: Vec<(usize, u64)> = jobs
-                .iter()
-                .enumerate()
-                .flat_map(|(i, j)| trial_seeds(j.trials, j.seed).into_iter().map(move |s| (i, s)))
-                .collect();
-            let chunk_len = flat.len().div_ceil(threads);
-            let chunks: Vec<&[(usize, u64)]> = flat.chunks(chunk_len).collect();
-            let results: Vec<Vec<TrialResult>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|&(i, s)| run_trial(&jobs[i].scenario, s))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-            });
-            let mut all = results.into_iter().flatten();
-            return jobs
-                .iter()
-                .map(|j| {
-                    Outcome::new(
-                        (0..j.trials).map(|_| all.next().expect("sweep length mismatch")).collect(),
-                    )
-                })
-                .collect();
-        }
-    }
-    #[cfg(not(feature = "parallel"))]
-    let _ = threads;
-    jobs.iter().map(|j| run_trials_serial(&j.scenario, j.trials, j.seed)).collect()
 }
 
 #[cfg(test)]
@@ -352,34 +538,6 @@ mod tests {
     }
 
     #[test]
-    fn run_sweep_matches_serial_reference() {
-        let jobs: Vec<SweepJob> = [(3u64, 11u64), (5, 22), (7, 33)]
-            .into_iter()
-            .map(|(d, seed)| SweepJob::new(spiral_scenario(d, 2), 6, seed))
-            .collect();
-        for threads in [None, Some(1), Some(3), Some(16)] {
-            let outcomes = run_sweep(&jobs, threads);
-            assert_eq!(outcomes.len(), jobs.len());
-            for (job, outcome) in jobs.iter().zip(&outcomes) {
-                let reference = run_trials_serial(&job.scenario, job.trials, job.seed);
-                assert_eq!(
-                    outcome.trials(),
-                    reference.trials(),
-                    "sweep diverged from serial at threads {threads:?}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn run_sweep_handles_empty_and_tiny_batches() {
-        assert!(run_sweep(&[], None).is_empty());
-        let jobs = vec![SweepJob::new(spiral_scenario(2, 1), 1, 9)];
-        let outcomes = run_sweep(&jobs, Some(8));
-        assert_eq!(outcomes[0].trials(), run_trials_serial(&jobs[0].scenario, 1, 9).trials());
-    }
-
-    #[test]
     fn run_trials_with_is_thread_count_invariant() {
         let s = spiral_scenario(4, 2);
         let reference = run_trials_serial(&s, 12, 77);
@@ -427,5 +585,61 @@ mod tests {
         // Spiral: deterministic, ell = 0, some memory bits.
         assert_eq!(r.chi_footprint.ell(), 0);
         assert!(r.chi_footprint.memory_bits() >= 3);
+    }
+
+    #[test]
+    fn trial_plan_shape() {
+        let s = spiral_scenario(3, 7);
+        let plan = TrialPlan::new(&s, 1, 3);
+        assert_eq!(plan.chunk(), 3);
+        assert_eq!(plan.n_chunks(), 3);
+        assert_eq!(plan.run_chunk(0).len(), 3);
+        assert_eq!(plan.run_chunk(2).len(), 1);
+        // Chunk parameter is clamped to >= 1 and may exceed the agents.
+        assert_eq!(TrialPlan::new(&s, 1, 0).chunk(), 1);
+        assert_eq!(TrialPlan::new(&s, 1, 100).n_chunks(), 1);
+    }
+
+    #[test]
+    fn trial_plan_single_chunk_is_run_trial() {
+        let s = spiral_scenario(5, 4);
+        for seed in 0..6u64 {
+            let plan = TrialPlan::new(&s, seed, s.n_agents());
+            assert_eq!(plan.run(), run_trial(&s, seed));
+        }
+    }
+
+    #[test]
+    fn trial_plan_every_chunk_size_matches() {
+        let s = Scenario::builder()
+            .agents(5)
+            .target(TargetPlacement::UniformInBall { distance: 6 })
+            .move_budget(30_000)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .build();
+        for seed in 0..4u64 {
+            let reference = run_trial(&s, seed);
+            for chunk in 1..=6usize {
+                let got = TrialPlan::new(&s, seed, chunk).run();
+                assert_eq!(got, reference, "chunk {chunk} diverged at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trial_plan_rejects_bad_chunk_index() {
+        let s = spiral_scenario(2, 2);
+        let plan = TrialPlan::new(&s, 1, 2);
+        let _ = plan.run_chunk(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks out of order")]
+    fn reduce_rejects_misordered_chunks() {
+        let s = spiral_scenario(2, 4);
+        let plan = TrialPlan::new(&s, 1, 2);
+        let (a, b) = (plan.run_chunk(0), plan.run_chunk(1));
+        let _ = plan.reduce(&[b, a]);
     }
 }

@@ -8,10 +8,12 @@
 //! * [`run_trial`] / [`run_trials`] — execute independent trials
 //!   (deterministically seeded, optionally across threads) and report the
 //!   paper's metrics `M_moves` and `M_steps` (the minimum over agents of
-//!   moves/steps until the target is found);
-//! * [`run_sweep`] — batch a whole parameter grid of scenarios
-//!   ([`SweepJob`]s) across one shared thread pool, byte-identical to
-//!   running each cell serially;
+//!   moves/steps until the target is found); [`TrialPlan`] splits one
+//!   trial into deterministic agent chunks;
+//! * [`run_sweep`] / [`run_sweep_with`] — batch a whole parameter grid of
+//!   scenarios ([`SweepJob`]s) across one shared work-stealing pool at
+//!   trial or agent granularity ([`Scheduler`], [`Granularity`]),
+//!   byte-identical to running each cell serially;
 //! * [`Summary`] — aggregate statistics with confidence intervals;
 //! * [`RoundExecutor`] — the Section 4 synchronous round model, for
 //!   experiments that need joint per-round positions;
@@ -56,8 +58,13 @@ mod metrics;
 pub mod report;
 mod rounds;
 mod scenario;
+mod sched;
 
-pub use engine::{run_sweep, run_trial, run_trials, run_trials_serial, run_trials_with, SweepJob};
+pub use engine::{run_trial, run_trials, run_trials_serial, run_trials_with, ChunkRun, TrialPlan};
 pub use metrics::{Outcome, Summary, TrialResult};
 pub use rounds::RoundExecutor;
 pub use scenario::{Scenario, ScenarioBuilder, StrategyFactory};
+pub use sched::{
+    map_indexed, run_sweep, run_sweep_with, Granularity, Probe, ProbeEvent, Scheduler, SweepJob,
+    SweepOptions, DEFAULT_AGENT_CHUNK,
+};

@@ -1,0 +1,595 @@
+//! Deterministic scheduling of sweep work across one shared thread pool.
+//!
+//! [`run_sweep_with`] flattens a batch of [`SweepJob`]s into work units —
+//! whole trials, or fixed-size agent chunks of a [`TrialPlan`] — and
+//! drains them through `std` worker threads pulling from a lock-free
+//! chunk queue (an atomic cursor over the unit list: idle workers steal
+//! the next unexecuted chunk, so the pool load-balances without
+//! barriers). Agent-level trials are then reduced in canonical
+//! (job, trial, chunk) order over the same pool, so every outcome is
+//! byte-identical to the serial reference at every thread count,
+//! granularity, and chunk size.
+//!
+//! The unit of work per job is picked by [`Scheduler::plan`]: many-trial
+//! jobs parallelise perfectly well at trial granularity, while few-trial
+//! / many-agent jobs (E4's walk sampling, E7's uniform sweeps, E9's
+//! trade-off zoo at large `n`) would serialise onto one core unless their
+//! trials are split into agent chunks.
+
+use crate::engine::run_trials_serial;
+use crate::metrics::Outcome;
+use crate::scenario::Scenario;
+use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "parallel")]
+use crate::engine::{resolve_threads, run_trial, trial_seeds, ChunkRun, TrialPlan};
+#[cfg(feature = "parallel")]
+use crate::metrics::TrialResult;
+
+/// One cell of a batched scenario sweep: a scenario plus its trial count
+/// and base seed.
+///
+/// The contract is that `run_sweep(&jobs, _)[i]` is byte-identical to
+/// `run_trials_serial(&jobs[i].scenario, jobs[i].trials, jobs[i].seed)` —
+/// batching changes wall-clock time only.
+pub struct SweepJob {
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Number of Monte-Carlo trials.
+    pub trials: u64,
+    /// Base seed for this cell's trial-seed stream.
+    pub seed: u64,
+}
+
+impl SweepJob {
+    /// Bundle a scenario with its trial count and seed.
+    pub fn new(scenario: Scenario, trials: u64, seed: u64) -> Self {
+        Self { scenario, trials, seed }
+    }
+}
+
+/// The unit-of-work policy for a sweep (CLI surface: `--granularity`).
+///
+/// Purely a scheduling decision: outcomes are byte-identical across all
+/// three (pinned by `crates/sim/tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Let the cost heuristic pick per job (see [`Scheduler::plan`]).
+    #[default]
+    Auto,
+    /// One work unit per (cell, trial).
+    Trial,
+    /// Split every trial into agent chunks ([`TrialPlan`]).
+    Agent,
+}
+
+impl Granularity {
+    /// Stable lowercase name (used by `--granularity`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Granularity::Auto => "auto",
+            Granularity::Trial => "trial",
+            Granularity::Agent => "agent",
+        }
+    }
+
+    /// Parse a `--granularity` argument.
+    pub fn parse(s: &str) -> Option<Granularity> {
+        match s {
+            "auto" => Some(Granularity::Auto),
+            "trial" => Some(Granularity::Trial),
+            "agent" => Some(Granularity::Agent),
+            _ => None,
+        }
+    }
+}
+
+/// Default agents per chunk for agent-level scheduling.
+pub const DEFAULT_AGENT_CHUNK: usize = 8;
+
+/// Per-trial work proxy (agents × move budget) below which a trial is
+/// never worth splitting: the per-chunk scheduling overhead would rival
+/// the simulation itself.
+const AGENT_SPLIT_WEIGHT: u64 = 1 << 16;
+
+/// How one [`SweepJob`]'s trials are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Everything on the calling thread.
+    Serial,
+    /// One work unit per trial (the PR-2 behaviour).
+    TrialLevel,
+    /// One work unit per (trial, agent chunk), reduced canonically.
+    AgentLevel {
+        /// Agents per chunk (>= 1).
+        chunk: usize,
+    },
+}
+
+impl Scheduler {
+    /// Pick a scheduler for one job under `opts` with `threads` workers,
+    /// inside a sweep holding `sweep_trials` trial units in total.
+    ///
+    /// The cost heuristic weighs agents × moves against trials. Splitting
+    /// a trial is not free: speculative chunks lose the cross-chunk early
+    /// cap and can re-do up to `n_chunks ×` the serial work (measured
+    /// ~3.3× on E9's standard zoo at chunk 8), so it only pays where the
+    /// parallelism it unlocks is otherwise unavailable. A job is split
+    /// into agent chunks exactly when the *whole sweep's* trials cannot
+    /// fill the pool (`sweep_trials < 2 × threads` — the pool is shared,
+    /// so sibling jobs' trials keep workers busy too), the job has more
+    /// agents than one chunk holds (so the split is real), and a trial is
+    /// heavy enough (`agents × budget >= 2^16`) for the per-chunk
+    /// overhead to vanish.
+    pub fn plan(
+        job: &SweepJob,
+        opts: &SweepOptions,
+        threads: usize,
+        sweep_trials: u64,
+    ) -> Scheduler {
+        let chunk = opts.chunk.unwrap_or(DEFAULT_AGENT_CHUNK).max(1);
+        if threads <= 1 {
+            return Scheduler::Serial;
+        }
+        match opts.granularity {
+            Granularity::Trial => Scheduler::TrialLevel,
+            Granularity::Agent => Scheduler::AgentLevel { chunk },
+            Granularity::Auto => {
+                let agents = job.scenario.n_agents();
+                let weight = (agents as u64).saturating_mul(job.scenario.move_budget());
+                if agents > chunk
+                    && sweep_trials < 2 * threads as u64
+                    && weight >= AGENT_SPLIT_WEIGHT
+                {
+                    Scheduler::AgentLevel { chunk }
+                } else {
+                    Scheduler::TrialLevel
+                }
+            }
+        }
+    }
+}
+
+/// Options for [`run_sweep_with`]: thread policy, unit-of-work policy,
+/// and chunk size.
+///
+/// Construct with [`SweepOptions::default`] and set the public fields;
+/// the hidden probe slot is test instrumentation (see [`Probe`]).
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker count (`None` = all available cores), clamped to `1..=64`.
+    pub threads: Option<usize>,
+    /// Unit-of-work policy.
+    pub granularity: Granularity,
+    /// Agents per chunk for agent-level scheduling
+    /// (`None` = [`DEFAULT_AGENT_CHUNK`]).
+    pub chunk: Option<usize>,
+    probe: Option<Arc<Probe>>,
+}
+
+impl SweepOptions {
+    /// Default options (auto granularity) with the given thread policy.
+    pub fn with_threads(threads: Option<usize>) -> Self {
+        Self { threads, ..Self::default() }
+    }
+
+    /// Builder-style setter for the unit-of-work policy.
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Builder-style setter for the agents-per-chunk override.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk);
+        self
+    }
+
+    /// Attach a scheduling probe (test instrumentation).
+    #[doc(hidden)]
+    pub fn with_probe(mut self, probe: Arc<Probe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    #[cfg(feature = "parallel")]
+    fn record(&self, event: ProbeEvent) {
+        if let Some(probe) = &self.probe {
+            probe.record(event);
+        }
+    }
+}
+
+/// One scheduling event observed by a [`Probe`].
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProbeEvent {
+    /// A whole-trial unit executed.
+    TrialUnit {
+        /// Job index within the sweep.
+        job: usize,
+        /// Trial index within the job.
+        trial: u64,
+    },
+    /// One agent-chunk unit executed.
+    ChunkUnit {
+        /// Job index within the sweep.
+        job: usize,
+        /// Trial index within the job.
+        trial: u64,
+        /// Chunk index within the trial.
+        chunk: usize,
+    },
+    /// An agent-level trial reduced (in canonical chunk order).
+    Reduce {
+        /// Job index within the sweep.
+        job: usize,
+        /// Trial index within the job.
+        trial: u64,
+        /// Number of chunks consumed by the reduction.
+        chunks: usize,
+    },
+}
+
+/// Test-only scheduling instrumentation: records every work unit the
+/// sweep scheduler executes and every reduction it performs.
+///
+/// Attached per invocation via [`SweepOptions::with_probe`], so
+/// concurrent sweeps in the same process never pollute each other. Cost
+/// when absent: one `Option` check per *unit* (not per step) — no
+/// production overhead.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct Probe {
+    events: Mutex<Vec<ProbeEvent>>,
+}
+
+impl Probe {
+    /// A fresh probe, ready to attach.
+    pub fn new() -> Arc<Probe> {
+        Arc::new(Probe::default())
+    }
+
+    #[cfg(feature = "parallel")]
+    fn record(&self, event: ProbeEvent) {
+        self.events.lock().expect("probe poisoned").push(event);
+    }
+
+    /// Drain the recorded events (unordered across threads).
+    pub fn take(&self) -> Vec<ProbeEvent> {
+        std::mem::take(&mut *self.events.lock().expect("probe poisoned"))
+    }
+}
+
+/// Run a batch of scenario sweeps across one shared thread pool.
+///
+/// Experiment harnesses sweep parameter grids (E1 runs `D × n` cells);
+/// running each cell through [`crate::run_trials`] parallelises only
+/// *within* a cell and joins the pool between cells, so small cells leave
+/// cores idle. `run_sweep` flattens every cell into one work list and
+/// splits that across the pool, so the whole grid drains without
+/// barriers. Results come back per job, in job order, byte-identical to
+/// the serial path (see [`SweepJob`]).
+///
+/// `threads`: `Some(k)` pins the worker count, `None` uses all available
+/// cores. Granularity defaults to [`Granularity::Auto`]; use
+/// [`run_sweep_with`] to pin it. Without the `parallel` feature the sweep
+/// runs serially.
+pub fn run_sweep(jobs: &[SweepJob], threads: Option<usize>) -> Vec<Outcome> {
+    run_sweep_with(jobs, &SweepOptions::with_threads(threads))
+}
+
+/// [`run_sweep`] with full [`SweepOptions`]: thread policy, trial- or
+/// agent-level granularity, and chunk size.
+///
+/// The determinism contract is unchanged by every option: outcomes are
+/// byte-identical to `run_trials_serial` per job at every thread count,
+/// granularity, and chunk size (`crates/sim/tests/determinism.rs` pins
+/// this).
+pub fn run_sweep_with(jobs: &[SweepJob], opts: &SweepOptions) -> Vec<Outcome> {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = resolve_threads(opts.threads);
+        if threads > 1 {
+            // Count *work units*, not trials: a single-trial many-agent
+            // job — the flagship case for agent granularity — still fans
+            // out into its chunks.
+            let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
+            let units: u64 = jobs
+                .iter()
+                .map(|j| match Scheduler::plan(j, opts, threads, sweep_trials) {
+                    Scheduler::AgentLevel { chunk } => {
+                        j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
+                    }
+                    Scheduler::Serial | Scheduler::TrialLevel => j.trials,
+                })
+                .sum();
+            if units >= 2 {
+                return sweep_parallel(jobs, opts, threads);
+            }
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = opts;
+    jobs.iter().map(|j| run_trials_serial(&j.scenario, j.trials, j.seed)).collect()
+}
+
+/// Deterministic parallel map over `0..n`, in canonical index order.
+///
+/// The index range is split into contiguous batches drained through the
+/// same kind of worker pool as [`run_sweep_with`]; results are flattened
+/// back in index order, so the output equals `(0..n).map(f).collect()`
+/// exactly. This is the agent-level scheduling primitive for experiments
+/// whose inner loop is not a [`Scenario`] (E4 samples walk lengths with
+/// it). Only `opts.threads` applies here: `opts.chunk` is *agents* per
+/// chunk and deliberately ignored — batch sizes are auto-scaled to ~16
+/// batches per worker, clamped to `64..=65_536` samples.
+pub fn map_indexed<R, F>(n: u64, opts: &SweepOptions, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let threads = resolve_threads(opts.threads);
+        if threads > 1 && n >= 2 {
+            let chunk = n.div_ceil(threads as u64 * 16).clamp(64, 65_536);
+            let ranges: Vec<(u64, u64)> =
+                (0..n.div_ceil(chunk)).map(|i| (i * chunk, ((i + 1) * chunk).min(n))).collect();
+            let parts: Vec<Vec<R>> =
+                drain(&ranges, threads, |&(lo, hi)| (lo..hi).map(&f).collect());
+            return parts.into_iter().flatten().collect();
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = opts;
+    (0..n).map(f).collect()
+}
+
+/// Drain `units` through `threads` workers pulling from an atomic cursor;
+/// returns one output per unit, in unit order.
+#[cfg(feature = "parallel")]
+fn drain<T, U, F>(units: &[T], threads: usize, run: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if units.is_empty() {
+        return Vec::new();
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(units.len());
+    // Each worker keeps (index, output) pairs for the units it stole;
+    // outputs are reassembled in unit order after the join.
+    let collected: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(unit) = units.get(i) else { break };
+                        mine.push((i, run(unit)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    let mut slots: Vec<Option<U>> = units.iter().map(|_| None).collect();
+    for (i, out) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "unit {i} executed twice");
+        slots[i] = Some(out);
+    }
+    slots.into_iter().map(|s| s.expect("work unit never executed")).collect()
+}
+
+#[cfg(feature = "parallel")]
+enum Unit {
+    Trial { job: usize, trial: u64, seed: u64 },
+    Chunk { job: usize, trial: u64, seed: u64, chunk: usize, chunk_idx: usize },
+}
+
+/// A pending per-trial reduction: the contiguous unit range holding the
+/// trial's chunks.
+#[cfg(feature = "parallel")]
+struct Reduction {
+    job: usize,
+    trial: u64,
+    seed: u64,
+    chunk: usize,
+    units: std::ops::Range<usize>,
+}
+
+#[cfg(feature = "parallel")]
+fn sweep_parallel(jobs: &[SweepJob], opts: &SweepOptions, threads: usize) -> Vec<Outcome> {
+    enum Out {
+        Trial(TrialResult),
+        Chunk(ChunkRun),
+    }
+
+    // Flatten every job into units, in canonical (job, trial, chunk)
+    // order; remember the reductions agent-level trials will need.
+    let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut reductions: Vec<Reduction> = Vec::new();
+    for (job, j) in jobs.iter().enumerate() {
+        let seeds = trial_seeds(j.trials, j.seed);
+        match Scheduler::plan(j, opts, threads, sweep_trials) {
+            Scheduler::Serial | Scheduler::TrialLevel => {
+                for (trial, &seed) in seeds.iter().enumerate() {
+                    units.push(Unit::Trial { job, trial: trial as u64, seed });
+                }
+            }
+            Scheduler::AgentLevel { chunk } => {
+                let n_chunks = j.scenario.n_agents().div_ceil(chunk);
+                for (trial, &seed) in seeds.iter().enumerate() {
+                    let start = units.len();
+                    for chunk_idx in 0..n_chunks {
+                        units.push(Unit::Chunk {
+                            job,
+                            trial: trial as u64,
+                            seed,
+                            chunk,
+                            chunk_idx,
+                        });
+                    }
+                    reductions.push(Reduction {
+                        job,
+                        trial: trial as u64,
+                        seed,
+                        chunk,
+                        units: start..units.len(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Wave 1: drain all trial and chunk units through the pool.
+    let outs: Vec<Out> = drain(&units, threads, |unit| match *unit {
+        Unit::Trial { job, trial, seed } => {
+            opts.record(ProbeEvent::TrialUnit { job, trial });
+            Out::Trial(run_trial(&jobs[job].scenario, seed))
+        }
+        Unit::Chunk { job, trial, seed, chunk, chunk_idx } => {
+            opts.record(ProbeEvent::ChunkUnit { job, trial, chunk: chunk_idx });
+            Out::Chunk(TrialPlan::new(&jobs[job].scenario, seed, chunk).run_chunk(chunk_idx))
+        }
+    });
+
+    // Wave 2: reduce agent-level trials (canonical chunk order inside
+    // each reduction; reductions themselves are independent).
+    let reduced: Vec<TrialResult> = drain(&reductions, threads, |r| {
+        opts.record(ProbeEvent::Reduce { job: r.job, trial: r.trial, chunks: r.units.len() });
+        let plan = TrialPlan::new(&jobs[r.job].scenario, r.seed, r.chunk);
+        plan.reduce_iter(outs[r.units.clone()].iter().map(|o| match o {
+            Out::Chunk(c) => c,
+            Out::Trial(_) => unreachable!("trial unit inside a reduction range"),
+        }))
+    });
+
+    // Assemble per-job outcomes in canonical order.
+    let mut per_trial: Vec<Vec<Option<TrialResult>>> =
+        jobs.iter().map(|j| vec![None; j.trials as usize]).collect();
+    for (unit, out) in units.iter().zip(outs) {
+        if let (&Unit::Trial { job, trial, .. }, Out::Trial(t)) = (unit, out) {
+            per_trial[job][trial as usize] = Some(t);
+        }
+    }
+    for (r, t) in reductions.iter().zip(reduced) {
+        per_trial[r.job][r.trial as usize] = Some(t);
+    }
+    per_trial
+        .into_iter()
+        .map(|trials| {
+            Outcome::new(trials.into_iter().map(|t| t.expect("missing trial result")).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_core::baselines::SpiralSearch;
+    use ants_grid::TargetPlacement;
+
+    fn spiral_scenario(d: u64, n: usize) -> Scenario {
+        Scenario::builder()
+            .agents(n)
+            .target(TargetPlacement::Corner { distance: d })
+            .move_budget(100_000)
+            .strategy(|_| Box::new(SpiralSearch::new()))
+            .build()
+    }
+
+    fn job(d: u64, n: usize, trials: u64, seed: u64) -> SweepJob {
+        SweepJob::new(spiral_scenario(d, n), trials, seed)
+    }
+
+    #[test]
+    fn run_sweep_matches_serial_reference() {
+        let jobs: Vec<SweepJob> =
+            [(3u64, 11u64), (5, 22), (7, 33)].into_iter().map(|(d, s)| job(d, 2, 6, s)).collect();
+        for threads in [None, Some(1), Some(3), Some(16)] {
+            let outcomes = run_sweep(&jobs, threads);
+            assert_eq!(outcomes.len(), jobs.len());
+            for (j, outcome) in jobs.iter().zip(&outcomes) {
+                let reference = run_trials_serial(&j.scenario, j.trials, j.seed);
+                assert_eq!(
+                    outcome.trials(),
+                    reference.trials(),
+                    "sweep diverged from serial at threads {threads:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_sweep_handles_empty_and_tiny_batches() {
+        assert!(run_sweep(&[], None).is_empty());
+        let jobs = vec![job(2, 1, 1, 9)];
+        let outcomes = run_sweep(&jobs, Some(8));
+        assert_eq!(outcomes[0].trials(), run_trials_serial(&jobs[0].scenario, 1, 9).trials());
+    }
+
+    #[test]
+    fn granularity_round_trips() {
+        for g in [Granularity::Auto, Granularity::Trial, Granularity::Agent] {
+            assert_eq!(Granularity::parse(g.as_str()), Some(g));
+        }
+        assert_eq!(Granularity::parse("bogus"), None);
+        assert_eq!(Granularity::default(), Granularity::Auto);
+    }
+
+    #[test]
+    fn scheduler_plan_heuristics() {
+        let opts = SweepOptions::default();
+        // One worker: always serial.
+        assert_eq!(Scheduler::plan(&job(4, 64, 2, 0), &opts, 1, 2), Scheduler::Serial);
+        // Many trials, light cells: trial level.
+        assert_eq!(Scheduler::plan(&job(4, 2, 100, 0), &opts, 4, 100), Scheduler::TrialLevel);
+        // Few trials, many agents: agent level.
+        assert_eq!(
+            Scheduler::plan(&job(4, 64, 2, 0), &opts, 4, 2),
+            Scheduler::AgentLevel { chunk: DEFAULT_AGENT_CHUNK }
+        );
+        // Plenty of trials fill the pool on their own: never split (the
+        // speculative chunks would multiply total work for nothing).
+        assert_eq!(Scheduler::plan(&job(4, 64, 100, 0), &opts, 4, 100), Scheduler::TrialLevel);
+        // The pool is shared: a few-trial heavy job inside a sweep whose
+        // siblings already provide plenty of trial units stays unsplit.
+        assert_eq!(Scheduler::plan(&job(4, 64, 2, 0), &opts, 4, 100), Scheduler::TrialLevel);
+        // Too few agents to split: stays at trial level.
+        assert_eq!(Scheduler::plan(&job(4, 4, 2, 0), &opts, 4, 2), Scheduler::TrialLevel);
+    }
+
+    #[test]
+    fn scheduler_plan_honours_forced_granularity() {
+        let opts = SweepOptions::default().granularity(Granularity::Agent).chunk(3);
+        assert_eq!(
+            Scheduler::plan(&job(4, 2, 100, 0), &opts, 4, 100),
+            Scheduler::AgentLevel { chunk: 3 }
+        );
+        let opts = SweepOptions::default().granularity(Granularity::Trial);
+        assert_eq!(Scheduler::plan(&job(4, 64, 2, 0), &opts, 4, 2), Scheduler::TrialLevel);
+    }
+
+    #[test]
+    fn map_indexed_is_order_preserving() {
+        // 1000 items at the 64-sample minimum batch: ~16 batches, so the
+        // multi-batch reassembly path is genuinely exercised.
+        let reference: Vec<u64> = (0..1000).map(|i| i * 7 % 13).collect();
+        for threads in [Some(1), Some(2), Some(4)] {
+            // `chunk` is agents per chunk and must not leak into the
+            // sample batching.
+            let opts = SweepOptions::with_threads(threads).chunk(1);
+            assert_eq!(map_indexed(1000, &opts, |i| i * 7 % 13), reference);
+        }
+        assert_eq!(map_indexed(0, &SweepOptions::default(), |i| i), Vec::<u64>::new());
+    }
+}

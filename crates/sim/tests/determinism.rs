@@ -1,0 +1,237 @@
+//! The determinism battery for the chunked engine.
+//!
+//! The contract under test: every execution plan — any chunk size, any
+//! thread count, any granularity — produces *byte-identical* results to
+//! the serial reference. The scenarios are randomized over the strategy
+//! zoo, deliberately including phase-based strategies (`UniformSearch`)
+//! whose selection-complexity footprint grows over time: those are the
+//! ones that distinguish a sloppy chi reduction from the exact one (a
+//! speculative chunk steps an agent further than the serial engine
+//! would, so the reduction must rewind its footprint to the serial
+//! stop).
+
+use ants_core::baselines::{RandomWalk, SpiralSearch};
+use ants_core::{NonUniformSearch, UniformSearch};
+use ants_grid::TargetPlacement;
+use ants_sim::{
+    run_sweep_with, run_trial, run_trials_serial, Granularity, Scenario, SweepJob, SweepOptions,
+    TrialPlan,
+};
+use proptest::prelude::*;
+
+/// A randomized scenario over the strategy zoo. `kind % 4` selects the
+/// strategy; the uniform searcher gets a guess ceiling so its geometric
+/// overshoot tails stay bounded (and its abort path — which shrinks the
+/// footprint mid-run — is exercised).
+fn rand_scenario(kind: u8, n: usize, d: u64, ceiling: bool) -> Scenario {
+    let d = d.max(1);
+    let mut b = Scenario::builder()
+        .agents(n)
+        .target(TargetPlacement::UniformInBall { distance: d })
+        .move_budget(6_000);
+    if ceiling || kind % 4 == 3 {
+        b = b.guess_move_ceiling(400);
+    }
+    match kind % 4 {
+        0 => b.strategy(|_| Box::new(RandomWalk::new())).build(),
+        1 => b.strategy(|_| Box::new(SpiralSearch::new())).build(),
+        2 => b.strategy(move |_| Box::new(NonUniformSearch::new(d.max(2)).expect("valid"))).build(),
+        _ => b.strategy(|_| Box::new(UniformSearch::new(1, 2, 2).expect("valid"))).build(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole contract: `TrialPlan(chunk = k).run()` equals `run_trial`
+    /// for every chunk size, including one agent per chunk, uneven
+    /// splits, exactly the agent count, and past the agent count.
+    #[test]
+    fn trial_plan_equals_run_trial_at_every_chunk(
+        kind in any::<u8>(),
+        n in 1usize..9,
+        d in 1u64..10,
+        seed in any::<u64>(),
+        ceiling in any::<bool>(),
+    ) {
+        let s = rand_scenario(kind, n, d, ceiling);
+        let reference = run_trial(&s, seed);
+        for chunk in [1usize, 3, 7, n, n + 1] {
+            let got = TrialPlan::new(&s, seed, chunk).run();
+            prop_assert_eq!(
+                &got, &reference,
+                "chunk size {} diverged from run_trial (kind {}, n {}, d {})",
+                chunk, kind, n, d
+            );
+        }
+    }
+
+    /// `run_sweep` equality across threads x granularity x chunk on
+    /// randomized job batches: every combination must reproduce the
+    /// serial per-job reference byte for byte.
+    #[test]
+    fn sweep_equal_across_threads_and_granularity(
+        kind in any::<u8>(),
+        n in 1usize..7,
+        d in 1u64..8,
+        trials in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        let mk_jobs = || -> Vec<SweepJob> {
+            vec![
+                SweepJob::new(rand_scenario(kind, n, d, false), trials, seed),
+                SweepJob::new(rand_scenario(kind.wrapping_add(1), n, d, true), trials + 1, seed ^ 0xA5),
+                SweepJob::new(rand_scenario(kind.wrapping_add(2), (n % 3) + 1, d, false), trials, seed ^ 0x5A),
+            ]
+        };
+        let jobs = mk_jobs();
+        let reference: Vec<_> = jobs
+            .iter()
+            .map(|j| run_trials_serial(&j.scenario, j.trials, j.seed))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            for granularity in [Granularity::Trial, Granularity::Agent] {
+                for chunk in [1usize, 3] {
+                    let opts = SweepOptions::with_threads(Some(threads))
+                        .granularity(granularity)
+                        .chunk(chunk);
+                    let outcomes = run_sweep_with(&jobs, &opts);
+                    prop_assert_eq!(outcomes.len(), reference.len());
+                    for (job_idx, (got, want)) in outcomes.iter().zip(&reference).enumerate() {
+                        prop_assert_eq!(
+                            got.trials(), want.trials(),
+                            "job {} diverged at threads {}, granularity {:?}, chunk {}",
+                            job_idx, threads, granularity, chunk
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scheduling invariant: under agent-level scheduling every
+/// (cell, trial, chunk) unit executes exactly once, every trial is
+/// reduced exactly once in canonical chunk order, and no whole-trial
+/// units sneak in. Uses the engine's test-only probe hook (attached per
+/// invocation — zero production overhead).
+#[cfg(feature = "parallel")]
+#[test]
+fn agent_units_execute_exactly_once() {
+    use ants_sim::{Probe, ProbeEvent};
+
+    for case in 0u64..12 {
+        let kind = (case % 4) as u8;
+        let n = (case % 5) as usize + 1;
+        let trials = case % 3 + 1;
+        let chunk = (case % 2) as usize + 1;
+        let threads = [2usize, 4][(case % 2) as usize];
+        let jobs = vec![
+            SweepJob::new(rand_scenario(kind, n, 4, false), trials, case),
+            SweepJob::new(rand_scenario(kind.wrapping_add(1), n + 1, 5, true), trials + 1, !case),
+        ];
+        let probe = Probe::new();
+        let opts = SweepOptions::with_threads(Some(threads))
+            .granularity(Granularity::Agent)
+            .chunk(chunk)
+            .with_probe(probe.clone());
+        let outcomes = run_sweep_with(&jobs, &opts);
+
+        // The run itself must still match the serial reference.
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            let reference = run_trials_serial(&job.scenario, job.trials, job.seed);
+            assert_eq!(outcome.trials(), reference.trials(), "case {case} diverged");
+        }
+
+        let mut events = probe.take();
+        events.sort_unstable();
+        let mut expected = Vec::new();
+        for (job_idx, job) in jobs.iter().enumerate() {
+            let n_chunks = job.scenario.n_agents().div_ceil(chunk);
+            for trial in 0..job.trials {
+                for c in 0..n_chunks {
+                    expected.push(ProbeEvent::ChunkUnit { job: job_idx, trial, chunk: c });
+                }
+                expected.push(ProbeEvent::Reduce { job: job_idx, trial, chunks: n_chunks });
+            }
+        }
+        expected.sort_unstable();
+        assert_eq!(
+            events, expected,
+            "case {case}: unit multiset mismatch (threads {threads}, chunk {chunk})"
+        );
+    }
+}
+
+/// Trial-level scheduling executes exactly one whole-trial unit per
+/// (cell, trial) and performs no chunk work or reductions.
+#[cfg(feature = "parallel")]
+#[test]
+fn trial_units_execute_exactly_once() {
+    use ants_sim::{Probe, ProbeEvent};
+
+    let jobs = vec![
+        SweepJob::new(rand_scenario(0, 3, 4, false), 3, 7),
+        SweepJob::new(rand_scenario(2, 2, 5, false), 2, 8),
+    ];
+    let probe = Probe::new();
+    let opts = SweepOptions::with_threads(Some(4))
+        .granularity(Granularity::Trial)
+        .with_probe(probe.clone());
+    let _ = run_sweep_with(&jobs, &opts);
+    let mut events = probe.take();
+    events.sort_unstable();
+    let mut expected = Vec::new();
+    for (job_idx, job) in jobs.iter().enumerate() {
+        for trial in 0..job.trials {
+            expected.push(ProbeEvent::TrialUnit { job: job_idx, trial });
+        }
+    }
+    expected.sort_unstable();
+    assert_eq!(events, expected);
+}
+
+/// The flagship case — a single trial with many agents — must fan out
+/// into agent chunks rather than falling back to the serial path (the
+/// unit count, not the trial count, decides).
+#[cfg(feature = "parallel")]
+#[test]
+fn single_trial_many_agents_fans_out() {
+    use ants_sim::{Probe, ProbeEvent};
+
+    let jobs = vec![SweepJob::new(rand_scenario(2, 9, 6, false), 1, 42)];
+    let probe = Probe::new();
+    let opts = SweepOptions::with_threads(Some(4))
+        .granularity(Granularity::Agent)
+        .chunk(2)
+        .with_probe(probe.clone());
+    let outcomes = run_sweep_with(&jobs, &opts);
+    assert_eq!(
+        outcomes[0].trials(),
+        run_trials_serial(&jobs[0].scenario, 1, 42).trials(),
+        "single-trial sweep diverged"
+    );
+    let mut events = probe.take();
+    events.sort_unstable();
+    let mut expected: Vec<ProbeEvent> =
+        (0..5).map(|chunk| ProbeEvent::ChunkUnit { job: 0, trial: 0, chunk }).collect();
+    expected.push(ProbeEvent::Reduce { job: 0, trial: 0, chunks: 5 });
+    expected.sort_unstable();
+    assert_eq!(events, expected, "1-trial/9-agent job must split into 5 chunks");
+}
+
+/// The probe must record nothing when the sweep falls back to the serial
+/// path (single worker).
+#[cfg(feature = "parallel")]
+#[test]
+fn serial_fallback_records_no_units() {
+    use ants_sim::Probe;
+
+    let jobs = vec![SweepJob::new(rand_scenario(1, 2, 3, false), 2, 1)];
+    let probe = Probe::new();
+    let opts = SweepOptions::with_threads(Some(1))
+        .granularity(Granularity::Agent)
+        .with_probe(probe.clone());
+    let _ = run_sweep_with(&jobs, &opts);
+    assert!(probe.take().is_empty());
+}

@@ -14,10 +14,13 @@
 //! contract that was broken. Update the constants only for a *deliberate*
 //! break of reproducibility (and say so in the changelog).
 
-use ants_core::NonUniformSearch;
+use ants_core::{NonUniformSearch, SelectionComplexity, UniformSearch};
 use ants_grid::{Point, TargetPlacement};
 use ants_rng::{derive_rng, Rng64};
-use ants_sim::{run_trials, run_trials_serial, Scenario};
+use ants_sim::{
+    run_sweep_with, run_trial, run_trials, run_trials_serial, Granularity, Scenario, SweepJob,
+    SweepOptions, TrialPlan,
+};
 
 fn golden_scenario() -> Scenario {
     Scenario::builder()
@@ -68,6 +71,74 @@ fn golden_trials_are_pinned() {
     assert_eq!(sum.mean_moves(), 772.541_666_666_666_5);
     assert_eq!(sum.mean_steps(), 907.583_333_333_333_3);
     assert_eq!(sum.median_moves(), 508.0);
+}
+
+/// A phase-based smoke scenario for the agent-level goldens: the uniform
+/// searcher's footprint grows over its lifetime and shrinks on guess
+/// aborts, so these pins exercise exactly the part of the chunked
+/// reduction (speculative caps + footprint rewind) that trial-level
+/// execution never touches.
+fn agent_level_scenario() -> Scenario {
+    Scenario::builder()
+        .agents(6)
+        .target(TargetPlacement::UniformInBall { distance: 8 })
+        .move_budget(200_000)
+        .guess_move_ceiling(2_000)
+        .strategy(|_| Box::new(UniformSearch::new(1, 4, 2).expect("valid")))
+        .build()
+}
+
+const AGENT_GOLDEN_SEED: u64 = 0xC0FFEE;
+
+/// Agent-level goldens: chunked trial plans on the smoke scenario, byte
+/// for byte — including the chi footprint, which is where a chunked
+/// engine would drift first (a speculative chunk steps an agent past its
+/// serial stop and must rewind the footprint exactly).
+#[test]
+fn golden_agent_level_outcomes_are_pinned() {
+    let s = agent_level_scenario();
+    let expected: [(Point, u64, u64, usize, u32, u32); 4] = [
+        (Point::new(4, 2), 53, 143, 5, 12, 1),
+        (Point::new(-6, -2), 74, 182, 3, 13, 1),
+        (Point::new(0, -5), 12, 54, 2, 12, 1),
+        (Point::new(-1, 8), 38_829, 79_025, 2, 15, 1),
+    ];
+    for (i, (target, moves, steps, winner, b, ell)) in expected.into_iter().enumerate() {
+        let seed = AGENT_GOLDEN_SEED ^ i as u64;
+        let reference = run_trial(&s, seed);
+        for chunk in [1usize, 2, 3, 4, 6, 7] {
+            let t = TrialPlan::new(&s, seed, chunk).run();
+            assert_eq!(t.target, target, "trial {i} chunk {chunk}: target drifted");
+            assert_eq!(t.moves, Some(moves), "trial {i} chunk {chunk}: moves drifted");
+            assert_eq!(t.steps, Some(steps), "trial {i} chunk {chunk}: steps drifted");
+            assert_eq!(t.winner, Some(winner), "trial {i} chunk {chunk}: winner drifted");
+            assert_eq!(
+                t.chi_footprint,
+                SelectionComplexity::new(b, ell),
+                "trial {i} chunk {chunk}: chi footprint drifted"
+            );
+            assert_eq!(t, reference, "trial {i} chunk {chunk}: diverged from run_trial");
+        }
+    }
+}
+
+/// The sweep scheduler reproduces the agent-level goldens at every
+/// granularity and thread count.
+#[test]
+fn golden_sweep_is_granularity_invariant() {
+    let jobs = vec![SweepJob::new(agent_level_scenario(), 4, AGENT_GOLDEN_SEED)];
+    let reference = run_trials_serial(&jobs[0].scenario, 4, AGENT_GOLDEN_SEED);
+    for threads in [1usize, 2, 4] {
+        for granularity in [Granularity::Auto, Granularity::Trial, Granularity::Agent] {
+            let opts = SweepOptions::with_threads(Some(threads)).granularity(granularity).chunk(2);
+            let outcomes = run_sweep_with(&jobs, &opts);
+            assert_eq!(
+                outcomes[0].trials(),
+                reference.trials(),
+                "sweep diverged at threads {threads}, granularity {granularity:?}"
+            );
+        }
+    }
 }
 
 /// Repeat runs and the serial reference implementation agree exactly.
