@@ -20,6 +20,8 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod workload;
 
 pub use experiments::{Effort, Experiment, Report, RunConfig};
 pub use runner::Runner;
+pub use workload::WorkloadExperiment;

@@ -1,0 +1,192 @@
+//! [`WorkloadExperiment`] — any parsed workload spec as an
+//! [`Experiment`], so declarative workloads inherit the whole runner
+//! stack for free: wall-clock stamping, typed [`Report`]s (text/CSV/JSON
+//! from one record set), `target/reports/<key>.json`, and the shared
+//! `--seed/--threads/--granularity/--chunk` flag surface.
+//!
+//! The adapter is thin by design: the workload crate owns parsing,
+//! expansion, and validation; this module only maps a validated
+//! [`WorkloadPlan`] onto the [`Experiment`] trait and renders one report
+//! row per expanded cell.
+
+use crate::experiments::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
+use ants_sim::run_sweep_with;
+use ants_workload::{WorkloadError, WorkloadPlan};
+use std::path::Path;
+
+/// A workload-backed experiment.
+///
+/// Plans arrive pre-validated from `WorkloadPlan::expand` (every cell's
+/// scenario proven constructible), so [`Experiment::run`] cannot fail
+/// on a spec that loaded successfully.
+pub struct WorkloadExperiment {
+    plan: WorkloadPlan,
+    meta: ExperimentMeta,
+}
+
+impl WorkloadExperiment {
+    /// Wrap a validated plan.
+    ///
+    /// `WorkloadPlan::expand` already proved every cell's scenario
+    /// constructible, so this does not re-validate. A hand-assembled
+    /// plan that bypassed `expand` surfaces its errors when
+    /// [`Experiment::run`] builds the jobs.
+    pub fn new(plan: WorkloadPlan) -> WorkloadExperiment {
+        // `ExperimentMeta` carries `&'static str` (the 15 built-in
+        // experiments are consts); workload identities are data, so leak
+        // them — bounded by the number of specs loaded per process.
+        let claim: &'static str = if plan.description.is_empty() {
+            "declarative workload spec (see the spec file for intent)"
+        } else {
+            leak(plan.description.clone())
+        };
+        let meta = ExperimentMeta {
+            key: leak(plan.key.clone()),
+            id: leak(format!("workload '{}'", plan.name)),
+            claim,
+        };
+        WorkloadExperiment { plan, meta }
+    }
+
+    /// Load a spec file into a runnable experiment.
+    ///
+    /// # Errors
+    ///
+    /// I/O, parse, and validation failures, with the file named in the
+    /// error context.
+    pub fn from_file(path: &Path) -> Result<WorkloadExperiment, WorkloadError> {
+        Ok(WorkloadExperiment::new(ants_workload::load(path)?))
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &WorkloadPlan {
+        &self.plan
+    }
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+impl Experiment for WorkloadExperiment {
+    fn meta(&self) -> &ExperimentMeta {
+        &self.meta
+    }
+
+    fn config(&self, effort: Effort) -> SweepConfig {
+        let smoke = effort == Effort::Smoke;
+        let trials_per_cell = self.plan.cells.iter().map(|c| c.trials_at(smoke)).max().unwrap_or(0);
+        SweepConfig { cells: self.plan.cells.len(), trials_per_cell }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let smoke = cfg.effort == Effort::Smoke;
+        let mut report = Report::new(
+            &self.meta,
+            cfg,
+            vec![
+                "cell",
+                "population",
+                "target",
+                "n",
+                "trials",
+                "found",
+                "success",
+                "median moves",
+                "mean moves",
+                "max chi",
+            ],
+        );
+        report.param("spec", self.plan.name.as_str());
+        report.param("cells", self.plan.cells.len());
+        report.param("total trials", self.plan.total_trials(smoke));
+        let jobs = self
+            .plan
+            .jobs(smoke, cfg.base_seed)
+            .expect("plans from WorkloadPlan::expand are pre-validated");
+        let outcomes = run_sweep_with(&jobs, &cfg.sweep_options());
+        for (cell, outcome) in self.plan.cells.iter().zip(&outcomes) {
+            let s = outcome.summary();
+            let median = if s.found() == 0 { f64::NAN } else { s.median_moves() };
+            let mean = if s.found() == 0 { f64::NAN } else { s.mean_moves() };
+            report.row(vec![
+                cell.label.as_str().into(),
+                cell.population_label().into(),
+                cell.target_label().into(),
+                cell.agents.into(),
+                cell.trials_at(smoke).into(),
+                s.found().into(),
+                s.success_rate().into(),
+                median.into(),
+                mean.into(),
+                s.chi_footprint().chi().into(),
+            ]);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ants_workload::WorkloadSpec;
+
+    const SPEC: &str = r#"
+name = "unit demo"
+description = "three-strategy mixed cell"
+
+[defaults]
+trials = 6
+smoke_trials = 3
+
+[[cells]]
+name = "mixed"
+agents = 4
+target = { model = "ball", dist = 6 }
+population = [
+  { strategy = "nonuniform(dist)", weight = 2 },
+  { strategy = "randomwalk", weight = 1 },
+  { strategy = "spiral", weight = 1 },
+]
+"#;
+
+    fn experiment() -> WorkloadExperiment {
+        let plan = WorkloadPlan::expand(&WorkloadSpec::parse(SPEC).unwrap()).unwrap();
+        WorkloadExperiment::new(plan)
+    }
+
+    #[test]
+    fn adapts_a_plan_onto_the_experiment_trait() {
+        let exp = experiment();
+        assert_eq!(exp.meta().key, "unit-demo");
+        assert!(exp.meta().id.contains("unit demo"));
+        assert_eq!(exp.meta().claim, "three-strategy mixed cell");
+        let cfg = exp.config(Effort::Smoke);
+        assert_eq!(cfg.cells, 1);
+        assert_eq!(cfg.trials_per_cell, 3);
+        assert_eq!(exp.config(Effort::Standard).trials_per_cell, 6);
+    }
+
+    #[test]
+    fn runs_end_to_end_with_typed_rows() {
+        let exp = experiment();
+        let report = exp.run(&RunConfig::smoke());
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.cell(0, "cell"), &ants_sim::report::Value::Text("mixed".into()));
+        assert_eq!(report.num(0, "trials"), 3.0);
+        assert!(report.num(0, "success") >= 0.0);
+        // The report serializes with the standard schema.
+        let parsed = ants_sim::json::Json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("id").and_then(|v| v.as_str()), Some("unit-demo"));
+    }
+
+    #[test]
+    fn seed_shifts_change_outcomes_deterministically() {
+        let exp = experiment();
+        let a = exp.run(&RunConfig::standard());
+        let b = exp.run(&RunConfig::standard());
+        assert_eq!(a.to_csv(), b.to_csv(), "same config must reproduce");
+        let shifted = exp.run(&RunConfig::standard().with_seed(1));
+        assert_ne!(a.to_csv(), shifted.to_csv(), "--seed must shift the sweep");
+    }
+}

@@ -3,8 +3,9 @@
 //! module without wiring it into the registry (and therefore the CLI)
 //! fails CI.
 
-use ants_bench::experiments::{self, Effort};
-use ants_bench::RunConfig;
+use ants_bench::experiments::{self, Effort, Experiment as _};
+use ants_bench::{RunConfig, WorkloadExperiment};
+use std::path::PathBuf;
 
 /// The experiment keys implied by the module list in
 /// `src/experiments/mod.rs` — `pub mod e10_randomwalk;` implies `e10`.
@@ -63,6 +64,44 @@ fn every_experiment_plans_a_nonempty_sweep() {
             let cfg = e.config(effort);
             assert!(cfg.cells > 0, "{}: no cells at {effort:?}", e.meta().key);
             assert!(cfg.trials_per_cell > 0, "{}: no trials at {effort:?}", e.meta().key);
+        }
+    }
+}
+
+/// The bundled workload specs are part of the battery surface (`ants
+/// list` previews them, CI smoke-runs them): every spec under
+/// `examples/workloads/` must stay loadable, plan a non-empty sweep at
+/// both efforts, and carry a report key that neither collides with the
+/// built-in `e<N>` registry nor with another spec.
+#[test]
+fn bundled_workload_specs_stay_loadable() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/workloads");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/workloads exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 4, "at least four bundled specs ship with the repo: {paths:?}");
+    let builtin: Vec<String> =
+        experiments::all().iter().map(|e| e.meta().key.to_string()).collect();
+    let mut keys = std::collections::HashSet::new();
+    for path in &paths {
+        let exp = WorkloadExperiment::from_file(path)
+            .unwrap_or_else(|e| panic!("{} failed to load: {e}", path.display()));
+        let key = exp.meta().key;
+        assert!(
+            key.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-_".contains(c)),
+            "{}: key '{key}' is not file-name-safe",
+            path.display()
+        );
+        assert!(!builtin.contains(&key.to_string()), "{key} collides with a built-in experiment");
+        assert!(keys.insert(key.to_string()), "duplicate workload key '{key}'");
+        for effort in [Effort::Smoke, Effort::Standard] {
+            let cfg = exp.config(effort);
+            assert!(cfg.cells > 0, "{key}: no cells at {effort:?}");
+            assert!(cfg.trials_per_cell > 0, "{key}: no trials at {effort:?}");
         }
     }
 }

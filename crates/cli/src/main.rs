@@ -6,6 +6,10 @@
 //! ants all [flags]               # run the whole battery
 //! ants demo [D]                  # coverage of low- vs high-chi agents
 //! ants validate [dir]            # validate emitted JSON reports
+//! ants workload run <file>       # run a declarative workload spec
+//! ants workload validate <f>...  # parse + expand + validate spec files
+//! ants workload list <file>      # print a spec's expanded plan
+//! ants trend <dir-a> <dir-b>     # diff two report directories
 //!
 //! flags: --smoke | --effort smoke|standard   effort (default standard)
 //!        --seed N                            shift every sweep's seeds
@@ -25,15 +29,19 @@
 //! [`Experiment`](ants_bench::Experiment) trait); this binary only
 //! parses arguments, streams reports, and validates JSON output.
 
+mod trend;
+
 use ants_bench::experiments;
 use ants_bench::runner::{self, emit, parse_flags, Runner};
+use ants_bench::WorkloadExperiment;
 use ants_sim::json::Json;
 use ants_sim::report::Table;
 use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ants <list|run <id>|all|demo [D]|validate [dir]> \
+        "usage: ants <list|run <id>|all|demo [D]|validate [dir]|\
+         workload run|validate|list <file>...|trend <dir-a> <dir-b>> \
          [--smoke | --effort smoke|standard] [--seed N] [--threads K] \
          [--granularity auto|trial|agent] [--chunk N] [--csv] [--json]\n\
          reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
@@ -60,6 +68,146 @@ fn list(args: &[String]) {
         ]);
     }
     println!("effort: {}\n\n{t}", effort.as_str());
+    list_bundled_specs(effort);
+}
+
+/// Default location of the bundled workload specs, relative to the
+/// working directory (present when running from a repo checkout).
+const BUNDLED_SPEC_DIR: &str = "examples/workloads";
+
+/// Append the bundled workload specs to `ants list` when running from a
+/// checkout: workload-backed experiments are part of the battery surface
+/// even though they live in data files.
+fn list_bundled_specs(effort: ants_bench::Effort) {
+    let dir = Path::new(BUNDLED_SPEC_DIR);
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    if paths.is_empty() {
+        return;
+    }
+    paths.sort();
+    let mut t = Table::new(vec!["key", "cells", "trials total", "spec"]);
+    for path in paths {
+        match WorkloadExperiment::from_file(&path) {
+            Ok(exp) => {
+                let smoke = effort == ants_bench::Effort::Smoke;
+                t.row(vec![
+                    exp.plan().key.clone(),
+                    exp.plan().cells.len().to_string(),
+                    exp.plan().total_trials(smoke).to_string(),
+                    path.display().to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row(vec![
+                    "INVALID".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("{}: {e}", path.display()),
+                ]);
+            }
+        }
+    }
+    println!(
+        "bundled workload specs ({BUNDLED_SPEC_DIR}; run with `ants workload run <file>`):\n\n{t}"
+    );
+}
+
+/// `ants workload run|validate|list <file>...` — the declarative
+/// workload surface. `run` accepts the shared flag set after the file.
+fn workload(args: &[String]) {
+    let Some(verb) = args.first().map(String::as_str) else { usage() };
+    match verb {
+        "run" => {
+            // The spec file comes first; everything after it is the
+            // shared flag surface (`--threads 4` etc.).
+            let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("error: `ants workload run <file> [flags]` needs a spec file first");
+                usage()
+            };
+            let exp = WorkloadExperiment::from_file(Path::new(file)).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let flags = parse_flags(&args[2..]).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                usage()
+            });
+            emit(&Runner::new(flags.cfg).run(&exp), flags.csv, flags.json);
+        }
+        "validate" => {
+            let files = &args[1..];
+            if files.is_empty() || files.iter().any(|a| a.starts_with("--")) {
+                eprintln!("error: `ants workload validate` takes spec files only (no flags)");
+                usage()
+            }
+            let mut failures = 0usize;
+            for file in files {
+                match WorkloadExperiment::from_file(Path::new(file)) {
+                    Ok(exp) => println!(
+                        "ok   {}: key {}, {} cell(s), {} trial(s) standard / {} smoke",
+                        file,
+                        exp.plan().key,
+                        exp.plan().cells.len(),
+                        exp.plan().total_trials(false),
+                        exp.plan().total_trials(true),
+                    ),
+                    Err(e) => {
+                        eprintln!("FAIL {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            println!("validated {} spec(s), {failures} failure(s)", files.len());
+            if failures > 0 {
+                std::process::exit(1);
+            }
+        }
+        "list" => {
+            let (Some(file), None) = (args.get(1), args.get(2)) else {
+                eprintln!("error: `ants workload list` takes exactly one spec file");
+                usage()
+            };
+            let exp = WorkloadExperiment::from_file(Path::new(file)).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let plan = exp.plan();
+            println!("workload '{}' (key {}): {} cell(s)", plan.name, plan.key, plan.cells.len());
+            if !plan.description.is_empty() {
+                println!("claim: {}", plan.description);
+            }
+            println!();
+            let mut t = Table::new(vec![
+                "cell",
+                "n",
+                "target",
+                "budget",
+                "trials",
+                "smoke",
+                "seed tag",
+                "population",
+            ]);
+            for c in &plan.cells {
+                t.row(vec![
+                    c.label.clone(),
+                    c.agents.to_string(),
+                    c.target_label(),
+                    c.move_budget.to_string(),
+                    c.trials.to_string(),
+                    c.smoke_trials.to_string(),
+                    format!("{:#x}", c.seed_tag),
+                    c.population_label(),
+                ]);
+            }
+            print!("{t}");
+        }
+        _ => usage(),
+    }
 }
 
 fn run_one(args: &[String]) {
@@ -194,6 +342,14 @@ fn main() {
         Some("validate") => {
             let dir = args.get(1).map_or_else(|| runner::REPORT_DIR.to_string(), Clone::clone);
             validate(Path::new(&dir));
+        }
+        Some("workload") => workload(&args[1..]),
+        Some("trend") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else { usage() };
+            let outcome = trend::trend(Path::new(a), Path::new(b));
+            if outcome.failures > 0 {
+                std::process::exit(1);
+            }
         }
         _ => usage(),
     }

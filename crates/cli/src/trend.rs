@@ -1,0 +1,163 @@
+//! `ants trend <dir-a> <dir-b>` — the first consumer of the JSON
+//! reports: diff two report directories (e.g. two commits' dashboards).
+//!
+//! Contract:
+//!
+//! * reports are matched by file name; experiments present only on one
+//!   side are flagged (`missing in B` / `new in B`) but do not fail;
+//! * schema problems *do* fail: unparseable files, a schema tag other
+//!   than `ants-report/v1`, or column sets that disagree exit non-zero —
+//!   a dashboard diffing apples to oranges is worse than no dashboard;
+//! * row-by-row, cell-by-cell deltas: numeric cells print `a -> b (Δ)`,
+//!   text/bool cells print `a -> b`; `wall_ms` is reported separately
+//!   and never counts as a data change (it is the only field allowed to
+//!   drift between identical runs).
+
+use ants_sim::json::Json;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Outcome of a trend run, for the process exit code.
+pub struct TrendOutcome {
+    /// Schema mismatches or unreadable/unparseable reports.
+    pub failures: usize,
+    /// Reports whose data rows differ.
+    pub changed: usize,
+}
+
+fn json_names(dir: &Path) -> Result<BTreeSet<String>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    Ok(entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+        .collect())
+}
+
+fn load_report(path: &Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("unreadable {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some("ants-report/v1") {
+        return Err(format!("{}: unexpected schema {schema:?}", path.display()));
+    }
+    Ok(doc)
+}
+
+fn cell_text(cell: &Json) -> String {
+    match cell {
+        Json::Str(s) => s.clone(),
+        Json::Num(x) => format!("{x}"),
+        Json::Bool(b) => b.to_string(),
+        Json::Null => "null".to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Diff one matched pair of reports; returns `Ok(changed_cells)` or a
+/// schema-mismatch description.
+fn diff_pair(name: &str, a: &Json, b: &Json) -> Result<usize, String> {
+    let cols_a = a.get("columns").and_then(Json::as_array).ok_or("missing columns in A")?;
+    let cols_b = b.get("columns").and_then(Json::as_array).ok_or("missing columns in B")?;
+    if cols_a != cols_b {
+        return Err(format!("column sets differ ({} vs {} columns)", cols_a.len(), cols_b.len()));
+    }
+    let empty: &[Json] = &[];
+    let rows_a = a.get("rows").and_then(Json::as_array).unwrap_or(empty);
+    let rows_b = b.get("rows").and_then(Json::as_array).unwrap_or(empty);
+    let mut changed = 0usize;
+    if rows_a.len() != rows_b.len() {
+        println!("  {name}: row count {} -> {}", rows_a.len(), rows_b.len());
+        changed += rows_a.len().abs_diff(rows_b.len());
+    }
+    for (i, (ra, rb)) in rows_a.iter().zip(rows_b.iter()).enumerate() {
+        let (ca, cb) = (ra.as_array().unwrap_or(empty), rb.as_array().unwrap_or(empty));
+        for (col, (va, vb)) in ca.iter().zip(cb.iter()).enumerate() {
+            if va == vb {
+                continue;
+            }
+            changed += 1;
+            let col_name = cols_a.get(col).and_then(Json::as_str).unwrap_or("?");
+            match (va.as_f64(), vb.as_f64()) {
+                (Some(x), Some(y)) => {
+                    println!("  {name} row {i} [{col_name}]: {x} -> {y} (Δ {:+})", y - x)
+                }
+                _ => println!(
+                    "  {name} row {i} [{col_name}]: {} -> {}",
+                    cell_text(va),
+                    cell_text(vb)
+                ),
+            }
+        }
+    }
+    Ok(changed)
+}
+
+/// Run the diff; prints to stdout/stderr and returns the counts the
+/// caller turns into an exit code.
+pub fn trend(dir_a: &Path, dir_b: &Path) -> TrendOutcome {
+    let mut out = TrendOutcome { failures: 0, changed: 0 };
+    let (names_a, names_b) = match (json_names(dir_a), json_names(dir_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            for r in [a.err(), b.err()].into_iter().flatten() {
+                eprintln!("error: {r}");
+            }
+            out.failures += 1;
+            return out;
+        }
+    };
+    if names_a.is_empty() && names_b.is_empty() {
+        eprintln!("error: no .json reports in {} or {}", dir_a.display(), dir_b.display());
+        out.failures += 1;
+        return out;
+    }
+    let union: BTreeSet<&String> = names_a.union(&names_b).collect();
+    let mut identical = 0usize;
+    for name in union {
+        match (names_a.contains(name.as_str()), names_b.contains(name.as_str())) {
+            (true, false) => println!("- {name}: missing in {}", dir_b.display()),
+            (false, true) => println!("+ {name}: new in {}", dir_b.display()),
+            _ => {
+                let (pa, pb) = (dir_a.join(name.as_str()), dir_b.join(name.as_str()));
+                let (a, b) = match (load_report(&pa), load_report(&pb)) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (a, b) => {
+                        for e in [a.err(), b.err()].into_iter().flatten() {
+                            eprintln!("FAIL {e}");
+                        }
+                        out.failures += 1;
+                        continue;
+                    }
+                };
+                match diff_pair(name, &a, &b) {
+                    Err(e) => {
+                        eprintln!("FAIL {name}: schema mismatch: {e}");
+                        out.failures += 1;
+                    }
+                    Ok(0) => {
+                        identical += 1;
+                        let wall = |doc: &Json| doc.get("wall_ms").and_then(Json::as_f64);
+                        if let (Some(wa), Some(wb)) = (wall(&a), wall(&b)) {
+                            println!("= {name}: rows identical (wall {wa:.1}ms -> {wb:.1}ms)");
+                        } else {
+                            println!("= {name}: rows identical");
+                        }
+                    }
+                    Ok(n) => {
+                        out.changed += 1;
+                        println!("~ {name}: {n} changed cell(s)");
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "trend: {} identical, {} changed, {} failure(s)",
+        identical, out.changed, out.failures
+    );
+    out
+}

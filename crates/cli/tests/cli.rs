@@ -108,3 +108,137 @@ fn bad_granularity_flags_are_rejected() {
     }
     std::fs::remove_dir_all(&cwd).ok();
 }
+
+/// A spec the workload CLI tests write into their temp cwd.
+const TEST_SPEC: &str = r#"
+name = "cli demo"
+
+[defaults]
+trials = 4
+smoke_trials = 2
+seed = 31
+
+[[cells]]
+name = "mixed"
+agents = 5
+target = { model = "ball", dist = 6 }
+move_budget = 8000
+population = [
+  { strategy = "nonuniform(dist)", weight = 2 },
+  { strategy = "randomwalk", weight = 1 },
+  { strategy = "spiral", weight = 1 },
+]
+"#;
+
+/// `ants workload validate` accepts a good spec, rejects a broken one
+/// (naming the failing key), and exits non-zero.
+#[test]
+fn workload_validate_exit_codes() {
+    let cwd = temp_dir("wl-validate");
+    std::fs::write(cwd.join("good.toml"), TEST_SPEC).unwrap();
+    std::fs::write(cwd.join("bad.toml"), TEST_SPEC.replace("nonuniform(dist)", "warpdrive(9)"))
+        .unwrap();
+    let out = ants(&["workload", "validate", "good.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("key cli-demo"), "stdout: {stdout}");
+    let out = ants(&["workload", "validate", "good.toml", "bad.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("unknown strategy"), "stderr: {}", stderr(&out));
+    // A missing file fails too.
+    let out = ants(&["workload", "validate", "no-such.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants workload run --json` writes a report keyed by the spec name
+/// that `ants validate` accepts, and the stdout is byte-identical
+/// across granularities at a fixed thread count.
+#[test]
+fn workload_run_writes_report_and_is_schedule_invariant() {
+    let cwd = temp_dir("wl-run");
+    std::fs::write(cwd.join("spec.toml"), TEST_SPEC).unwrap();
+    let base = ants(&["workload", "run", "spec.toml", "--smoke", "--threads", "2", "--json"], &cwd);
+    assert_eq!(base.status.code(), Some(0), "stderr: {}", stderr(&base));
+    assert!(cwd.join("target/reports/cli-demo.json").is_file());
+    let out = ants(&["validate", "target/reports"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    for extra in [&["--granularity", "trial"][..], &["--granularity", "agent", "--chunk", "2"][..]]
+    {
+        let mut args = vec!["workload", "run", "spec.toml", "--smoke", "--threads", "2", "--json"];
+        args.extend_from_slice(extra);
+        let out = ants(&args, &cwd);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+        assert_eq!(
+            out.stdout, base.stdout,
+            "workload stdout drifted under {extra:?} — scheduling leaked into results"
+        );
+    }
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants workload list` prints the expanded plan; a broken file exits 1.
+#[test]
+fn workload_list_prints_the_plan() {
+    let cwd = temp_dir("wl-list");
+    std::fs::write(cwd.join("spec.toml"), TEST_SPEC).unwrap();
+    let out = ants(&["workload", "list", "spec.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("2:nonuniform(6) + 1:randomwalk + 1:spiral"), "stdout: {stdout}");
+    assert!(stdout.contains("ball(6)"), "stdout: {stdout}");
+    std::fs::write(cwd.join("broken.toml"), "name = \n").unwrap();
+    let out = ants(&["workload", "list", "broken.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants trend`: identical reports exit 0, numeric drift is reported
+/// per row but still exits 0, schema mismatches exit 1, and one-sided
+/// reports are flagged.
+#[test]
+fn trend_diffs_report_directories() {
+    let cwd = temp_dir("trend");
+    let (a, b) = (cwd.join("a"), cwd.join("b"));
+    std::fs::create_dir_all(&a).unwrap();
+    std::fs::create_dir_all(&b).unwrap();
+    let report = |x: f64| {
+        format!(
+            "{{\"schema\":\"ants-report/v1\",\"id\":\"w\",\"title\":\"t\",\"claim\":\"c\",\
+             \"effort\":\"smoke\",\"seed\":0,\"threads\":null,\"wall_ms\":1.5,\"params\":{{}},\
+             \"columns\":[\"cell\",\"x\"],\"rows\":[[\"r\",{x}]]}}"
+        )
+    };
+    std::fs::write(a.join("w.json"), report(2.0)).unwrap();
+    std::fs::write(b.join("w.json"), report(2.0)).unwrap();
+    std::fs::write(a.join("gone.json"), report(1.0)).unwrap();
+    let out = ants(&["trend", "a", "b"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("w.json: rows identical"), "stdout: {stdout}");
+    assert!(stdout.contains("gone.json: missing in"), "stdout: {stdout}");
+
+    // Numeric drift: reported with a delta, exit stays 0.
+    std::fs::write(b.join("w.json"), report(3.5)).unwrap();
+    let out = ants(&["trend", "a", "b"], &cwd);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("2 -> 3.5"), "stdout: {stdout}");
+    assert!(stdout.contains("+1.5"), "stdout: {stdout}");
+
+    // Schema mismatch: exit 1.
+    std::fs::write(b.join("w.json"), report(2.0).replace("ants-report/v1", "other/v9")).unwrap();
+    let out = ants(&["trend", "a", "b"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+
+    // Column mismatch is a schema failure too.
+    std::fs::write(b.join("w.json"), report(2.0).replace("\"x\"", "\"y\"")).unwrap();
+    let out = ants(&["trend", "a", "b"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("schema mismatch"), "stderr: {}", stderr(&out));
+
+    // Missing directory: exit 1.
+    let out = ants(&["trend", "a", "nope"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&cwd).ok();
+}

@@ -97,6 +97,24 @@ impl TargetPlacement {
     pub fn region(&self) -> Rect {
         Rect::ball(self.max_distance())
     }
+
+    /// The smallest L1 (taxicab) distance any candidate target drawn from
+    /// this model can have — the minimum number of moves an agent must
+    /// make inside one origin-to-origin excursion to reach *any* target.
+    ///
+    /// Scenario validation uses this to reject per-guess ceilings under
+    /// which every target of the model is unreachable.
+    pub fn min_l1(&self) -> u64 {
+        match *self {
+            TargetPlacement::Fixed(p) => p.x.unsigned_abs() + p.y.unsigned_abs(),
+            // The corner (D, D) is the only candidate: 2D moves.
+            TargetPlacement::Corner { distance } => 2 * distance,
+            // (1, 0) is always a candidate of the punctured square.
+            TargetPlacement::UniformInBall { .. } => 1,
+            // The cheapest circle point is an axis point like (D, 0).
+            TargetPlacement::Ring { distance } => distance,
+        }
+    }
 }
 
 #[cfg(test)]

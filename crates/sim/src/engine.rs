@@ -74,7 +74,7 @@ fn run_agent(
     track: bool,
 ) -> AgentRun {
     debug_assert!(cap > 0, "callers skip capped-out agents");
-    let mut strategy = scenario.make_strategy(agent_idx);
+    let mut strategy = scenario.strategy_for(trial_seed, agent_idx);
     let mut rng = derive_rng(trial_seed, agent_idx as u64);
     let mut pos = Point::ORIGIN;
     let mut moves = 0u64;

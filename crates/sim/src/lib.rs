@@ -63,7 +63,7 @@ mod sched;
 pub use engine::{run_trial, run_trials, run_trials_serial, run_trials_with, ChunkRun, TrialPlan};
 pub use metrics::{Outcome, Summary, TrialResult};
 pub use rounds::RoundExecutor;
-pub use scenario::{Scenario, ScenarioBuilder, StrategyFactory};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, StrategyFactory};
 pub use sched::{
     map_indexed, run_sweep, run_sweep_with, Granularity, Probe, ProbeEvent, Scheduler, SweepJob,
     SweepOptions, DEFAULT_AGENT_CHUNK,

@@ -29,7 +29,13 @@ impl RoundExecutor {
         let mut target_rng = derive_rng(trial_seed, u64::MAX);
         let target = scenario.target().place(&mut target_rng);
         let agents = (0..scenario.n_agents())
-            .map(|i| (scenario.make_strategy(i), derive_rng(trial_seed, i as u64), Point::ORIGIN))
+            .map(|i| {
+                (
+                    scenario.strategy_for(trial_seed, i),
+                    derive_rng(trial_seed, i as u64),
+                    Point::ORIGIN,
+                )
+            })
             .collect();
         Self { agents, round: 0, target, found_round: None }
     }

@@ -2,6 +2,8 @@
 
 use ants_core::SearchStrategy;
 use ants_grid::TargetPlacement;
+use ants_rng::{derive_rng, Rng64};
+use std::fmt;
 
 /// A factory producing one strategy instance per agent index.
 ///
@@ -9,6 +11,48 @@ use ants_grid::TargetPlacement;
 /// index; it is provided for diagnostic instrumentation (and deliberately
 /// *not* for symmetry breaking — that would change the model).
 pub type StrategyFactory = Box<dyn Fn(usize) -> Box<dyn SearchStrategy> + Send + Sync>;
+
+/// Salt for the population-assignment RNG stream.
+///
+/// Mixed populations draw each agent's strategy from
+/// `derive_rng(trial_seed ^ SALT, agent)`: a stream independent of the
+/// agent's own walk randomness (`derive_rng(trial_seed, agent)`) and of
+/// the target draw (`derive_rng(trial_seed, u64::MAX)`), so adding a
+/// population never perturbs trajectories and the assignment is a pure
+/// function of `(trial_seed, agent)` — byte-identical across threads,
+/// chunk sizes, and granularities.
+const ASSIGNMENT_SALT: u64 = 0x5EED_A551_6E4D_F00D;
+
+/// The agent population of a scenario: one shared factory, or a weighted
+/// mix of factories ("strategy zoo") assigned per agent from the trial
+/// seed.
+enum Population {
+    /// Every agent runs the same strategy.
+    Single(StrategyFactory),
+    /// Weighted mix; entry `i` is drawn with probability
+    /// `weight_i / total`.
+    Mixed { entries: Vec<(u64, StrategyFactory)>, total: u64 },
+}
+
+impl Population {
+    /// The entry index agent `agent` is assigned in trial `trial_seed`.
+    fn assignment(&self, trial_seed: u64, agent: usize) -> usize {
+        match self {
+            Population::Single(_) => 0,
+            Population::Mixed { entries, total } => {
+                let mut rng = derive_rng(trial_seed ^ ASSIGNMENT_SALT, agent as u64);
+                let mut draw = rng.next_below(*total);
+                for (i, (w, _)) in entries.iter().enumerate() {
+                    if draw < *w {
+                        return i;
+                    }
+                    draw -= *w;
+                }
+                unreachable!("draw below total is covered by cumulative weights")
+            }
+        }
+    }
+}
 
 /// A complete simulation scenario.
 ///
@@ -18,7 +62,7 @@ pub struct Scenario {
     target: TargetPlacement,
     move_budget: u64,
     guess_move_ceiling: Option<u64>,
-    factory: StrategyFactory,
+    population: Population,
 }
 
 impl Scenario {
@@ -59,9 +103,45 @@ impl Scenario {
         self.guess_move_ceiling
     }
 
+    /// Number of distinct population entries (1 for single-strategy
+    /// scenarios).
+    pub fn population_len(&self) -> usize {
+        match &self.population {
+            Population::Single(_) => 1,
+            Population::Mixed { entries, .. } => entries.len(),
+        }
+    }
+
+    /// The population entry agent `agent` runs in trial `trial_seed` —
+    /// a pure function of `(trial_seed, agent)`, independent of
+    /// scheduling. Always 0 for single-strategy scenarios.
+    pub fn population_assignment(&self, trial_seed: u64, agent: usize) -> usize {
+        self.population.assignment(trial_seed, agent)
+    }
+
+    /// Instantiate the strategy agent `agent` runs in trial `trial_seed`.
+    ///
+    /// This is the engine's entry point: mixed populations dispatch the
+    /// weighted assignment drawn from the trial seed; single-strategy
+    /// scenarios ignore the seed entirely (so adding the population
+    /// machinery changed no existing output).
+    pub fn strategy_for(&self, trial_seed: u64, agent: usize) -> Box<dyn SearchStrategy> {
+        match &self.population {
+            Population::Single(f) => f(agent),
+            Population::Mixed { entries, .. } => {
+                entries[self.population.assignment(trial_seed, agent)].1(agent)
+            }
+        }
+    }
+
     /// Instantiate the strategy for a given agent index.
+    ///
+    /// Equivalent to [`Scenario::strategy_for`] with trial seed 0 — for
+    /// single-strategy scenarios (the common case) the seed is irrelevant
+    /// and this is exactly the factory call; for mixed populations prefer
+    /// `strategy_for` so the assignment tracks the trial.
     pub fn make_strategy(&self, agent: usize) -> Box<dyn SearchStrategy> {
-        (self.factory)(agent)
+        self.strategy_for(0, agent)
     }
 }
 
@@ -71,9 +151,84 @@ impl std::fmt::Debug for Scenario {
             .field("n_agents", &self.n_agents)
             .field("target", &self.target)
             .field("move_budget", &self.move_budget)
+            .field("population_len", &self.population_len())
             .finish_non_exhaustive()
     }
 }
+
+/// Why a [`ScenarioBuilder`] could not produce a [`Scenario`].
+///
+/// Returned by [`ScenarioBuilder::try_build`]; [`ScenarioBuilder::build`]
+/// panics with the same message. Every variant names the builder call
+/// that fixes it.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// No target model was set.
+    MissingTarget,
+    /// No move budget was set.
+    MissingMoveBudget,
+    /// The move budget was zero.
+    ZeroMoveBudget,
+    /// The agent count was zero.
+    ZeroAgents,
+    /// Neither a strategy factory nor population entries were provided.
+    MissingStrategy,
+    /// Both a single strategy factory and population entries were set.
+    StrategyConflict,
+    /// A population entry had zero weight (its index is carried).
+    ZeroWeight(usize),
+    /// The population weights overflow `u64` when summed.
+    WeightOverflow,
+    /// The per-guess ceiling is below the cheapest possible target's
+    /// L1 distance, so no excursion can ever reach any target.
+    UnreachableCeiling {
+        /// The configured ceiling.
+        ceiling: u64,
+        /// Moves the nearest candidate target needs within one guess.
+        needed: u64,
+        /// The target model the ceiling was checked against.
+        target: TargetPlacement,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::MissingTarget => {
+                write!(f, "scenario target is required (call ScenarioBuilder::target)")
+            }
+            ScenarioError::MissingMoveBudget => {
+                write!(f, "scenario move budget is required (call ScenarioBuilder::move_budget)")
+            }
+            ScenarioError::ZeroMoveBudget => write!(f, "move budget must be positive"),
+            ScenarioError::ZeroAgents => write!(f, "scenario needs at least one agent"),
+            ScenarioError::MissingStrategy => write!(
+                f,
+                "scenario strategy factory is required (call ScenarioBuilder::strategy, or add \
+                 population entries with ScenarioBuilder::mix)"
+            ),
+            ScenarioError::StrategyConflict => write!(
+                f,
+                "a scenario takes either one strategy factory or a mixed population, not both \
+                 (drop the ScenarioBuilder::strategy call or the ScenarioBuilder::mix calls)"
+            ),
+            ScenarioError::ZeroWeight(i) => {
+                write!(f, "population entry {i} has zero weight (weights must be >= 1)")
+            }
+            ScenarioError::WeightOverflow => {
+                write!(f, "population weights overflow u64 when summed — use smaller weights")
+            }
+            ScenarioError::UnreachableCeiling { ceiling, needed, target } => write!(
+                f,
+                "guess move ceiling {ceiling} makes every target of {target:?} unreachable: the \
+                 nearest candidate needs {needed} moves within a single origin-to-origin \
+                 excursion (raise the ceiling to at least {needed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Builder for [`Scenario`].
 #[derive(Default)]
@@ -83,6 +238,7 @@ pub struct ScenarioBuilder {
     move_budget: Option<u64>,
     guess_move_ceiling: Option<u64>,
     factory: Option<StrategyFactory>,
+    mix: Vec<(u64, StrategyFactory)>,
 }
 
 impl ScenarioBuilder {
@@ -109,7 +265,9 @@ impl ScenarioBuilder {
     ///
     /// See [`Scenario::guess_move_ceiling`]. A ceiling below ~`2D` makes
     /// the target unreachable — pick a multiple of the largest guess area
-    /// you care about (e.g. `64 · D²`).
+    /// you care about (e.g. `64 · D²`). [`ScenarioBuilder::try_build`]
+    /// rejects ceilings below the cheapest candidate target's L1
+    /// distance (no excursion could ever reach anything).
     ///
     /// # Panics
     ///
@@ -120,7 +278,8 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Set the strategy factory (required).
+    /// Set the strategy factory (required unless a population is mixed
+    /// in via [`ScenarioBuilder::mix`]).
     pub fn strategy<F>(mut self, f: F) -> Self
     where
         F: Fn(usize) -> Box<dyn SearchStrategy> + Send + Sync + 'static,
@@ -129,34 +288,92 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Build the scenario.
+    /// Append one weighted entry to a heterogeneous agent population.
     ///
-    /// # Panics
+    /// Each agent in each trial is assigned entry `i` with probability
+    /// `weight_i / Σ weights`, drawn deterministically from the trial
+    /// seed (see [`Scenario::population_assignment`]). Mutually exclusive
+    /// with [`ScenarioBuilder::strategy`].
+    pub fn mix<F>(self, weight: u64, f: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn SearchStrategy> + Send + Sync + 'static,
+    {
+        self.mix_boxed(weight, Box::new(f))
+    }
+
+    /// [`ScenarioBuilder::mix`] taking an already-boxed factory (what the
+    /// workload layer holds).
+    pub fn mix_boxed(mut self, weight: u64, f: StrategyFactory) -> Self {
+        self.mix.push((weight, f));
+        self
+    }
+
+    /// Build the scenario, reporting construction problems as values.
     ///
-    /// Panics if a required field is missing, the agent count is zero, or
-    /// the move budget is zero — scenario construction errors are
-    /// programming errors, not runtime conditions.
-    pub fn build(self) -> Scenario {
+    /// # Errors
+    ///
+    /// See [`ScenarioError`] — missing required fields, zero counts,
+    /// conflicting strategy configuration, zero-weight population
+    /// entries, or a guess ceiling under which no target is reachable.
+    pub fn try_build(self) -> Result<Scenario, ScenarioError> {
         let n_agents = self.n_agents.unwrap_or(1);
-        assert!(n_agents >= 1, "scenario needs at least one agent");
-        let target = self.target.expect("scenario target is required");
-        let move_budget = self.move_budget.expect("scenario move budget is required");
-        assert!(move_budget >= 1, "move budget must be positive");
-        let factory = self.factory.expect("scenario strategy factory is required");
-        Scenario {
+        if n_agents == 0 {
+            return Err(ScenarioError::ZeroAgents);
+        }
+        let target = self.target.ok_or(ScenarioError::MissingTarget)?;
+        let move_budget = self.move_budget.ok_or(ScenarioError::MissingMoveBudget)?;
+        if move_budget == 0 {
+            return Err(ScenarioError::ZeroMoveBudget);
+        }
+        if let Some(ceiling) = self.guess_move_ceiling {
+            let needed = target.min_l1();
+            if ceiling < needed {
+                return Err(ScenarioError::UnreachableCeiling { ceiling, needed, target });
+            }
+        }
+        let population = match (self.factory, self.mix.is_empty()) {
+            (Some(_), false) => return Err(ScenarioError::StrategyConflict),
+            (Some(f), true) => Population::Single(f),
+            (None, true) => return Err(ScenarioError::MissingStrategy),
+            (None, false) => {
+                if let Some(i) = self.mix.iter().position(|(w, _)| *w == 0) {
+                    return Err(ScenarioError::ZeroWeight(i));
+                }
+                let total = self
+                    .mix
+                    .iter()
+                    .try_fold(0u64, |acc, (w, _)| acc.checked_add(*w))
+                    .ok_or(ScenarioError::WeightOverflow)?;
+                Population::Mixed { entries: self.mix, total }
+            }
+        };
+        Ok(Scenario {
             n_agents,
             target,
             move_budget,
             guess_move_ceiling: self.guess_move_ceiling,
-            factory,
-        }
+            population,
+        })
+    }
+
+    /// Build the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ScenarioError`] message if construction fails —
+    /// hand-written scenarios treat construction errors as programming
+    /// errors. Data-driven callers (the workload layer) use
+    /// [`ScenarioBuilder::try_build`] instead.
+    pub fn build(self) -> Scenario {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ants_core::baselines::RandomWalk;
+    use ants_core::baselines::{RandomWalk, SpiralSearch};
+    use ants_grid::Point;
 
     fn walker_factory() -> StrategyFactory {
         Box::new(|_| Box::new(RandomWalk::new()))
@@ -214,6 +431,75 @@ mod tests {
     }
 
     #[test]
+    fn try_build_reports_errors_as_values() {
+        let e = Scenario::builder().move_budget(10).try_build().unwrap_err();
+        assert!(matches!(e, ScenarioError::MissingTarget), "{e}");
+        let e = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .move_budget(10)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::MissingStrategy), "{e}");
+        let e = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::MissingMoveBudget), "{e}");
+        let e = Scenario::builder()
+            .agents(0)
+            .target(TargetPlacement::Corner { distance: 1 })
+            .move_budget(10)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::ZeroAgents), "{e}");
+    }
+
+    #[test]
+    fn try_build_rejects_unreachable_ceiling() {
+        // Corner (4,4) needs 8 moves in one excursion; a ceiling of 7 can
+        // never reach it.
+        let e = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 4 })
+            .move_budget(1000)
+            .guess_move_ceiling(7)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::UnreachableCeiling { needed: 8, .. }),
+            "unexpected error: {e}"
+        );
+        assert!(e.to_string().contains("unreachable"), "{e}");
+        // Exactly the L1 distance is allowed.
+        assert!(Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 4 })
+            .move_budget(1000)
+            .guess_move_ceiling(8)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .try_build()
+            .is_ok());
+        // A ball target always has a candidate one move away.
+        assert!(Scenario::builder()
+            .target(TargetPlacement::UniformInBall { distance: 9 })
+            .move_budget(1000)
+            .guess_move_ceiling(1)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .try_build()
+            .is_ok());
+        // Fixed targets check their own L1 norm.
+        let e = Scenario::builder()
+            .target(TargetPlacement::Fixed(Point::new(3, -2)))
+            .move_budget(1000)
+            .guess_move_ceiling(4)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::UnreachableCeiling { needed: 5, .. }), "{e}");
+    }
+
+    #[test]
     fn guess_ceiling_is_recorded() {
         let s = Scenario::builder()
             .target(TargetPlacement::Corner { distance: 2 })
@@ -241,5 +527,104 @@ mod tests {
         let a = f(0);
         let b = f(1);
         assert_eq!(a.name(), b.name());
+    }
+
+    fn mixed_scenario(n: usize) -> Scenario {
+        Scenario::builder()
+            .agents(n)
+            .target(TargetPlacement::UniformInBall { distance: 4 })
+            .move_budget(1000)
+            .mix(3, |_| Box::new(RandomWalk::new()))
+            .mix(1, |_| Box::new(SpiralSearch::new()))
+            .build()
+    }
+
+    #[test]
+    fn mixed_population_assigns_deterministically() {
+        let s = mixed_scenario(16);
+        assert_eq!(s.population_len(), 2);
+        for trial_seed in [0u64, 1, 99, u64::MAX] {
+            for agent in 0..16 {
+                let a = s.population_assignment(trial_seed, agent);
+                let b = s.population_assignment(trial_seed, agent);
+                assert_eq!(a, b);
+                assert!(a < 2);
+                let got = s.strategy_for(trial_seed, agent);
+                let want = if a == 0 { "uniform random walk" } else { "deterministic spiral" };
+                assert_eq!(got.name(), want, "trial {trial_seed} agent {agent}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_population_tracks_weights() {
+        // 3:1 mix over many (trial, agent) pairs: the empirical share of
+        // entry 0 must be near 3/4 and both entries must appear.
+        let s = mixed_scenario(8);
+        let mut counts = [0u64; 2];
+        for trial_seed in 0..200u64 {
+            for agent in 0..8 {
+                counts[s.population_assignment(trial_seed, agent)] += 1;
+            }
+        }
+        let share = counts[0] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((share - 0.75).abs() < 0.05, "entry-0 share {share}");
+    }
+
+    #[test]
+    fn mixed_population_varies_with_trial_seed_only() {
+        // The assignment may not depend on anything but (trial_seed,
+        // agent): two identically-built scenarios agree everywhere.
+        let a = mixed_scenario(8);
+        let b = mixed_scenario(8);
+        for trial_seed in 0..50u64 {
+            for agent in 0..8 {
+                assert_eq!(
+                    a.population_assignment(trial_seed, agent),
+                    b.population_assignment(trial_seed, agent)
+                );
+            }
+        }
+        // And it genuinely varies across trials (a frozen assignment
+        // would make the "zoo" a fixed partition).
+        let agent0: std::collections::HashSet<usize> =
+            (0..50u64).map(|t| a.population_assignment(t, 0)).collect();
+        assert_eq!(agent0.len(), 2, "agent 0 must see both entries across trials");
+    }
+
+    #[test]
+    fn mix_and_strategy_conflict() {
+        let e = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .move_budget(10)
+            .strategy(|_| Box::new(RandomWalk::new()))
+            .mix(1, |_| Box::new(SpiralSearch::new()))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::StrategyConflict), "{e}");
+    }
+
+    #[test]
+    fn overflowing_weights_rejected() {
+        let e = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .move_budget(10)
+            .mix(u64::MAX, |_| Box::new(RandomWalk::new()))
+            .mix(2, |_| Box::new(SpiralSearch::new()))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::WeightOverflow), "{e}");
+    }
+
+    #[test]
+    fn zero_weight_entry_rejected() {
+        let e = Scenario::builder()
+            .target(TargetPlacement::Corner { distance: 1 })
+            .move_budget(10)
+            .mix(1, |_| Box::new(RandomWalk::new()))
+            .mix(0, |_| Box::new(SpiralSearch::new()))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ScenarioError::ZeroWeight(1)), "{e}");
     }
 }

@@ -1,0 +1,589 @@
+//! The strategy-zoo grammar: textual entries like `nonuniform(dist)` or
+//! `automaton(drift, 3)` parsed into symbolic [`ZooStrategy`] values,
+//! resolved against a concrete cell into [`ResolvedStrategy`] factories.
+//!
+//! Grammar (one entry per population element):
+//!
+//! ```text
+//! entry      := name | name '(' arg (',' arg)* ')'
+//! name       := randomwalk | spiral | nonuniform | coin | uniform
+//!             | fullyuniform | harmonic | levy | automaton
+//! arg        := integer | float | dist | agents | ident   (automaton kinds)
+//! ```
+//!
+//! The tokens `dist` and `agents` bind to the cell's resolved target
+//! distance and agent count at expansion time, so one spec line like
+//! `nonuniform(dist)` follows a `sweep.dist` axis across cells.
+
+use crate::WorkloadError;
+use ants_automaton::{library, Pfa};
+use ants_core::baselines::{AutomatonStrategy, HarmonicSearch, LevyWalk, RandomWalk, SpiralSearch};
+use ants_core::{CoinNonUniformSearch, FullyUniformSearch, NonUniformSearch, UniformSearch};
+use ants_sim::StrategyFactory;
+use std::fmt;
+
+/// A symbolic strategy argument: a literal, or a binding to the cell's
+/// resolved target distance / agent count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// A literal integer.
+    Lit(u64),
+    /// The cell's resolved target distance `D`.
+    Dist,
+    /// The cell's resolved agent count `n`.
+    Agents,
+}
+
+impl Arg {
+    /// Substitute the cell's concrete values.
+    pub fn resolve(self, dist: u64, agents: u64) -> u64 {
+        match self {
+            Arg::Lit(v) => v,
+            Arg::Dist => dist,
+            Arg::Agents => agents,
+        }
+    }
+}
+
+impl fmt::Display for Arg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arg::Lit(v) => write!(f, "{v}"),
+            Arg::Dist => write!(f, "dist"),
+            Arg::Agents => write!(f, "agents"),
+        }
+    }
+}
+
+/// A canonical automaton from [`ants_automaton::library`], symbolically
+/// parameterised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AutomatonKind {
+    /// `automaton(walk)` — the uniform random-walk PFA.
+    Walk,
+    /// `automaton(lazy)` — the lazy random walk.
+    Lazy,
+    /// `automaton(line)` — the deterministic rightward ray.
+    Line,
+    /// `automaton(drift, e)` — rightward bias at resolution `e`.
+    Drift(Arg),
+    /// `automaton(cycle, len)` — a deterministic `len`-cycle.
+    Cycle(Arg),
+    /// `automaton(alg1, j)` — the paper's Algorithm 1 machine, `D = 2^j`.
+    Alg1(Arg),
+    /// `automaton(pfa, states, ell, seed)` — a seeded random PFA.
+    Pfa(Arg, Arg, Arg),
+}
+
+/// A population entry before expansion: the strategy family plus its
+/// (possibly symbolic) parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZooStrategy {
+    /// `randomwalk` — the paper's ref. 3 baseline.
+    RandomWalk,
+    /// `spiral` — the deterministic single-agent optimum.
+    Spiral,
+    /// `nonuniform(d)` — Algorithm 1 knowing `D = d`.
+    NonUniform(Arg),
+    /// `coin(d, ell)` — Algorithms 1+2 at resolution `ell`.
+    Coin(Arg, Arg),
+    /// `uniform(ell, n, K)` — Algorithm 5.
+    Uniform(Arg, Arg, Arg),
+    /// `fullyuniform(ell, K)` — uniform in `D` and `n`.
+    FullyUniform(Arg, Arg),
+    /// `harmonic(n)` — Feinerman–Korman-style comparator.
+    Harmonic(Arg),
+    /// `levy(mu, lmax)` — truncated Lévy walk (`mu` is a float literal).
+    Levy(f64, Arg),
+    /// `automaton(kind, …)` — a compiled library PFA.
+    Automaton(AutomatonKind),
+}
+
+impl ZooStrategy {
+    /// Parse one zoo entry.
+    pub fn parse(text: &str) -> Result<ZooStrategy, String> {
+        let text = text.trim();
+        let (name, args) = split_call(text)?;
+        let need = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!("'{name}' takes {n} argument(s), got {}", args.len()))
+            }
+        };
+        let arg = |i: usize| parse_arg(&args[i]);
+        match name {
+            "randomwalk" => {
+                need(0)?;
+                Ok(ZooStrategy::RandomWalk)
+            }
+            "spiral" => {
+                need(0)?;
+                Ok(ZooStrategy::Spiral)
+            }
+            "nonuniform" => {
+                need(1)?;
+                Ok(ZooStrategy::NonUniform(arg(0)?))
+            }
+            "coin" => {
+                need(2)?;
+                Ok(ZooStrategy::Coin(arg(0)?, arg(1)?))
+            }
+            "uniform" => {
+                need(3)?;
+                Ok(ZooStrategy::Uniform(arg(0)?, arg(1)?, arg(2)?))
+            }
+            "fullyuniform" => {
+                need(2)?;
+                Ok(ZooStrategy::FullyUniform(arg(0)?, arg(1)?))
+            }
+            "harmonic" => {
+                need(1)?;
+                Ok(ZooStrategy::Harmonic(arg(0)?))
+            }
+            "levy" => {
+                need(2)?;
+                let mu: f64 = args[0]
+                    .parse()
+                    .map_err(|_| format!("levy exponent '{}' is not a number", args[0]))?;
+                Ok(ZooStrategy::Levy(mu, arg(1)?))
+            }
+            "automaton" => {
+                if args.is_empty() {
+                    return Err("'automaton' needs a kind (walk|lazy|line|drift|cycle|alg1|pfa)"
+                        .to_string());
+                }
+                let kind_args = &args[1..];
+                let need_k = |n: usize| -> Result<(), String> {
+                    if kind_args.len() == n {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "'automaton({})' takes {n} argument(s), got {}",
+                            args[0],
+                            kind_args.len()
+                        ))
+                    }
+                };
+                let karg = |i: usize| parse_arg(&kind_args[i]);
+                let kind = match args[0].as_str() {
+                    "walk" => {
+                        need_k(0)?;
+                        AutomatonKind::Walk
+                    }
+                    "lazy" => {
+                        need_k(0)?;
+                        AutomatonKind::Lazy
+                    }
+                    "line" => {
+                        need_k(0)?;
+                        AutomatonKind::Line
+                    }
+                    "drift" => {
+                        need_k(1)?;
+                        AutomatonKind::Drift(karg(0)?)
+                    }
+                    "cycle" => {
+                        need_k(1)?;
+                        AutomatonKind::Cycle(karg(0)?)
+                    }
+                    "alg1" => {
+                        need_k(1)?;
+                        AutomatonKind::Alg1(karg(0)?)
+                    }
+                    "pfa" => {
+                        need_k(3)?;
+                        AutomatonKind::Pfa(karg(0)?, karg(1)?, karg(2)?)
+                    }
+                    other => return Err(format!("unknown automaton kind '{other}'")),
+                };
+                Ok(ZooStrategy::Automaton(kind))
+            }
+            other => Err(format!(
+                "unknown strategy '{other}' (try randomwalk, spiral, nonuniform, coin, uniform, \
+                 fullyuniform, harmonic, levy, or automaton)"
+            )),
+        }
+    }
+
+    /// Resolve against a concrete cell: substitute `dist`/`agents`,
+    /// validate parameter ranges, and precompile automata.
+    pub fn resolve(&self, dist: u64, agents: u64) -> Result<ResolvedStrategy, String> {
+        let kind = match *self {
+            ZooStrategy::RandomWalk => ResolvedKind::RandomWalk,
+            ZooStrategy::Spiral => ResolvedKind::Spiral,
+            ZooStrategy::NonUniform(d) => {
+                let d = d.resolve(dist, agents);
+                if d < 2 {
+                    return Err(format!("nonuniform needs D >= 2, got {d}"));
+                }
+                NonUniformSearch::new(d).map_err(|e| format!("nonuniform({d}): {e:?}"))?;
+                ResolvedKind::NonUniform { d }
+            }
+            ZooStrategy::Coin(d, ell) => {
+                let (d, ell) = (d.resolve(dist, agents), ell.resolve(dist, agents));
+                if d < 2 || ell == 0 {
+                    return Err(format!("coin needs D >= 2 and ell >= 1, got ({d}, {ell})"));
+                }
+                let ell = u32::try_from(ell).map_err(|_| format!("coin ell {ell} too large"))?;
+                CoinNonUniformSearch::new(d, ell).map_err(|e| format!("coin({d},{ell}): {e:?}"))?;
+                ResolvedKind::Coin { d, ell }
+            }
+            ZooStrategy::Uniform(ell, n, k) => {
+                let (ell, n, k) =
+                    (ell.resolve(dist, agents), n.resolve(dist, agents), k.resolve(dist, agents));
+                if ell == 0 || n == 0 || k == 0 {
+                    return Err(format!("uniform needs ell, n, K all >= 1, got ({ell}, {n}, {k})"));
+                }
+                let (ell, k) = (narrow(ell, "uniform ell")?, narrow(k, "uniform K")?);
+                UniformSearch::new(ell, n, k).map_err(|e| format!("uniform: {e:?}"))?;
+                ResolvedKind::Uniform { ell, n, k }
+            }
+            ZooStrategy::FullyUniform(ell, k) => {
+                let (ell, k) = (ell.resolve(dist, agents), k.resolve(dist, agents));
+                if ell == 0 || k == 0 {
+                    return Err(format!("fullyuniform needs ell, K >= 1, got ({ell}, {k})"));
+                }
+                let (ell, k) = (narrow(ell, "fullyuniform ell")?, narrow(k, "fullyuniform K")?);
+                FullyUniformSearch::new(ell, k).map_err(|e| format!("fullyuniform: {e:?}"))?;
+                ResolvedKind::FullyUniform { ell, k }
+            }
+            ZooStrategy::Harmonic(n) => {
+                let n = n.resolve(dist, agents);
+                if n == 0 {
+                    return Err("harmonic needs n >= 1".to_string());
+                }
+                ResolvedKind::Harmonic { n }
+            }
+            ZooStrategy::Levy(mu, l_max) => {
+                let l_max = l_max.resolve(dist, agents);
+                if !(mu > 1.0 && mu <= 4.0) {
+                    return Err(format!("levy exponent must be in (1, 4], got {mu}"));
+                }
+                if !(1..=1 << 20).contains(&l_max) {
+                    return Err(format!("levy l_max must be in 1..=2^20, got {l_max}"));
+                }
+                ResolvedKind::Levy { mu, l_max }
+            }
+            ZooStrategy::Automaton(kind) => {
+                let (label, pfa) = compile_automaton(kind, dist, agents)?;
+                ResolvedKind::Automaton { label, pfa }
+            }
+        };
+        Ok(ResolvedStrategy { kind })
+    }
+}
+
+impl fmt::Display for ZooStrategy {
+    /// The canonical text form — re-parses to an equal value.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZooStrategy::RandomWalk => write!(f, "randomwalk"),
+            ZooStrategy::Spiral => write!(f, "spiral"),
+            ZooStrategy::NonUniform(d) => write!(f, "nonuniform({d})"),
+            ZooStrategy::Coin(d, ell) => write!(f, "coin({d}, {ell})"),
+            ZooStrategy::Uniform(ell, n, k) => write!(f, "uniform({ell}, {n}, {k})"),
+            ZooStrategy::FullyUniform(ell, k) => write!(f, "fullyuniform({ell}, {k})"),
+            ZooStrategy::Harmonic(n) => write!(f, "harmonic({n})"),
+            ZooStrategy::Levy(mu, l) => write!(f, "levy({mu}, {l})"),
+            ZooStrategy::Automaton(kind) => match kind {
+                AutomatonKind::Walk => write!(f, "automaton(walk)"),
+                AutomatonKind::Lazy => write!(f, "automaton(lazy)"),
+                AutomatonKind::Line => write!(f, "automaton(line)"),
+                AutomatonKind::Drift(e) => write!(f, "automaton(drift, {e})"),
+                AutomatonKind::Cycle(n) => write!(f, "automaton(cycle, {n})"),
+                AutomatonKind::Alg1(j) => write!(f, "automaton(alg1, {j})"),
+                AutomatonKind::Pfa(s, e, seed) => write!(f, "automaton(pfa, {s}, {e}, {seed})"),
+            },
+        }
+    }
+}
+
+fn split_call(text: &str) -> Result<(&str, Vec<String>), String> {
+    match text.find('(') {
+        None => {
+            if text.chars().all(|c| c.is_ascii_alphanumeric()) && !text.is_empty() {
+                Ok((text, Vec::new()))
+            } else {
+                Err(format!("malformed strategy entry '{text}'"))
+            }
+        }
+        Some(open) => {
+            let name = &text[..open];
+            let rest = &text[open + 1..];
+            let close =
+                rest.rfind(')').ok_or_else(|| format!("missing ')' in strategy '{text}'"))?;
+            if !rest[close + 1..].trim().is_empty() {
+                return Err(format!("trailing characters after ')' in strategy '{text}'"));
+            }
+            let inner = &rest[..close];
+            let args = if inner.trim().is_empty() {
+                Vec::new()
+            } else {
+                inner.split(',').map(|a| a.trim().to_string()).collect()
+            };
+            Ok((name, args))
+        }
+    }
+}
+
+fn parse_arg(text: &str) -> Result<Arg, String> {
+    match text {
+        "dist" => Ok(Arg::Dist),
+        "agents" => Ok(Arg::Agents),
+        _ => text
+            .parse::<u64>()
+            .map(Arg::Lit)
+            .map_err(|_| format!("'{text}' is not an integer, 'dist', or 'agents'")),
+    }
+}
+
+fn narrow(v: u64, what: &str) -> Result<u32, String> {
+    u32::try_from(v).map_err(|_| format!("{what} {v} does not fit in 32 bits"))
+}
+
+fn compile_automaton(kind: AutomatonKind, dist: u64, agents: u64) -> Result<(String, Pfa), String> {
+    match kind {
+        AutomatonKind::Walk => Ok(("automaton(walk)".to_string(), library::random_walk())),
+        AutomatonKind::Lazy => Ok(("automaton(lazy)".to_string(), library::lazy_random_walk())),
+        AutomatonKind::Line => Ok(("automaton(line)".to_string(), library::straight_line())),
+        AutomatonKind::Drift(e) => {
+            let e = e.resolve(dist, agents);
+            if !(2..=63).contains(&e) {
+                return Err(format!("automaton(drift) needs 2 <= e <= 63, got {e}"));
+            }
+            let pfa =
+                library::drift_walk(e as u32).map_err(|err| format!("drift({e}): {err:?}"))?;
+            Ok((format!("automaton(drift, {e})"), pfa))
+        }
+        AutomatonKind::Cycle(n) => {
+            let n = n.resolve(dist, agents);
+            if !(1..=4096).contains(&n) {
+                return Err(format!("automaton(cycle) needs 1 <= len <= 4096, got {n}"));
+            }
+            Ok((format!("automaton(cycle, {n})"), library::cycle(n as usize)))
+        }
+        AutomatonKind::Alg1(j) => {
+            let j = j.resolve(dist, agents);
+            if !(1..=31).contains(&j) {
+                return Err(format!("automaton(alg1) needs 1 <= j <= 31, got {j}"));
+            }
+            let pfa = library::algorithm1(j as u32).map_err(|err| format!("alg1({j}): {err:?}"))?;
+            Ok((format!("automaton(alg1, {j})"), pfa))
+        }
+        AutomatonKind::Pfa(states, ell, seed) => {
+            let (states, ell, seed) = (
+                states.resolve(dist, agents),
+                ell.resolve(dist, agents),
+                seed.resolve(dist, agents),
+            );
+            if !(1..=256).contains(&states) {
+                return Err(format!("automaton(pfa) needs 1 <= states <= 256, got {states}"));
+            }
+            if !(1..=16).contains(&ell) {
+                return Err(format!("automaton(pfa) needs 1 <= ell <= 16, got {ell}"));
+            }
+            let mut rng = ants_rng::derive_rng(seed, 0x9FA);
+            let pfa = library::random_pfa(states as usize, ell as u32, &mut rng);
+            Ok((format!("automaton(pfa, {states}, {ell}, {seed})"), pfa))
+        }
+    }
+}
+
+/// A fully-resolved population entry: concrete parameters, a precompiled
+/// automaton where applicable, and a [`StrategyFactory`] builder.
+#[derive(Debug, Clone)]
+pub struct ResolvedStrategy {
+    kind: ResolvedKind,
+}
+
+#[derive(Debug, Clone)]
+enum ResolvedKind {
+    RandomWalk,
+    Spiral,
+    NonUniform { d: u64 },
+    Coin { d: u64, ell: u32 },
+    Uniform { ell: u32, n: u64, k: u32 },
+    FullyUniform { ell: u32, k: u32 },
+    Harmonic { n: u64 },
+    Levy { mu: f64, l_max: u64 },
+    Automaton { label: String, pfa: Pfa },
+}
+
+impl ResolvedStrategy {
+    /// A human-readable label with the concrete parameters.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            ResolvedKind::RandomWalk => "randomwalk".to_string(),
+            ResolvedKind::Spiral => "spiral".to_string(),
+            ResolvedKind::NonUniform { d } => format!("nonuniform({d})"),
+            ResolvedKind::Coin { d, ell } => format!("coin({d}, {ell})"),
+            ResolvedKind::Uniform { ell, n, k } => format!("uniform({ell}, {n}, {k})"),
+            ResolvedKind::FullyUniform { ell, k } => format!("fullyuniform({ell}, {k})"),
+            ResolvedKind::Harmonic { n } => format!("harmonic({n})"),
+            ResolvedKind::Levy { mu, l_max } => format!("levy({mu}, {l_max})"),
+            ResolvedKind::Automaton { label, .. } => label.clone(),
+        }
+    }
+
+    /// Build the per-agent factory this entry contributes to the
+    /// scenario's population.
+    ///
+    /// Validation already happened in [`ZooStrategy::resolve`], so the
+    /// constructors here cannot fail.
+    pub fn factory(&self) -> StrategyFactory {
+        match self.kind.clone() {
+            ResolvedKind::RandomWalk => Box::new(|_| Box::new(RandomWalk::new())),
+            ResolvedKind::Spiral => Box::new(|_| Box::new(SpiralSearch::new())),
+            ResolvedKind::NonUniform { d } => {
+                Box::new(move |_| Box::new(NonUniformSearch::new(d).expect("validated")))
+            }
+            ResolvedKind::Coin { d, ell } => {
+                Box::new(move |_| Box::new(CoinNonUniformSearch::new(d, ell).expect("validated")))
+            }
+            ResolvedKind::Uniform { ell, n, k } => {
+                Box::new(move |_| Box::new(UniformSearch::new(ell, n, k).expect("validated")))
+            }
+            ResolvedKind::FullyUniform { ell, k } => {
+                Box::new(move |_| Box::new(FullyUniformSearch::new(ell, k).expect("validated")))
+            }
+            ResolvedKind::Harmonic { n } => Box::new(move |_| Box::new(HarmonicSearch::new(n))),
+            ResolvedKind::Levy { mu, l_max } => {
+                Box::new(move |_| Box::new(LevyWalk::new(mu, l_max)))
+            }
+            ResolvedKind::Automaton { pfa, .. } => {
+                Box::new(move |_| Box::new(AutomatonStrategy::new(pfa.clone())))
+            }
+        }
+    }
+}
+
+/// Convenience: parse and resolve in one step (used by validation paths
+/// that do not keep the symbolic form).
+pub fn resolve_entry(
+    text: &str,
+    dist: u64,
+    agents: u64,
+    context: &str,
+) -> Result<ResolvedStrategy, WorkloadError> {
+    let sym = ZooStrategy::parse(text)
+        .map_err(|message| WorkloadError { context: context.to_string(), message })?;
+    sym.resolve(dist, agents)
+        .map_err(|message| WorkloadError { context: context.to_string(), message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_whole_grammar() {
+        for (text, want) in [
+            ("randomwalk", ZooStrategy::RandomWalk),
+            ("spiral", ZooStrategy::Spiral),
+            ("nonuniform(16)", ZooStrategy::NonUniform(Arg::Lit(16))),
+            ("nonuniform(dist)", ZooStrategy::NonUniform(Arg::Dist)),
+            ("coin(dist, 2)", ZooStrategy::Coin(Arg::Dist, Arg::Lit(2))),
+            ("uniform(1, agents, 2)", ZooStrategy::Uniform(Arg::Lit(1), Arg::Agents, Arg::Lit(2))),
+            ("fullyuniform(2, 2)", ZooStrategy::FullyUniform(Arg::Lit(2), Arg::Lit(2))),
+            ("harmonic(agents)", ZooStrategy::Harmonic(Arg::Agents)),
+            ("levy(2.0, 256)", ZooStrategy::Levy(2.0, Arg::Lit(256))),
+            ("automaton(walk)", ZooStrategy::Automaton(AutomatonKind::Walk)),
+            ("automaton(drift, 3)", ZooStrategy::Automaton(AutomatonKind::Drift(Arg::Lit(3)))),
+            ("automaton(alg1, 4)", ZooStrategy::Automaton(AutomatonKind::Alg1(Arg::Lit(4)))),
+            (
+                "automaton(pfa, 4, 2, 7)",
+                ZooStrategy::Automaton(AutomatonKind::Pfa(Arg::Lit(4), Arg::Lit(2), Arg::Lit(7))),
+            ),
+        ] {
+            assert_eq!(ZooStrategy::parse(text).unwrap(), want, "{text}");
+            // Canonical rendering re-parses to the same value.
+            let rendered = want.to_string();
+            assert_eq!(ZooStrategy::parse(&rendered).unwrap(), want, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for text in [
+            "",
+            "bogus",
+            "nonuniform",
+            "nonuniform()",
+            "nonuniform(2, 3)",
+            "nonuniform(x)",
+            "levy(fast, 10)",
+            "automaton",
+            "automaton()",
+            "automaton(bogus)",
+            "automaton(drift)",
+            "randomwalk(1)",
+            "spiral(",
+            "spiral)x",
+        ] {
+            assert!(ZooStrategy::parse(text).is_err(), "'{text}' should not parse");
+        }
+    }
+
+    #[test]
+    fn dist_and_agents_bind_at_resolve_time() {
+        let sym = ZooStrategy::parse("nonuniform(dist)").unwrap();
+        let r = sym.resolve(16, 4).unwrap();
+        assert_eq!(r.label(), "nonuniform(16)");
+        let r = sym.resolve(64, 4).unwrap();
+        assert_eq!(r.label(), "nonuniform(64)");
+        let sym = ZooStrategy::parse("harmonic(agents)").unwrap();
+        assert_eq!(sym.resolve(16, 8).unwrap().label(), "harmonic(8)");
+    }
+
+    #[test]
+    fn resolution_validates_ranges() {
+        assert!(ZooStrategy::parse("nonuniform(1)").unwrap().resolve(0, 1).is_err());
+        assert!(ZooStrategy::parse("uniform(0, 2, 2)").unwrap().resolve(8, 2).is_err());
+        assert!(ZooStrategy::parse("levy(9.0, 10)").unwrap().resolve(8, 2).is_err());
+        assert!(ZooStrategy::parse("automaton(drift, 1)").unwrap().resolve(8, 2).is_err());
+        assert!(ZooStrategy::parse("automaton(alg1, 40)").unwrap().resolve(8, 2).is_err());
+        assert!(ZooStrategy::parse("automaton(pfa, 4, 99, 7)").unwrap().resolve(8, 2).is_err());
+        // `dist` binding can push a parameter out of range: caught late.
+        assert!(ZooStrategy::parse("nonuniform(dist)").unwrap().resolve(1, 4).is_err());
+    }
+
+    #[test]
+    fn factories_build_working_strategies() {
+        for text in [
+            "randomwalk",
+            "spiral",
+            "nonuniform(8)",
+            "coin(8, 1)",
+            "uniform(1, 4, 2)",
+            "fullyuniform(2, 2)",
+            "harmonic(4)",
+            "levy(2.0, 64)",
+            "automaton(walk)",
+            "automaton(alg1, 3)",
+            "automaton(pfa, 4, 2, 7)",
+        ] {
+            let r = ZooStrategy::parse(text).unwrap().resolve(8, 4).unwrap();
+            let factory = r.factory();
+            let mut s = factory(0);
+            let mut rng = ants_rng::derive_rng(1, 0);
+            for _ in 0..64 {
+                let _ = s.step(&mut rng);
+            }
+            let chi = s.selection_complexity();
+            assert!(chi.chi() >= 0.0, "{text}");
+        }
+    }
+
+    #[test]
+    fn pfa_entries_are_seed_deterministic() {
+        let a = ZooStrategy::parse("automaton(pfa, 6, 3, 11)").unwrap().resolve(8, 2).unwrap();
+        let b = ZooStrategy::parse("automaton(pfa, 6, 3, 11)").unwrap().resolve(8, 2).unwrap();
+        let mut ra = ants_rng::derive_rng(5, 0);
+        let mut rb = ants_rng::derive_rng(5, 0);
+        let (mut sa, mut sb) = (a.factory()(0), b.factory()(0));
+        for _ in 0..256 {
+            assert_eq!(sa.step(&mut ra), sb.step(&mut rb));
+        }
+    }
+}

@@ -13,8 +13,11 @@
 //! * [`core`] — the paper's search algorithms and the `χ = b + log ℓ` metric;
 //! * [`sim`] — the Monte-Carlo simulation engine and statistics;
 //! * [`analysis`] — lower-bound machinery (coverage prediction, drift);
+//! * [`workload`] — declarative workload specs: TOML-subset scenario
+//!   grids with heterogeneous strategy zoos;
 //! * [`bench`] — the E1–E15 experiment battery behind the
-//!   [`Experiment`](ants_bench::Experiment) trait and its shared runner.
+//!   [`Experiment`](ants_bench::Experiment) trait and its shared runner,
+//!   plus the workload-backed [`WorkloadExperiment`](ants_bench::WorkloadExperiment).
 
 #![forbid(unsafe_code)]
 
@@ -25,3 +28,4 @@ pub use ants_core as core;
 pub use ants_grid as grid;
 pub use ants_rng as rng;
 pub use ants_sim as sim;
+pub use ants_workload as workload;
