@@ -13,7 +13,8 @@
 use ants_automaton::{markov, Pfa};
 use ants_core::baselines::AutomatonStrategy;
 use ants_grid::{Point, Rect};
-use ants_sim::coverage::{measure as measure_coverage, CoverageReport};
+use ants_sim::coverage::CoverageReport;
+use ants_sim::observe::{observe_factory, FirstVisitGrid, ObserverSpec};
 
 /// One predicted drift tube.
 #[derive(Debug, Clone)]
@@ -90,6 +91,9 @@ pub fn predict(pfa: &Pfa, steps: u64, d: u64, burn_in: u64) -> Prediction {
 pub struct Comparison {
     /// The measured joint-coverage report.
     pub report: CoverageReport,
+    /// The first round each in-ball cell was visited (the round-indexed
+    /// form of the same measurement, from the observation layer).
+    pub first_visit: FirstVisitGrid,
     /// The prediction.
     pub prediction: Prediction,
     /// Fraction of *visited* in-ball cells lying inside some predicted
@@ -109,19 +113,49 @@ impl Comparison {
     pub fn adversarial_exists(&self) -> bool {
         self.report.adversarial_target().is_some()
     }
+
+    /// Measured coverage fraction by round `r` — the theorem's quantity
+    /// along the round axis (equals [`Comparison::measured_coverage`] at
+    /// the full horizon).
+    pub fn coverage_by_round(&self, r: u64) -> f64 {
+        self.first_visit.visited_by(r) as f64 / self.first_visit.bounds().area() as f64
+    }
 }
 
 /// Run `n` copies of the automaton for `steps` steps each and compare the
 /// joint coverage of the radius-`d` ball against the prediction.
+///
+/// The measurement runs through the observation layer
+/// ([`ants_sim::observe`]) with a joint-coverage and a first-visit
+/// observer over the same trajectories, so the comparison consumes
+/// exactly what the sweep-schedulable observation path produces (no
+/// ad-hoc grid walking here).
 pub fn compare(pfa: &Pfa, n_agents: usize, steps: u64, d: u64, seed: u64) -> Comparison {
     let prediction = predict(pfa, steps, d, (steps as f64).sqrt() as u64 / 4 + 16);
     let pfa_clone = pfa.clone();
     let factory: ants_sim::StrategyFactory =
         Box::new(move |_| Box::new(AutomatonStrategy::new(pfa_clone.clone())));
-    let report = measure_coverage(&factory, n_agents, steps, Rect::ball(d), seed);
+    let bounds = Rect::ball(d);
+    let mut obs = observe_factory(
+        &factory,
+        n_agents,
+        steps,
+        &[ObserverSpec::JointCoverage { bounds }, ObserverSpec::FirstVisitTimes { bounds }],
+        seed,
+    )
+    .into_iter();
+    let (Some(ants_sim::Observation::JointCoverage(grid)), Some(first_visit_obs)) =
+        (obs.next(), obs.next())
+    else {
+        unreachable!("two observers requested")
+    };
+    let ants_sim::Observation::FirstVisitTimes(first_visit) = first_visit_obs else {
+        unreachable!("second spec is FirstVisitTimes")
+    };
+    let report = CoverageReport { grid, steps_per_agent: steps, n_agents };
     let mut visited_in_ball = 0u64;
     let mut inside = 0u64;
-    for p in Rect::ball(d).points() {
+    for p in bounds.points() {
         if report.grid.visits(&p) > 0 {
             visited_in_ball += 1;
             if prediction.tubes.iter().any(|t| t.contains(&p, steps)) {
@@ -131,7 +165,7 @@ pub fn compare(pfa: &Pfa, n_agents: usize, steps: u64, d: u64, seed: u64) -> Com
     }
     let inside_tube_fraction =
         if visited_in_ball == 0 { 1.0 } else { inside as f64 / visited_in_ball as f64 };
-    Comparison { report, prediction, inside_tube_fraction, d }
+    Comparison { report, first_visit, prediction, inside_tube_fraction, d }
 }
 
 #[cfg(test)]
@@ -201,5 +235,23 @@ mod tests {
         let b = compare(&pfa, 2, 500, 20, 9);
         assert_eq!(a.measured_coverage(), b.measured_coverage());
         assert_eq!(a.inside_tube_fraction, b.inside_tube_fraction);
+        assert_eq!(a.first_visit, b.first_visit);
+    }
+
+    #[test]
+    fn coverage_by_round_is_monotone_and_lands_on_the_total() {
+        let pfa = library::random_walk();
+        let steps = 400u64;
+        let cmp = compare(&pfa, 3, steps, 15, 4);
+        let mut prev = 0.0;
+        for r in (0..=steps).step_by(50) {
+            let c = cmp.coverage_by_round(r);
+            assert!(c >= prev, "coverage by round must be monotone");
+            prev = c;
+        }
+        assert!(
+            (cmp.coverage_by_round(steps) - cmp.measured_coverage()).abs() < 1e-12,
+            "the full-horizon round coverage equals the grid coverage"
+        );
     }
 }

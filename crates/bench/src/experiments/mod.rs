@@ -30,7 +30,7 @@ pub mod e9_tradeoff;
 
 use ants_sim::json;
 use ants_sim::report::{Records, Table, Value};
-use ants_sim::{Granularity, SweepOptions};
+use ants_sim::{Granularity, MetricSet, SweepOptions};
 use std::fmt;
 
 /// How hard an experiment should try.
@@ -123,12 +123,26 @@ pub struct RunConfig {
     pub granularity: Granularity,
     /// Agents per chunk for agent-level scheduling (`--chunk N`).
     pub chunk: Option<usize>,
+    /// Extra observation metrics (`--metrics coverage,first_visit,…`).
+    ///
+    /// Experiments that support the observation layer (today: every
+    /// [`crate::WorkloadExperiment`]) union these with their own metric
+    /// set and append the corresponding report columns; the built-in
+    /// E1–E15 harnesses have fixed column sets and ignore it.
+    pub metrics: MetricSet,
 }
 
 impl RunConfig {
     /// A config at the given effort with default seed and thread policy.
     pub fn new(effort: Effort) -> Self {
-        Self { effort, base_seed: 0, threads: None, granularity: Granularity::Auto, chunk: None }
+        Self {
+            effort,
+            base_seed: 0,
+            threads: None,
+            granularity: Granularity::Auto,
+            chunk: None,
+            metrics: MetricSet::empty(),
+        }
     }
 
     /// Shorthand for `RunConfig::new(Effort::Smoke)`.
@@ -162,6 +176,12 @@ impl RunConfig {
     /// Set the agents-per-chunk override for agent-level scheduling.
     pub fn with_chunk(mut self, chunk: Option<usize>) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Set the extra observation metrics.
+    pub fn with_metrics(mut self, metrics: MetricSet) -> Self {
+        self.metrics = metrics;
         self
     }
 

@@ -64,7 +64,7 @@ pub struct Flags {
 
 /// Parse the common run flags: `--smoke`, `--effort smoke|standard`,
 /// `--seed N`, `--threads K`, `--granularity auto|trial|agent`,
-/// `--chunk N`, `--json`, `--csv`.
+/// `--chunk N`, `--metrics a,b,...`, `--json`, `--csv`.
 ///
 /// Unknown arguments are an error (callers print usage).
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -104,6 +104,12 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 cfg.chunk = Some(c);
             }
+            "--metrics" => {
+                let v = it
+                    .next()
+                    .ok_or("--metrics needs a comma-separated list (e.g. coverage,first_visit)")?;
+                cfg.metrics = cfg.metrics.union(ants_sim::MetricSet::parse_list(v)?);
+            }
             "--json" => json = true,
             "--csv" => csv = true,
             other => return Err(format!("unknown argument '{other}'")),
@@ -141,7 +147,8 @@ pub fn bin_main(exp: &dyn Experiment) {
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: {} [--smoke | --effort smoke|standard] [--seed N] \
-                 [--threads K] [--granularity auto|trial|agent] [--chunk N] [--csv] [--json]",
+                 [--threads K] [--granularity auto|trial|agent] [--chunk N] \
+                 [--metrics coverage,first_visit,round_trace,chi,found_round] [--csv] [--json]",
                 exp.meta().key
             );
             std::process::exit(2);
@@ -203,6 +210,22 @@ mod tests {
         assert!(f.csv);
         let f = parse_flags(&args(&["--effort", "standard"])).unwrap();
         assert_eq!(f.cfg.effort, Effort::Standard);
+    }
+
+    #[test]
+    fn metrics_flag_builds_a_set() {
+        use ants_sim::Metric;
+        let f = parse_flags(&args(&["--metrics", "coverage,found_round"])).unwrap();
+        assert!(f.cfg.metrics.contains(Metric::Coverage));
+        assert!(f.cfg.metrics.contains(Metric::FoundRound));
+        assert!(!f.cfg.metrics.contains(Metric::Chi));
+        // Repeated flags accumulate.
+        let f = parse_flags(&args(&["--metrics", "coverage", "--metrics", "chi"])).unwrap();
+        assert!(f.cfg.metrics.contains(Metric::Coverage) && f.cfg.metrics.contains(Metric::Chi));
+        assert!(parse_flags(&[]).unwrap().cfg.metrics.is_empty());
+        assert!(parse_flags(&args(&["--metrics"])).is_err());
+        let e = parse_flags(&args(&["--metrics", "warp"])).unwrap_err();
+        assert!(e.contains("unknown metric 'warp'"), "{e}");
     }
 
     #[test]

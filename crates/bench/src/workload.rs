@@ -8,10 +8,19 @@
 //! expansion, and validation; this module only maps a validated
 //! [`WorkloadPlan`] onto the [`Experiment`] trait and renders one report
 //! row per expanded cell.
+//!
+//! When the spec declares `metrics = [...]` (or the run config adds
+//! `--metrics`), every cell additionally runs through the observation
+//! layer (`ants_sim::run_observed_sweep`, same pool and scheduling
+//! options as the trial sweep) and the report gains the metric columns —
+//! aggregated over trials, in canonical metric order, byte-identical at
+//! every thread count, granularity, and chunk size like every other
+//! report cell.
 
 use crate::experiments::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
-use ants_sim::run_sweep_with;
-use ants_workload::{WorkloadError, WorkloadPlan};
+use ants_sim::report::Value;
+use ants_sim::{run_observed_sweep, run_sweep_with, Metric, TrialObservations};
+use ants_workload::{PlannedCell, WorkloadError, WorkloadPlan};
 use std::path::Path;
 
 /// A workload-backed experiment.
@@ -81,35 +90,52 @@ impl Experiment for WorkloadExperiment {
 
     fn run(&self, cfg: &RunConfig) -> Report {
         let smoke = cfg.effort == Effort::Smoke;
-        let mut report = Report::new(
-            &self.meta,
-            cfg,
-            vec![
-                "cell",
-                "population",
-                "target",
-                "n",
-                "trials",
-                "found",
-                "success",
-                "median moves",
-                "mean moves",
-                "max chi",
-            ],
-        );
+        let metrics = self.plan.metrics.union(cfg.metrics);
+        let mut columns = vec![
+            "cell",
+            "population",
+            "target",
+            "n",
+            "trials",
+            "found",
+            "success",
+            "median moves",
+            "mean moves",
+            "max chi",
+        ];
+        for m in metrics.iter() {
+            columns.extend_from_slice(metric_columns(m));
+        }
+        let mut report = Report::new(&self.meta, cfg, columns);
         report.param("spec", self.plan.name.as_str());
         report.param("cells", self.plan.cells.len());
         report.param("total trials", self.plan.total_trials(smoke));
+        if !metrics.is_empty() {
+            let names: Vec<&str> = metrics.iter().map(Metric::as_str).collect();
+            report.param("metrics", names.join(","));
+        }
         let jobs = self
             .plan
             .jobs(smoke, cfg.base_seed)
             .expect("plans from WorkloadPlan::expand are pre-validated");
         let outcomes = run_sweep_with(&jobs, &cfg.sweep_options());
-        for (cell, outcome) in self.plan.cells.iter().zip(&outcomes) {
+        // The observed sweep rides the same pool and scheduling options;
+        // an empty metric set skips it entirely, so metric-less specs
+        // keep their exact pre-observation reports.
+        let observed: Vec<Vec<TrialObservations>> = if metrics.is_empty() {
+            Vec::new()
+        } else {
+            let ojobs = self
+                .plan
+                .observed_jobs(smoke, cfg.base_seed, metrics)
+                .expect("plans from WorkloadPlan::expand are pre-validated");
+            run_observed_sweep(&ojobs, &cfg.sweep_options())
+        };
+        for (i, (cell, outcome)) in self.plan.cells.iter().zip(&outcomes).enumerate() {
             let s = outcome.summary();
             let median = if s.found() == 0 { f64::NAN } else { s.median_moves() };
             let mean = if s.found() == 0 { f64::NAN } else { s.mean_moves() };
-            report.row(vec![
+            let mut row: Vec<Value> = vec![
                 cell.label.as_str().into(),
                 cell.population_label().into(),
                 cell.target_label().into(),
@@ -120,9 +146,96 @@ impl Experiment for WorkloadExperiment {
                 median.into(),
                 mean.into(),
                 s.chi_footprint().chi().into(),
-            ]);
+            ];
+            for (spec_idx, m) in metrics.iter().enumerate() {
+                metric_cells(m, cell, &observed[i], spec_idx, &mut row);
+            }
+            report.row(row);
         }
         report
+    }
+}
+
+/// The report columns each metric contributes, in order.
+fn metric_columns(m: Metric) -> &'static [&'static str] {
+    match m {
+        Metric::Coverage => &["coverage", "adversarial left"],
+        Metric::FirstVisit => &["mean first visit"],
+        Metric::RoundTrace => &["cover@R/4", "cover@R/2"],
+        Metric::Chi => &["chi obs"],
+        Metric::FoundRound => &["found@R", "mean found round"],
+    }
+}
+
+/// Aggregate one metric's observations over a cell's trials into report
+/// cells (appended to `row` in [`metric_columns`] order).
+///
+/// All aggregations iterate trials in seed order, so the cells inherit
+/// the observation layer's determinism contract.
+fn metric_cells(
+    m: Metric,
+    cell: &PlannedCell,
+    trials: &[TrialObservations],
+    spec_idx: usize,
+    row: &mut Vec<Value>,
+) {
+    let n = trials.len().max(1) as f64;
+    match m {
+        Metric::Coverage => {
+            let mut sum = 0.0;
+            let mut adversarial_every_trial = true;
+            for t in trials {
+                let grid = t[spec_idx].as_coverage();
+                sum += grid.coverage();
+                adversarial_every_trial &= grid.farthest_unvisited().is_some();
+            }
+            row.push((sum / n).into());
+            row.push(adversarial_every_trial.into());
+        }
+        Metric::FirstVisit => {
+            let mut sum = 0.0;
+            let mut seen = 0u64;
+            for t in trials {
+                if let Some(mean) = t[spec_idx].as_first_visit().mean_first_visit() {
+                    sum += mean;
+                    seen += 1;
+                }
+            }
+            row.push(if seen == 0 { f64::NAN.into() } else { (sum / seen as f64).into() });
+        }
+        Metric::RoundTrace => {
+            let rounds = cell.observe_rounds();
+            for at in [rounds.div_ceil(4), rounds.div_ceil(2)] {
+                let mut sum = 0.0;
+                for t in trials {
+                    // The denominator is the observation's own measured
+                    // region, so a future bounds change in
+                    // `observer_specs` cannot desynchronise the fraction.
+                    let grid = t[spec_idx].as_first_visit();
+                    sum += grid.visited_by(at) as f64 / grid.bounds().area() as f64;
+                }
+                row.push((sum / n).into());
+            }
+        }
+        Metric::Chi => {
+            let mut max = ants_core::SelectionComplexity::new(0, 0);
+            for t in trials {
+                max = max.max(t[spec_idx].as_chi());
+            }
+            row.push(max.chi().into());
+        }
+        Metric::FoundRound => {
+            let mut found = 0u64;
+            let mut sum = 0.0;
+            for t in trials {
+                if let Some(f) = t[spec_idx].as_first_find() {
+                    found += 1;
+                    sum += f.round as f64;
+                }
+            }
+            row.push((found as f64 / n).into());
+            row.push(if found == 0 { f64::NAN.into() } else { (sum / found as f64).into() });
+        }
     }
 }
 
@@ -188,5 +301,107 @@ population = [
         assert_eq!(a.to_csv(), b.to_csv(), "same config must reproduce");
         let shifted = exp.run(&RunConfig::standard().with_seed(1));
         assert_ne!(a.to_csv(), shifted.to_csv(), "--seed must shift the sweep");
+    }
+
+    /// A spec with `metrics = [...]`: every declared metric's columns
+    /// appear after the base columns, in canonical order.
+    const METRIC_SPEC: &str = r#"
+name = "metric demo"
+metrics = ["coverage", "first_visit", "round_trace", "chi", "found_round"]
+
+[defaults]
+trials = 4
+smoke_trials = 2
+
+[[cells]]
+name = "walk"
+agents = 2
+target = { model = "corner", dist = 8 }
+move_budget = 64
+population = [ { strategy = "randomwalk" } ]
+
+[[cells]]
+name = "spiral"
+agents = 1
+target = { model = "corner", dist = 4 }
+move_budget = 120
+population = [ { strategy = "spiral" } ]
+"#;
+
+    fn metric_experiment() -> WorkloadExperiment {
+        let plan = WorkloadPlan::expand(&WorkloadSpec::parse(METRIC_SPEC).unwrap()).unwrap();
+        WorkloadExperiment::new(plan)
+    }
+
+    #[test]
+    fn metrics_append_observation_columns() {
+        let exp = metric_experiment();
+        let report = exp.run(&RunConfig::smoke());
+        let cols: Vec<&str> = report.records().columns().iter().map(String::as_str).collect();
+        assert_eq!(
+            &cols[10..],
+            &[
+                "coverage",
+                "adversarial left",
+                "mean first visit",
+                "cover@R/4",
+                "cover@R/2",
+                "chi obs",
+                "found@R",
+                "mean found round"
+            ],
+            "metric columns in canonical order after the base columns"
+        );
+        // The spiral covers its whole horizon deterministically: a
+        // 120-round spiral walks 120 distinct cells of the 81-cell ball
+        // boundary region... more to the point, its coverage is exact
+        // and equal across trials, and it finds the corner target.
+        assert_eq!(report.num(1, "found@R"), 1.0, "spiral finds corner(4) within 120 rounds");
+        assert!(report.num(1, "coverage") > 0.9, "spiral coverage near-complete");
+        // Random walkers at 64 rounds leave most of ball(8) unvisited
+        // and the adversarial cell survives in every trial.
+        assert!(report.num(0, "coverage") < 0.5);
+        assert_eq!(report.cell(0, "adversarial left"), &Value::Bool(true));
+        // Trace fractions are monotone in the round horizon.
+        assert!(report.num(0, "cover@R/4") <= report.num(0, "cover@R/2"));
+    }
+
+    #[test]
+    fn metric_columns_are_schedule_invariant() {
+        use ants_sim::Granularity;
+        let reference = metric_experiment().run(&RunConfig::smoke().with_threads(Some(1)));
+        for (threads, granularity, chunk) in [
+            (2usize, Granularity::Trial, None),
+            (2, Granularity::Agent, Some(1)),
+            (4, Granularity::Agent, Some(3)),
+        ] {
+            let cfg = RunConfig::smoke()
+                .with_threads(Some(threads))
+                .with_granularity(granularity)
+                .with_chunk(chunk);
+            let got = metric_experiment().run(&cfg);
+            assert_eq!(
+                got.to_csv(),
+                reference.to_csv(),
+                "metric columns drifted at threads {threads}, {granularity:?}, chunk {chunk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn runconfig_metrics_opt_in_without_spec_support() {
+        // A spec without a metrics key gains columns via --metrics.
+        let exp = experiment();
+        let base = exp.run(&RunConfig::smoke());
+        assert_eq!(base.records().columns().len(), 10);
+        let cfg =
+            RunConfig::smoke().with_metrics(ants_sim::MetricSet::parse_list("coverage").unwrap());
+        let with = exp.run(&cfg);
+        assert_eq!(with.records().columns().len(), 12);
+        assert!(with.num(0, "coverage") > 0.0, "agents visited at least the origin");
+        // The base columns are unchanged by the observation run.
+        for col in ["found", "success", "median moves", "mean moves"] {
+            assert_eq!(base.cell(0, col), with.cell(0, col), "column {col} drifted");
+        }
     }
 }

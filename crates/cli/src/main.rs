@@ -10,12 +10,19 @@
 //! ants workload validate <f>...  # parse + expand + validate spec files
 //! ants workload list <file>      # print a spec's expanded plan
 //! ants trend <dir-a> <dir-b>     # diff two report directories
+//! ants trend --record <dir>      # snapshot target/reports per commit
+//!                                #   [--commit H] [--reports DIR]
+//!                                #   (commit also read from $ANTS_COMMIT;
+//!                                #    falls back to a content hash)
 //!
 //! flags: --smoke | --effort smoke|standard   effort (default standard)
 //!        --seed N                            shift every sweep's seeds
 //!        --threads K                         pin the sweep thread pool
 //!        --granularity auto|trial|agent      sweep unit of work (default auto)
 //!        --chunk N                           agents per chunk (agent granularity)
+//!        --metrics a,b,...                   observation columns for workload
+//!                                            runs (coverage, first_visit,
+//!                                            round_trace, chi, found_round)
 //!        --json                              write target/reports/<id>.json
 //!        --csv                               print CSV after the table
 //! ```
@@ -41,9 +48,11 @@ use std::path::Path;
 fn usage() -> ! {
     eprintln!(
         "usage: ants <list|run <id>|all|demo [D]|validate [dir]|\
-         workload run|validate|list <file>...|trend <dir-a> <dir-b>> \
+         workload run|validate|list <file>...|trend <dir-a> <dir-b>|\
+         trend --record <dir> [--commit H] [--reports DIR]> \
          [--smoke | --effort smoke|standard] [--seed N] [--threads K] \
-         [--granularity auto|trial|agent] [--chunk N] [--csv] [--json]\n\
+         [--granularity auto|trial|agent] [--chunk N] [--metrics a,b,...] \
+         [--csv] [--json]\n\
          reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
     );
     std::process::exit(2);
@@ -180,6 +189,10 @@ fn workload(args: &[String]) {
             println!("workload '{}' (key {}): {} cell(s)", plan.name, plan.key, plan.cells.len());
             if !plan.description.is_empty() {
                 println!("claim: {}", plan.description);
+            }
+            if !plan.metrics.is_empty() {
+                let names: Vec<&str> = plan.metrics.iter().map(ants_sim::Metric::as_str).collect();
+                println!("metrics: {}", names.join(", "));
             }
             println!();
             let mut t = Table::new(vec![
@@ -344,13 +357,53 @@ fn main() {
             validate(Path::new(&dir));
         }
         Some("workload") => workload(&args[1..]),
-        Some("trend") => {
-            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else { usage() };
-            let outcome = trend::trend(Path::new(a), Path::new(b));
-            if outcome.failures > 0 {
-                std::process::exit(1);
+        Some("trend") => trend_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// `ants trend <dir-a> <dir-b>` (diff) or
+/// `ants trend --record <dir> [--commit H] [--reports DIR]` (snapshot).
+fn trend_cmd(args: &[String]) {
+    if args.first().map(String::as_str) == Some("--record") {
+        let Some(dest) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("error: `ants trend --record <dir>` needs a destination directory");
+            usage()
+        };
+        let mut commit: Option<&str> = None;
+        let mut reports = runner::REPORT_DIR.to_string();
+        let mut it = args[2..].iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--commit" => match it.next() {
+                    Some(c) => commit = Some(c),
+                    None => {
+                        eprintln!("error: --commit needs a value");
+                        usage()
+                    }
+                },
+                "--reports" => match it.next() {
+                    Some(r) => reports = r.clone(),
+                    None => {
+                        eprintln!("error: --reports needs a value");
+                        usage()
+                    }
+                },
+                other => {
+                    eprintln!("error: unknown `trend --record` argument '{other}'");
+                    usage()
+                }
             }
         }
-        _ => usage(),
+        if let Err(e) = trend::record(Path::new(dest), Path::new(&reports), commit) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        let (Some(a), Some(b), None) = (args.first(), args.get(1), args.get(2)) else { usage() };
+        let outcome = trend::trend(Path::new(a), Path::new(b));
+        if outcome.failures > 0 {
+            std::process::exit(1);
+        }
     }
 }

@@ -1,7 +1,17 @@
-//! `ants trend <dir-a> <dir-b>` — the first consumer of the JSON
-//! reports: diff two report directories (e.g. two commits' dashboards).
+//! `ants trend` — the JSON-report dashboard tooling.
 //!
-//! Contract:
+//! Two modes:
+//!
+//! * `ants trend <dir-a> <dir-b>` diffs two report directories (e.g. two
+//!   commits' dashboards);
+//! * `ants trend --record <dir>` snapshots the current report directory
+//!   into a content-addressed per-commit subdirectory of `<dir>` — the
+//!   first concrete step of wiring trends to version history without a
+//!   git dependency (the commit id comes from `--commit`, the
+//!   `ANTS_COMMIT` environment variable, or, failing both, a hash of the
+//!   report contents themselves).
+//!
+//! Diff contract:
 //!
 //! * reports are matched by file name; experiments present only on one
 //!   side are flagged (`missing in B` / `new in B`) but do not fail;
@@ -15,7 +25,7 @@
 
 use ants_sim::json::Json;
 use std::collections::BTreeSet;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Outcome of a trend run, for the process exit code.
 pub struct TrendOutcome {
@@ -94,6 +104,81 @@ fn diff_pair(name: &str, a: &Json, b: &Json) -> Result<usize, String> {
         }
     }
     Ok(changed)
+}
+
+/// Resolve the commit id for a snapshot: explicit flag, then the
+/// `ANTS_COMMIT` environment variable, then a content hash of the
+/// reports themselves (prefixed so the two namespaces cannot collide).
+/// Always content-addressable, never a git invocation.
+fn snapshot_id(commit: Option<&str>, reports: &[(String, String)]) -> Result<String, String> {
+    let explicit = match commit {
+        Some(c) => Some(c.to_string()),
+        None => std::env::var("ANTS_COMMIT").ok().filter(|c| !c.is_empty()),
+    };
+    if let Some(c) = explicit {
+        // "." and ".." pass a plain character filter but escape (or
+        // collapse into) the destination directory — reject dot-only
+        // names explicitly.
+        if c.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '-' || ch == '_' || ch == '.')
+            && !c.is_empty()
+            && !c.chars().all(|ch| ch == '.')
+        {
+            return Ok(c);
+        }
+        return Err(format!("commit id '{c}' is not a safe directory name (use [A-Za-z0-9._-])"));
+    }
+    // FNV-1a over (name, contents) pairs in sorted name order: stable
+    // across platforms, no dependencies, good enough to address content.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (name, text) in reports {
+        fold(name.as_bytes());
+        fold(&[0]);
+        fold(text.as_bytes());
+        fold(&[0]);
+    }
+    Ok(format!("content-{hash:016x}"))
+}
+
+/// `ants trend --record <dest>`: copy every `*.json` report from
+/// `reports_dir` into `<dest>/<commit>/`, creating directories as
+/// needed. Returns the snapshot directory.
+///
+/// Recording the same reports twice (same commit id or same content
+/// hash) is idempotent: the files are simply rewritten in place.
+pub fn record(
+    dest_root: &Path,
+    reports_dir: &Path,
+    commit: Option<&str>,
+) -> Result<PathBuf, String> {
+    let names = json_names(reports_dir)?;
+    if names.is_empty() {
+        return Err(format!(
+            "no .json reports in {} (run `ants all --smoke --json` first)",
+            reports_dir.display()
+        ));
+    }
+    let mut reports: Vec<(String, String)> = Vec::new();
+    for name in &names {
+        let path = reports_dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("unreadable {}: {e}", path.display()))?;
+        reports.push((name.clone(), text));
+    }
+    let id = snapshot_id(commit, &reports)?;
+    let dest = dest_root.join(&id);
+    std::fs::create_dir_all(&dest).map_err(|e| format!("cannot create {}: {e}", dest.display()))?;
+    for (name, text) in &reports {
+        let path = dest.join(name);
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    println!("recorded {} report(s) at {}", reports.len(), dest.display());
+    Ok(dest)
 }
 
 /// Run the diff; prints to stdout/stderr and returns the counts the

@@ -8,6 +8,9 @@ fn ants(args: &[&str], cwd: &Path) -> Output {
     Command::new(env!("CARGO_BIN_EXE_ants"))
         .args(args)
         .current_dir(cwd)
+        // An ambient ANTS_COMMIT (a developer shell, a CI job) would
+        // hijack the trend --record content-hash assertions.
+        .env_remove("ANTS_COMMIT")
         .output()
         .expect("spawn ants")
 }
@@ -190,6 +193,122 @@ fn workload_list_prints_the_plan() {
     std::fs::write(cwd.join("broken.toml"), "name = \n").unwrap();
     let out = ants(&["workload", "list", "broken.toml"], &cwd);
     assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants workload run --metrics coverage` on a metric-less spec appends
+/// the coverage columns to the report, and a spec-declared `metrics`
+/// key does the same without any flag.
+#[test]
+fn workload_metrics_flag_and_spec_key_add_columns() {
+    let cwd = temp_dir("wl-metrics");
+    std::fs::write(cwd.join("spec.toml"), TEST_SPEC).unwrap();
+    let out = ants(
+        &["workload", "run", "spec.toml", "--smoke", "--metrics", "coverage,found_round", "--json"],
+        &cwd,
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("coverage"), "stdout: {stdout}");
+    assert!(stdout.contains("found@R"), "stdout: {stdout}");
+    let report = std::fs::read_to_string(cwd.join("target/reports/cli-demo.json")).unwrap();
+    assert!(report.contains("\"adversarial left\""), "report: {report}");
+    assert!(report.contains("\"metrics\":\"coverage,found_round\""), "report: {report}");
+
+    // The spec-level key needs no flag.
+    let spec_with_metrics = TEST_SPEC
+        .replace("name = \"cli demo\"", "name = \"cli demo keyed\"\nmetrics = [\"coverage\"]");
+    std::fs::write(cwd.join("keyed.toml"), spec_with_metrics).unwrap();
+    let out = ants(&["workload", "run", "keyed.toml", "--smoke"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("adversarial left"), "stdout: {stdout}");
+
+    // Bad metric names are rejected with the usage exit code.
+    let out = ants(&["workload", "run", "spec.toml", "--metrics", "warp"], &cwd);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("unknown metric"), "stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants trend --record <dir>` snapshots the report directory into a
+/// per-commit subdirectory: flag, env var, and content-hash addressing.
+#[test]
+fn trend_record_snapshots_reports() {
+    let cwd = temp_dir("trend-record");
+    let reports = cwd.join("target/reports");
+    std::fs::create_dir_all(&reports).unwrap();
+    std::fs::write(
+        reports.join("e9.json"),
+        r#"{"schema":"ants-report/v1","id":"e9","columns":["x"],"rows":[[1]]}"#,
+    )
+    .unwrap();
+
+    // Explicit --commit: files land in <dir>/<commit>/.
+    let out = ants(&["trend", "--record", "history", "--commit", "abc123"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(cwd.join("history/abc123/e9.json").is_file());
+
+    // The snapshot diffs cleanly against the live reports.
+    let out = ants(&["trend", "target/reports", "history/abc123"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("rows identical"), "stdout: {stdout}");
+
+    // No commit anywhere: content addressing kicks in, and recording the
+    // same content twice is idempotent (same directory).
+    let out = ants(&["trend", "--record", "history"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("history/content-"), "stdout: {stdout}");
+    let out2 = ants(&["trend", "--record", "history"], &cwd);
+    assert_eq!(String::from_utf8_lossy(&out2.stdout), stdout, "content addressing must be stable");
+
+    // --reports points at a different source directory.
+    let out = ants(
+        &["trend", "--record", "history", "--commit", "def456", "--reports", "target/reports"],
+        &cwd,
+    );
+    assert_eq!(out.status.code(), Some(0));
+    assert!(cwd.join("history/def456/e9.json").is_file());
+
+    // An empty source directory fails loudly.
+    std::fs::remove_file(reports.join("e9.json")).unwrap();
+    let out = ants(&["trend", "--record", "history", "--commit", "zzz"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("no .json reports"), "stderr: {}", stderr(&out));
+
+    // Unsafe commit ids are rejected — including the dot-only names
+    // that would escape or collapse into the destination directory.
+    std::fs::write(reports.join("e9.json"), "{}").unwrap();
+    for bad in ["../escape", "..", ".", "...", "a/b"] {
+        let out = ants(&["trend", "--record", "history", "--commit", bad], &cwd);
+        assert_eq!(out.status.code(), Some(1), "commit id {bad:?} must be rejected");
+        assert!(stderr(&out).contains("not a safe directory name"), "stderr: {}", stderr(&out));
+    }
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// The `ANTS_COMMIT` environment variable names the snapshot when no
+/// `--commit` flag is given.
+#[test]
+fn trend_record_reads_commit_from_env() {
+    let cwd = temp_dir("trend-record-env");
+    let reports = cwd.join("target/reports");
+    std::fs::create_dir_all(&reports).unwrap();
+    std::fs::write(
+        reports.join("w.json"),
+        r#"{"schema":"ants-report/v1","id":"w","columns":["x"],"rows":[[2]]}"#,
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_ants"))
+        .args(["trend", "--record", "snaps"])
+        .env("ANTS_COMMIT", "envhash9")
+        .current_dir(&cwd)
+        .output()
+        .expect("spawn ants");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(cwd.join("snaps/envhash9/w.json").is_file());
     std::fs::remove_dir_all(&cwd).ok();
 }
 

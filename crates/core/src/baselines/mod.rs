@@ -19,6 +19,6 @@ mod spiral;
 pub use automaton_strategy::AutomatonStrategy;
 pub use harmonic::HarmonicSearch;
 pub use levy::LevyWalk;
-pub use mortal::Mortal;
+pub use mortal::{Expiring, Mortal};
 pub use random_walk::RandomWalk;
 pub use spiral::SpiralSearch;

@@ -2,11 +2,18 @@
 //!
 //! The paper's model assumes immortal agents; its discussion of
 //! biological plausibility (and the FKLS'12 line of work it builds on)
-//! raises robustness to agent loss. [`Mortal`] wraps any strategy with a
-//! geometrically distributed lifetime: after death the agent stops moving
-//! forever (`GridAction::None`). The test-suite and the examples use it
-//! to check that the collaborative guarantee degrades gracefully — the
-//! survivors' `D²/n_alive + D` bound takes over.
+//! raises robustness to agent loss. Two wrappers inject it:
+//!
+//! * [`Mortal`] — a geometrically distributed lifetime (per-step death
+//!   probability `1/2^exp`);
+//! * [`Expiring`] — a deterministic lifetime: the agent halts after
+//!   `expiry` *moves* (the workload zoo's `mortal(inner, expiry)` entry).
+//!
+//! After death the agent stops moving forever (`GridAction::None`) and
+//! reports [`SearchStrategy::is_halted`], so move-bounded simulation
+//! loops can stop instead of spinning. The test-suite and the examples
+//! use these to check that the collaborative guarantee degrades
+//! gracefully — the survivors' `D²/n_alive + D` bound takes over.
 
 use crate::selection::SelectionComplexity;
 use crate::strategy::SearchStrategy;
@@ -75,6 +82,102 @@ impl<S: SearchStrategy> SearchStrategy for Mortal<S> {
         self.inner.reset();
         self.alive = true;
     }
+
+    fn is_halted(&self) -> bool {
+        !self.alive
+    }
+}
+
+/// A strategy wrapper with a deterministic move budget: the agent runs
+/// its inner strategy until it has taken `expiry` moves, then halts
+/// forever (`GridAction::None`). This is the workload zoo's
+/// `mortal(inner, expiry)` entry — the declarative way to model ants
+/// with bounded energy.
+///
+/// Unlike [`Mortal`], expiry consumes no randomness: the wrapper's RNG
+/// stream is exactly the inner strategy's, so an `Expiring` agent walks
+/// the identical trajectory as its unwrapped twin up to the expiry.
+///
+/// Accounting: the move counter needs `⌈log₂(expiry + 1)⌉` memory bits,
+/// which [`SearchStrategy::selection_complexity`] adds to the inner
+/// footprint (the paper's χ charges state wherever it lives).
+/// [`SearchStrategy::abort_guess`] forwards to the inner strategy but
+/// does *not* refund spent moves; [`SearchStrategy::reset`] is a full
+/// rebirth.
+pub struct Expiring {
+    inner: Box<dyn SearchStrategy>,
+    expiry: u64,
+    moves: u64,
+}
+
+impl Expiring {
+    /// Wrap `inner` with a lifetime of `expiry` moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expiry` is zero (the agent could never move).
+    pub fn new(inner: Box<dyn SearchStrategy>, expiry: u64) -> Self {
+        assert!(expiry >= 1, "expiry must be at least one move");
+        Self { inner, expiry, moves: 0 }
+    }
+
+    /// Moves taken so far.
+    pub fn moves_taken(&self) -> u64 {
+        self.moves
+    }
+
+    /// Moves remaining before the agent halts.
+    pub fn moves_left(&self) -> u64 {
+        self.expiry - self.moves
+    }
+}
+
+impl SearchStrategy for Expiring {
+    fn name(&self) -> &'static str {
+        "expiring wrapper"
+    }
+
+    fn step(&mut self, rng: &mut DefaultRng) -> GridAction {
+        if self.moves >= self.expiry {
+            return GridAction::None;
+        }
+        let action = self.inner.step(rng);
+        if action.is_move() {
+            self.moves += 1;
+        }
+        action
+    }
+
+    fn selection_complexity(&self) -> SelectionComplexity {
+        let inner = self.inner.selection_complexity();
+        // The counter holds expiry + 1 states (0..=expiry).
+        let counter_bits = u64::BITS - self.expiry.leading_zeros();
+        SelectionComplexity::new(inner.memory_bits() + counter_bits, inner.ell())
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.moves = 0;
+    }
+
+    fn abort_guess(&mut self) {
+        // A failed excursion does not refund lifetime.
+        self.inner.abort_guess();
+    }
+
+    fn is_halted(&self) -> bool {
+        self.moves >= self.expiry
+    }
+}
+
+impl std::fmt::Debug for Expiring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Expiring")
+            .field("inner", &self.inner.name())
+            .field("expiry", &self.expiry)
+            .field("moves", &self.moves)
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +240,75 @@ mod tests {
         let sc = m.selection_complexity();
         assert_eq!(sc.memory_bits(), base_sc.memory_bits() + 1);
         assert_eq!(sc.ell(), base_sc.ell().max(8));
+    }
+
+    #[test]
+    fn expiring_halts_after_exactly_expiry_moves() {
+        let mut e = Expiring::new(Box::new(RandomWalk::new()), 25);
+        let mut rng = derive_rng(3, 0);
+        let mut moves = 0u64;
+        for _ in 0..200 {
+            if e.step(&mut rng).is_move() {
+                moves += 1;
+            }
+        }
+        assert_eq!(moves, 25, "exactly the expiry, never more");
+        assert!(e.is_halted());
+        assert_eq!(e.moves_taken(), 25);
+        assert_eq!(e.moves_left(), 0);
+        // Dead agents act as pure no-ops and consume no randomness.
+        let mut probe = derive_rng(99, 0);
+        let before = probe.clone();
+        assert_eq!(e.step(&mut probe), GridAction::None);
+        assert_eq!(probe, before, "halted step must not consume randomness");
+    }
+
+    #[test]
+    fn expiring_matches_inner_trajectory_until_expiry() {
+        let mut wrapped = Expiring::new(Box::new(RandomWalk::new()), 10);
+        let mut bare = RandomWalk::new();
+        let mut ra = derive_rng(7, 0);
+        let mut rb = derive_rng(7, 0);
+        loop {
+            if wrapped.is_halted() {
+                break;
+            }
+            assert_eq!(wrapped.step(&mut ra), bare.step(&mut rb));
+        }
+        assert_eq!(wrapped.moves_taken(), 10);
+    }
+
+    #[test]
+    fn expiring_reset_revives_but_abort_does_not() {
+        let mut e = Expiring::new(Box::new(RandomWalk::new()), 3);
+        let mut rng = derive_rng(5, 0);
+        while !e.is_halted() {
+            let _ = e.step(&mut rng);
+        }
+        e.abort_guess();
+        assert!(e.is_halted(), "an aborted guess must not refund lifetime");
+        e.reset();
+        assert!(!e.is_halted());
+        assert_eq!(e.moves_left(), 3);
+    }
+
+    #[test]
+    fn expiring_footprint_charges_the_counter() {
+        let inner_bits = RandomWalk::new().selection_complexity().memory_bits();
+        for (expiry, bits) in [(1u64, 1u32), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9)] {
+            let e = Expiring::new(Box::new(RandomWalk::new()), expiry);
+            assert_eq!(
+                e.selection_complexity().memory_bits(),
+                inner_bits + bits,
+                "expiry {expiry} needs {bits} counter bits"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expiry must be at least one move")]
+    fn zero_expiry_panics() {
+        let _ = Expiring::new(Box::new(RandomWalk::new()), 0);
     }
 
     #[test]

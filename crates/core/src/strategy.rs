@@ -54,6 +54,18 @@ pub trait SearchStrategy: Send {
     fn abort_guess(&mut self) {
         self.reset();
     }
+
+    /// Has the strategy permanently stopped acting (every future step
+    /// returns [`GridAction::None`] without consuming randomness)?
+    ///
+    /// Finite-lifetime wrappers (`Mortal`, `Expiring`) override this so
+    /// move-bounded simulation loops can stop instead of spinning on an
+    /// agent that will never move again. [`reset`](SearchStrategy::reset)
+    /// revives a halted strategy; [`abort_guess`](SearchStrategy::abort_guess)
+    /// need not. The default — immortal strategies — is `false` forever.
+    fn is_halted(&self) -> bool {
+        false
+    }
 }
 
 /// Apply a strategy's action to a position, per the model's semantics.

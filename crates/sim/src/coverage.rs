@@ -5,11 +5,19 @@
 //! [`measure`] runs the agents and returns the exact joint coverage;
 //! [`CoverageReport::adversarial_target`] then places a target on an unvisited cell, which
 //! is the constructive form of the theorem's "there is a placement …".
+//!
+//! This module owns no stepping loop of its own: [`measure`] is a thin
+//! wrapper over the observation layer ([`crate::observe`]) with a single
+//! [`JointCoverage`](crate::observe::ObserverSpec::JointCoverage)
+//! observer — the same core that backs [`crate::run_trial`] and
+//! [`crate::RoundExecutor`], and the same observer the sweep-pool entry
+//! point [`crate::run_observed_sweep`] schedules. Visit convention:
+//! an agent's spawn cell (the origin) plus every cell it *moves* onto;
+//! return-oracle teleports are not visits.
 
+use crate::observe::{observe_factory, ObserverSpec};
 use crate::scenario::StrategyFactory;
-use ants_core::apply_action;
 use ants_grid::{DenseGrid, Point, Rect};
-use ants_rng::derive_rng;
 
 /// The result of a coverage run.
 #[derive(Debug, Clone)]
@@ -49,20 +57,17 @@ pub fn measure(
     bounds: Rect,
     base_seed: u64,
 ) -> CoverageReport {
-    let mut grid = DenseGrid::new(bounds);
-    for agent_idx in 0..n_agents {
-        let mut strategy = factory(agent_idx);
-        let mut rng = derive_rng(base_seed, agent_idx as u64);
-        let mut pos = Point::ORIGIN;
-        grid.visit(&pos);
-        for _ in 0..steps {
-            let action = strategy.step(&mut rng);
-            pos = apply_action(pos, action);
-            if action.is_move() {
-                grid.visit(&pos);
-            }
-        }
-    }
+    let obs = observe_factory(
+        factory,
+        n_agents,
+        steps,
+        &[ObserverSpec::JointCoverage { bounds }],
+        base_seed,
+    );
+    let grid = obs.into_iter().next().expect("one observer requested");
+    let crate::observe::Observation::JointCoverage(grid) = grid else {
+        unreachable!("JointCoverage spec yields a JointCoverage observation")
+    };
     CoverageReport { grid, steps_per_agent: steps, n_agents }
 }
 

@@ -10,9 +10,10 @@
 
 use crate::metrics::{Outcome, TrialResult};
 use crate::scenario::Scenario;
-use ants_core::{apply_action, GridAction, SelectionComplexity};
+use crate::stepping::{place_target, AgentStepper};
+use ants_core::SelectionComplexity;
 use ants_grid::Point;
-use ants_rng::{derive_rng, Rng64, SplitMix64};
+use ants_rng::{Rng64, SplitMix64};
 
 /// One agent simulated under an explicit move cap.
 ///
@@ -61,10 +62,12 @@ impl AgentRun {
 /// Simulate one agent until it finds `target`, exhausts `cap` moves, or
 /// (with a guess ceiling) keeps aborting overlong excursions.
 ///
-/// This is the serial engine's inner loop, verbatim, with the cap passed
-/// in. With `track` the running-max footprint is snapshotted after every
-/// completed move (including that move's abort processing), producing the
-/// breakpoint curve [`AgentRun::chi_at`] evaluates.
+/// This drives the shared stepping core ([`AgentStepper`] owns the
+/// transition semantics: action draw, move/step accounting, target
+/// check, ceiling abort) under the engine's cap policy. With `track` the
+/// running-max footprint is snapshotted after every completed move
+/// (including that move's abort processing), producing the breakpoint
+/// curve [`AgentRun::chi_at`] evaluates.
 fn run_agent(
     scenario: &Scenario,
     trial_seed: u64,
@@ -74,59 +77,39 @@ fn run_agent(
     track: bool,
 ) -> AgentRun {
     debug_assert!(cap > 0, "callers skip capped-out agents");
-    let mut strategy = scenario.strategy_for(trial_seed, agent_idx);
-    let mut rng = derive_rng(trial_seed, agent_idx as u64);
-    let mut pos = Point::ORIGIN;
-    let mut moves = 0u64;
-    let mut steps = 0u64;
-    let mut guess_moves = 0u64;
-    let mut chi = SelectionComplexity::new(0, 0);
+    let mut stepper = AgentStepper::for_scenario(scenario, trial_seed, Some(target), agent_idx);
     let mut chi_curve: Vec<(u64, SelectionComplexity)> = Vec::new();
     let mut found = false;
     // A target is "found" when the agent's position coincides with it;
-    // the origin case is excluded by TargetPlacement's invariants.
-    while moves < cap {
-        let action = strategy.step(&mut rng);
-        steps += 1;
-        let moved = action.is_move();
-        if moved {
-            moves += 1;
-            guess_moves += 1;
-        } else if action == GridAction::Origin {
-            guess_moves = 0;
-        }
-        pos = apply_action(pos, action);
-        if pos == target {
+    // the origin case is excluded by TargetPlacement's invariants. The
+    // loop is bounded by moves, so a permanently halted strategy (a
+    // mortal wrapper past its expiry never moves again) must break out
+    // explicitly.
+    while stepper.moves() < cap && !stepper.halted() {
+        let out = stepper.step();
+        if out.found {
             found = true;
             break;
         }
-        if let Some(ceiling) = scenario.guess_move_ceiling() {
-            if guess_moves >= ceiling {
-                // The guess overshot its budget: give up on this
-                // excursion, take the return oracle home (free, like any
-                // GridAction::Origin) and let the strategy start its next
-                // attempt. Sample chi first — the default abort_guess is
-                // a full reset, which may shrink a phase-based strategy's
-                // footprint.
-                chi = chi.max(strategy.selection_complexity());
-                strategy.abort_guess();
-                pos = Point::ORIGIN;
-                guess_moves = 0;
-            }
-        }
-        if track && moved {
-            let at = chi.max(strategy.selection_complexity());
+        if track && out.moved {
+            let at = stepper.chi();
             if chi_curve.last().is_none_or(|&(_, prev)| prev != at) {
-                chi_curve.push((moves, at));
+                chi_curve.push((stepper.moves(), at));
             }
         }
     }
     // Between aborts the selection-complexity footprint is monotone over
     // an agent's lifetime (static for fixed automata, non-decreasing for
-    // phase-based strategies whose counters widen), so sampling here —
-    // plus once before each abort above — captures the run's maximum.
-    chi = chi.max(strategy.selection_complexity());
-    AgentRun { cap, moves: found.then_some(moves), steps: found.then_some(steps), chi, chi_curve }
+    // phase-based strategies whose counters widen), so the stepper's
+    // final sample — plus its sample before each abort — captures the
+    // run's maximum.
+    AgentRun {
+        cap,
+        moves: found.then(|| stepper.moves()),
+        steps: found.then(|| stepper.steps()),
+        chi: stepper.chi(),
+        chi_curve,
+    }
 }
 
 /// The results of one agent chunk of a [`TrialPlan`], opaque to callers:
@@ -204,10 +187,9 @@ impl<'a> TrialPlan<'a> {
     }
 
     fn place_target(&self) -> Point {
-        // Stream u64::MAX is reserved for the target; agents use streams
-        // indexed by their agent number.
-        let mut target_rng = derive_rng(self.trial_seed, u64::MAX);
-        self.scenario.target().place(&mut target_rng)
+        // Stream salts::TARGET_STREAM is reserved for the target; agents
+        // use streams indexed by their agent number (see crate::salts).
+        place_target(self.scenario, self.trial_seed)
     }
 
     /// Execute one chunk: simulate its agents in index order with

@@ -15,10 +15,21 @@
 //!   trial or agent granularity ([`Scheduler`], [`Granularity`]),
 //!   byte-identical to running each cell serially;
 //! * [`Summary`] — aggregate statistics with confidence intervals;
+//! * [`AgentStepper`] — the one stepping core every execution mode
+//!   drives (trial engine, round model, observation layer): one call,
+//!   one Markov transition, full engine semantics;
+//! * [`observe`] / [`run_observed_sweep`] — pluggable deterministic
+//!   observers (coverage, first-visit times, round traces, first finder,
+//!   chi footprint) over fixed round horizons, scheduled across the same
+//!   pool with canonical per-chunk merges;
 //! * [`RoundExecutor`] — the Section 4 synchronous round model, for
-//!   experiments that need joint per-round positions;
+//!   experiments that need joint per-round positions (a lockstep wrapper
+//!   over the stepping core);
 //! * [`coverage`] — joint visited-cell measurement for the lower-bound
-//!   experiments (Theorem 4.1 is a statement about coverage);
+//!   experiments (Theorem 4.1 is a statement about coverage; a wrapper
+//!   over the observation layer);
+//! * [`salts`] — the registry of every RNG stream index and seed salt
+//!   (collision-checked, so new streams cannot alias existing ones);
 //! * [`report`] — typed records, fixed-width tables, and CSV output for
 //!   the experiment harnesses;
 //! * [`json`] — a dependency-free JSON writer/parser for machine-readable
@@ -55,16 +66,24 @@ pub mod coverage;
 mod engine;
 pub mod json;
 mod metrics;
+pub mod observe;
 pub mod report;
 mod rounds;
+pub mod salts;
 mod scenario;
 mod sched;
+mod stepping;
 
 pub use engine::{run_trial, run_trials, run_trials_serial, run_trials_with, ChunkRun, TrialPlan};
 pub use metrics::{Outcome, Summary, TrialResult};
+pub use observe::{
+    observe_factory, observe_trial, FirstFind, FirstVisitGrid, Metric, MetricSet, Observation,
+    ObserverSpec, TrialObservations,
+};
 pub use rounds::RoundExecutor;
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, StrategyFactory};
 pub use sched::{
-    map_indexed, run_sweep, run_sweep_with, Granularity, Probe, ProbeEvent, Scheduler, SweepJob,
-    SweepOptions, DEFAULT_AGENT_CHUNK,
+    map_indexed, run_observed_sweep, run_sweep, run_sweep_with, Granularity, ObservedJob, Probe,
+    ProbeEvent, Scheduler, SweepJob, SweepOptions, DEFAULT_AGENT_CHUNK,
 };
+pub use stepping::{AgentStepper, StepOutcome};

@@ -7,16 +7,25 @@
 //! is exact for `M_moves`/`M_steps` minima, but some experiments need the
 //! full synchronous picture — per-round joint positions, first-visit
 //! times per cell, round-indexed coverage growth. This executor provides
-//! it.
+//! the *interactive* form of it: step one round, inspect positions.
+//!
+//! Since agents never interact, the executor is a thin lockstep wrapper
+//! over the shared stepping core ([`crate::stepping`]) — one
+//! `AgentStepper` per agent, advanced one transition per round. The same
+//! core backs the trial engine and the observation layer
+//! ([`crate::observe`], which is the batch form of this module: fixed
+//! round horizons, mergeable observations, sweep-pool scheduling), so
+//! all three agree on every trajectory. In particular the executor
+//! honours the scenario's per-guess move ceiling exactly like
+//! [`crate::run_trial`] does.
 
 use crate::scenario::Scenario;
-use ants_core::{apply_action, SearchStrategy};
+use crate::stepping::{place_target, AgentStepper};
 use ants_grid::{DenseGrid, Point, Rect};
-use ants_rng::{derive_rng, DefaultRng};
 
 /// A synchronous multi-agent execution, advanced round by round.
 pub struct RoundExecutor {
-    agents: Vec<(Box<dyn SearchStrategy>, DefaultRng, Point)>,
+    agents: Vec<AgentStepper>,
     round: u64,
     target: Point,
     found_round: Option<u64>,
@@ -26,16 +35,9 @@ impl RoundExecutor {
     /// Set up the execution: place the target, spawn `n` agents at the
     /// origin.
     pub fn new(scenario: &Scenario, trial_seed: u64) -> Self {
-        let mut target_rng = derive_rng(trial_seed, u64::MAX);
-        let target = scenario.target().place(&mut target_rng);
+        let target = place_target(scenario, trial_seed);
         let agents = (0..scenario.n_agents())
-            .map(|i| {
-                (
-                    scenario.strategy_for(trial_seed, i),
-                    derive_rng(trial_seed, i as u64),
-                    Point::ORIGIN,
-                )
-            })
+            .map(|i| AgentStepper::for_scenario(scenario, trial_seed, Some(target), i))
             .collect();
         Self { agents, round: 0, target, found_round: None }
     }
@@ -57,7 +59,7 @@ impl RoundExecutor {
 
     /// Current positions of all agents.
     pub fn positions(&self) -> Vec<Point> {
-        self.agents.iter().map(|(_, _, p)| *p).collect()
+        self.agents.iter().map(AgentStepper::pos).collect()
     }
 
     /// Execute one round: every agent takes exactly one Markov transition.
@@ -65,10 +67,9 @@ impl RoundExecutor {
     /// Returns the positions after the round.
     pub fn step_round(&mut self) -> Vec<Point> {
         self.round += 1;
-        for (strategy, rng, pos) in &mut self.agents {
-            let action = strategy.step(rng);
-            *pos = apply_action(*pos, action);
-            if *pos == self.target && self.found_round.is_none() {
+        for stepper in &mut self.agents {
+            let out = stepper.step();
+            if out.found && self.found_round.is_none() {
                 self.found_round = Some(self.round);
             }
         }
@@ -87,6 +88,12 @@ impl RoundExecutor {
     /// Run `max_rounds`, recording every agent position into a dense grid
     /// (round-synchronous coverage; used by the E8-style measurements that
     /// want coverage *as a function of the round number*).
+    ///
+    /// Note the round model's convention: the *post-round position* of
+    /// every agent is recorded, including agents that did local
+    /// computation or took the return oracle home. For the move-visit
+    /// convention (only cells an agent walked onto), use the observation
+    /// layer's `JointCoverage` observer instead.
     pub fn run_with_coverage(&mut self, max_rounds: u64, bounds: Rect) -> DenseGrid {
         let mut grid = DenseGrid::new(bounds);
         for p in self.positions() {
@@ -202,5 +209,23 @@ mod tests {
         let mut sync = RoundExecutor::new(&s, 5);
         let found = sync.run(100_000);
         assert_eq!(fast.steps, found);
+    }
+
+    #[test]
+    fn honours_the_guess_ceiling_like_the_engine() {
+        // A spiral hunting a far corner under a tight ceiling: without
+        // abort handling the round model would diverge from run_trial's
+        // trajectory; with it, the deterministic first-find rounds agree.
+        let s = Scenario::builder()
+            .agents(1)
+            .target(TargetPlacement::Corner { distance: 2 })
+            .move_budget(100_000)
+            .guess_move_ceiling(1_000)
+            .strategy(|_| Box::new(SpiralSearch::new()))
+            .build();
+        let fast = crate::run_trial(&s, 7);
+        assert!(fast.found());
+        let mut sync = RoundExecutor::new(&s, 7);
+        assert_eq!(sync.run(100_000), fast.steps);
     }
 }

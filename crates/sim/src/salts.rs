@@ -1,0 +1,108 @@
+//! The RNG salt registry: every named stream index and seed salt in the
+//! workspace, in one place.
+//!
+//! Determinism across threads, chunk sizes, and granularities rests on
+//! *stream independence*: every random quantity is drawn from
+//! `derive_rng(base, index)` where the `(base, index)` pair is a pure
+//! function of the trial and never shared between two quantities. Two
+//! families of constants make that true:
+//!
+//! * **Stream indexes over the trial seed** — `derive_rng(trial_seed, i)`.
+//!   Indexes `0..n_agents` are the agents' walk streams;
+//!   [`TARGET_STREAM`] (`u64::MAX`) is reserved for the target draw.
+//!   A new named stream over the trial seed must live in
+//!   [`RESERVED_STREAM_FLOOR`]`..u64::MAX` so it can never alias an
+//!   agent index.
+//! * **Seed salts** — XOR-folded into a seed *before* deriving streams
+//!   from it (`derive_rng(seed ^ SALT, i)`), which makes the salted
+//!   stream family independent of the unsalted one. These must be
+//!   pairwise distinct (and distinct from zero, the identity fold).
+//!
+//! Historically these constants were scattered magic values across
+//! `engine.rs`, `rounds.rs`, `coverage.rs`, `scenario.rs`, and the
+//! workload crate's `plan.rs`/`zoo.rs`; a new stream could silently
+//! collide with an existing one. They now live here, and
+//! [`registry`] + the collision test pin the invariants. **Add every new
+//! stream index or salt to the registry.**
+
+/// The stream index (over the trial seed) reserved for the target draw.
+///
+/// Agents use stream indexes `0..n_agents`; the target placement uses
+/// this one. See `TrialPlan::run_chunk` / `RoundExecutor::new`.
+pub const TARGET_STREAM: u64 = u64::MAX;
+
+/// Stream indexes at or above this value are reserved for named streams;
+/// below it is agent-index space (`derive_rng(trial_seed, agent)`).
+///
+/// No scenario can hold anywhere near `2^48` agents (a single trial
+/// would never finish), so named streams starting here cannot alias an
+/// agent's walk stream.
+pub const RESERVED_STREAM_FLOOR: u64 = 1 << 48;
+
+/// Seed salt for the population-assignment stream of mixed scenarios.
+///
+/// Mixed populations draw each agent's strategy from
+/// `derive_rng(trial_seed ^ POPULATION_SALT, agent)`: a stream family
+/// independent of the agents' walk randomness and of the target draw, so
+/// adding a population never perturbs trajectories.
+pub const POPULATION_SALT: u64 = 0x5EED_A551_6E4D_F00D;
+
+/// Seed salt folded into a workload spec's seed before deriving its
+/// per-cell seed tags (`ants-workload`'s `plan.rs`).
+pub const WORKLOAD_PLAN_SALT: u64 = 0x6F4B_10AD_5EED_0001;
+
+/// Stream index for seeded random-PFA construction in the workload zoo
+/// (`automaton(pfa, states, ell, seed)` derives its machine from
+/// `derive_rng(seed, ZOO_PFA_STREAM)`).
+///
+/// The base here is a *spec-authored* seed, never a trial seed, so this
+/// stream family is disjoint from the engine's by construction; the
+/// index still registers here so nothing else reuses it over the same
+/// base.
+pub const ZOO_PFA_STREAM: u64 = 0x9FA;
+
+/// Every registered salt and named stream index, by name.
+///
+/// The collision test iterates this list; consumers can too (e.g. to
+/// print the stream map in diagnostics).
+pub fn registry() -> &'static [(&'static str, u64)] {
+    &[
+        ("TARGET_STREAM", TARGET_STREAM),
+        ("POPULATION_SALT", POPULATION_SALT),
+        ("WORKLOAD_PLAN_SALT", WORKLOAD_PLAN_SALT),
+        ("ZOO_PFA_STREAM", ZOO_PFA_STREAM),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry invariants: pairwise-distinct values, no zero salts
+    /// (zero is the identity XOR fold), and every named stream over the
+    /// trial seed outside the agent-index space.
+    #[test]
+    fn no_collisions_in_the_registry() {
+        let entries = registry();
+        for (i, (name_a, a)) in entries.iter().enumerate() {
+            assert_ne!(*a, 0, "{name_a} must not be zero (identity XOR fold)");
+            for (name_b, b) in &entries[i + 1..] {
+                assert_ne!(a, b, "{name_a} and {name_b} collide");
+            }
+        }
+        // Streams over the trial seed must stay clear of agent indexes
+        // (read through the registry so the check is not a constant fold).
+        let stream = |name: &str| entries.iter().find(|(n, _)| *n == name).expect("registered").1;
+        assert!(
+            stream("TARGET_STREAM") >= RESERVED_STREAM_FLOOR,
+            "TARGET_STREAM must be a reserved stream index"
+        );
+        // Salts that fold into seeds must differ in ways a plain XOR of
+        // small numbers cannot reproduce: require high bits set.
+        for (name, salt) in
+            [("POPULATION_SALT", POPULATION_SALT), ("WORKLOAD_PLAN_SALT", WORKLOAD_PLAN_SALT)]
+        {
+            assert!(salt >= RESERVED_STREAM_FLOOR, "{name} must set high bits");
+        }
+    }
+}

@@ -12,16 +12,15 @@ use std::fmt;
 /// *not* for symmetry breaking — that would change the model).
 pub type StrategyFactory = Box<dyn Fn(usize) -> Box<dyn SearchStrategy> + Send + Sync>;
 
-/// Salt for the population-assignment RNG stream.
-///
-/// Mixed populations draw each agent's strategy from
-/// `derive_rng(trial_seed ^ SALT, agent)`: a stream independent of the
-/// agent's own walk randomness (`derive_rng(trial_seed, agent)`) and of
-/// the target draw (`derive_rng(trial_seed, u64::MAX)`), so adding a
-/// population never perturbs trajectories and the assignment is a pure
-/// function of `(trial_seed, agent)` — byte-identical across threads,
-/// chunk sizes, and granularities.
-const ASSIGNMENT_SALT: u64 = 0x5EED_A551_6E4D_F00D;
+// Salt for the population-assignment RNG stream, registered in
+// `crate::salts`. Mixed populations draw each agent's strategy from
+// `derive_rng(trial_seed ^ SALT, agent)`: a stream independent of the
+// agent's own walk randomness (`derive_rng(trial_seed, agent)`) and of
+// the target draw (stream `salts::TARGET_STREAM`), so adding a
+// population never perturbs trajectories and the assignment is a pure
+// function of `(trial_seed, agent)` — byte-identical across threads,
+// chunk sizes, and granularities.
+use crate::salts::POPULATION_SALT as ASSIGNMENT_SALT;
 
 /// The agent population of a scenario: one shared factory, or a weighted
 /// mix of factories ("strategy zoo") assigned per agent from the trial

@@ -18,13 +18,17 @@
 
 use crate::engine::run_trials_serial;
 use crate::metrics::Outcome;
+use crate::observe::{observe_trial, ObserverSpec, TrialObservations};
 use crate::scenario::Scenario;
 use std::sync::{Arc, Mutex};
 
+use crate::engine::trial_seeds;
 #[cfg(feature = "parallel")]
-use crate::engine::{resolve_threads, run_trial, trial_seeds, ChunkRun, TrialPlan};
+use crate::engine::{resolve_threads, run_trial, ChunkRun, TrialPlan};
 #[cfg(feature = "parallel")]
 use crate::metrics::TrialResult;
+#[cfg(feature = "parallel")]
+use crate::observe::observe_chunk;
 
 /// One cell of a batched scenario sweep: a scenario plus its trial count
 /// and base seed.
@@ -45,6 +49,44 @@ impl SweepJob {
     /// Bundle a scenario with its trial count and seed.
     pub fn new(scenario: Scenario, trials: u64, seed: u64) -> Self {
         Self { scenario, trials, seed }
+    }
+}
+
+/// One cell of an observed sweep ([`run_observed_sweep`]): a scenario
+/// plus trial count, base seed, a fixed round horizon, and the observers
+/// to attach.
+///
+/// The contract mirrors [`SweepJob`]'s: per job, per trial, the pooled
+/// result is byte-identical to
+/// `observe_trial(&job.scenario, seed, job.rounds, &job.specs)` at every
+/// thread count, granularity, and chunk size — each observer's canonical
+/// merge reduces agent-chunk observations exactly like trial results.
+pub struct ObservedJob {
+    /// The scenario to observe.
+    pub scenario: Scenario,
+    /// Number of observed trials (independent target draws / agent
+    /// streams, same seed derivation as [`SweepJob`]).
+    pub trials: u64,
+    /// Base seed for this cell's trial-seed stream.
+    pub seed: u64,
+    /// Round horizon: every agent takes exactly this many Markov
+    /// transitions (no early caps — coverage quantities are defined over
+    /// all trajectories).
+    pub rounds: u64,
+    /// The observers to run, in output order.
+    pub specs: Vec<ObserverSpec>,
+}
+
+impl ObservedJob {
+    /// Bundle a scenario with its observation parameters.
+    pub fn new(
+        scenario: Scenario,
+        trials: u64,
+        seed: u64,
+        rounds: u64,
+        specs: Vec<ObserverSpec>,
+    ) -> Self {
+        Self { scenario, trials, seed, rounds, specs }
     }
 }
 
@@ -127,6 +169,30 @@ impl Scheduler {
         threads: usize,
         sweep_trials: u64,
     ) -> Scheduler {
+        let weight = (job.scenario.n_agents() as u64).saturating_mul(job.scenario.move_budget());
+        Scheduler::plan_weighted(job.scenario.n_agents(), weight, opts, threads, sweep_trials)
+    }
+
+    /// [`Scheduler::plan`] for an observed sweep job: the same policy
+    /// with the per-trial work proxy `agents × rounds` (observed agents
+    /// always run the full horizon, so the round count *is* the cost).
+    pub fn plan_observed(
+        job: &ObservedJob,
+        opts: &SweepOptions,
+        threads: usize,
+        sweep_trials: u64,
+    ) -> Scheduler {
+        let weight = (job.scenario.n_agents() as u64).saturating_mul(job.rounds);
+        Scheduler::plan_weighted(job.scenario.n_agents(), weight, opts, threads, sweep_trials)
+    }
+
+    fn plan_weighted(
+        agents: usize,
+        weight: u64,
+        opts: &SweepOptions,
+        threads: usize,
+        sweep_trials: u64,
+    ) -> Scheduler {
         let chunk = opts.chunk.unwrap_or(DEFAULT_AGENT_CHUNK).max(1);
         if threads <= 1 {
             return Scheduler::Serial;
@@ -135,8 +201,6 @@ impl Scheduler {
             Granularity::Trial => Scheduler::TrialLevel,
             Granularity::Agent => Scheduler::AgentLevel { chunk },
             Granularity::Auto => {
-                let agents = job.scenario.n_agents();
-                let weight = (agents as u64).saturating_mul(job.scenario.move_budget());
                 if agents > chunk
                     && sweep_trials < 2 * threads as u64
                     && weight >= AGENT_SPLIT_WEIGHT
@@ -312,6 +376,124 @@ pub fn run_sweep_with(jobs: &[SweepJob], opts: &SweepOptions) -> Vec<Outcome> {
     #[cfg(not(feature = "parallel"))]
     let _ = opts;
     jobs.iter().map(|j| run_trials_serial(&j.scenario, j.trials, j.seed)).collect()
+}
+
+/// Run a batch of observed sweeps across the shared thread pool.
+///
+/// Returns, per job, per trial (in seed order), the trial's observations
+/// (one [`Observation`](crate::observe::Observation) per requested spec,
+/// in spec order). The scheduling mirrors [`run_sweep_with`]: jobs are
+/// flattened into (job, trial, agent-chunk) units per
+/// [`Scheduler::plan_observed`], drained through the same work-stealing
+/// pool, and each trial's chunk observations are merged in canonical
+/// chunk order — byte-identical to the serial
+/// [`observe_trial`] reference at every thread count, granularity, and
+/// chunk size (pinned by `crates/sim/tests/observers.rs`).
+pub fn run_observed_sweep(
+    jobs: &[ObservedJob],
+    opts: &SweepOptions,
+) -> Vec<Vec<TrialObservations>> {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = resolve_threads(opts.threads);
+        if threads > 1 {
+            let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
+            let units: u64 = jobs
+                .iter()
+                .map(|j| match Scheduler::plan_observed(j, opts, threads, sweep_trials) {
+                    Scheduler::AgentLevel { chunk } => {
+                        j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
+                    }
+                    Scheduler::Serial | Scheduler::TrialLevel => j.trials,
+                })
+                .sum();
+            if units >= 2 {
+                return observed_parallel(jobs, opts, threads);
+            }
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = opts;
+    jobs.iter()
+        .map(|j| {
+            trial_seeds(j.trials, j.seed)
+                .iter()
+                .map(|&seed| observe_trial(&j.scenario, seed, j.rounds, &j.specs))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(feature = "parallel")]
+fn observed_parallel(
+    jobs: &[ObservedJob],
+    opts: &SweepOptions,
+    threads: usize,
+) -> Vec<Vec<TrialObservations>> {
+    /// One agent-range unit of an observed trial.
+    struct ObsUnit {
+        job: usize,
+        seed: u64,
+        first: usize,
+        end: usize,
+    }
+
+    // Flatten every job into units in canonical (job, trial, chunk)
+    // order, remembering each trial's contiguous unit span.
+    let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
+    let mut units: Vec<ObsUnit> = Vec::new();
+    let mut spans: Vec<(usize, u64, std::ops::Range<usize>)> = Vec::new();
+    for (job, j) in jobs.iter().enumerate() {
+        let n_agents = j.scenario.n_agents();
+        let chunk = match Scheduler::plan_observed(j, opts, threads, sweep_trials) {
+            Scheduler::AgentLevel { chunk } => chunk,
+            // Trial-level (or degenerate serial) plans observe the whole
+            // trial as one unit.
+            Scheduler::Serial | Scheduler::TrialLevel => n_agents,
+        };
+        for (trial, &seed) in trial_seeds(j.trials, j.seed).iter().enumerate() {
+            let start = units.len();
+            let mut first = 0usize;
+            while first < n_agents {
+                let end = (first + chunk).min(n_agents);
+                units.push(ObsUnit { job, seed, first, end });
+                first = end;
+            }
+            spans.push((job, trial as u64, start..units.len()));
+        }
+    }
+
+    // Wave 1: drain all chunk units through the pool.
+    let outs: Vec<TrialObservations> = drain(&units, threads, |u| {
+        let j = &jobs[u.job];
+        observe_chunk(&j.scenario, u.seed, j.rounds, &j.specs, u.first, u.end)
+    });
+
+    // Wave 2: merge each trial's chunks in canonical order (every merge
+    // is also order-independent; the canonical order makes that fact
+    // unnecessary for determinism).
+    let mut per_trial: Vec<Vec<Option<TrialObservations>>> =
+        jobs.iter().map(|j| vec![None; j.trials as usize]).collect();
+    let mut outs: Vec<Option<TrialObservations>> = outs.into_iter().map(Some).collect();
+    for (job, trial, span) in spans {
+        let mut merged: Option<TrialObservations> = None;
+        for slot in &mut outs[span] {
+            let part = slot.take().expect("each unit consumed once");
+            match &mut merged {
+                None => merged = Some(part),
+                Some(acc) => {
+                    for (a, b) in acc.iter_mut().zip(&part) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+        per_trial[job][trial as usize] = Some(merged.expect("trials have at least one chunk"));
+    }
+    per_trial
+        .into_iter()
+        .map(|trials| trials.into_iter().map(|t| t.expect("missing observed trial")).collect())
+        .collect()
 }
 
 /// Deterministic parallel map over `0..n`, in canonical index order.

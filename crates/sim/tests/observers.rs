@@ -1,0 +1,208 @@
+//! The observation-layer battery: executor agreement and observer
+//! determinism.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Executor agreement.** `RoundExecutor` is a thin lockstep wrapper
+//!    over the same stepping core as `run_trial` and the observation
+//!    layer, so the three views of a trial must agree: the executor's
+//!    `found_round` equals the `FirstFinder` observation's round, it
+//!    never exceeds the engine's `M_steps`, and for single-agent
+//!    scenarios it *is* `M_steps` (property-tested over the strategy
+//!    zoo, ceilings included).
+//! 2. **Observer determinism.** Every observer's output is byte-identical
+//!    across threads {1, 2, 4} × granularity {trial, agent} × chunk
+//!    {1, 3} — the same contract the trial engine holds, extended to the
+//!    observed sweep.
+//! 3. **Observer goldens.** Concrete pinned values for each observer on
+//!    a fixed scenario/seed, so a drift in the stepping core, the RNG
+//!    derivation, or an observer's accumulation names itself.
+
+use ants_core::baselines::{RandomWalk, SpiralSearch};
+use ants_core::{NonUniformSearch, UniformSearch};
+use ants_grid::{Point, Rect, TargetPlacement};
+use ants_sim::{
+    observe_trial, run_observed_sweep, run_trial, Granularity, ObservedJob, ObserverSpec,
+    RoundExecutor, Scenario, SweepOptions, TrialObservations,
+};
+use proptest::prelude::*;
+
+/// A randomized scenario over the strategy zoo, mirroring the engine's
+/// determinism battery (phase-based `UniformSearch` included — its
+/// footprint grows and shrinks across guess aborts).
+fn rand_scenario(kind: u8, n: usize, d: u64, ceiling: bool) -> Scenario {
+    let d = d.max(1);
+    let mut b = Scenario::builder()
+        .agents(n)
+        .target(TargetPlacement::UniformInBall { distance: d })
+        .move_budget(6_000);
+    if ceiling || kind % 4 == 3 {
+        b = b.guess_move_ceiling(400);
+    }
+    match kind % 4 {
+        0 => b.strategy(|_| Box::new(RandomWalk::new())).build(),
+        1 => b.strategy(|_| Box::new(SpiralSearch::new())).build(),
+        2 => b.strategy(move |_| Box::new(NonUniformSearch::new(d.max(2)).expect("valid"))).build(),
+        _ => b.strategy(|_| Box::new(UniformSearch::new(1, 2, 2).expect("valid"))).build(),
+    }
+}
+
+fn all_specs(d: u64, stride: u64) -> Vec<ObserverSpec> {
+    let bounds = Rect::ball(d);
+    vec![
+        ObserverSpec::FirstFinder,
+        ObserverSpec::ChiFootprint,
+        ObserverSpec::JointCoverage { bounds },
+        ObserverSpec::FirstVisitTimes { bounds },
+        ObserverSpec::RoundTrace { bounds, stride },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Executor agreement: the round model, the observation layer, and
+    /// the capped trial engine describe the same executions.
+    #[test]
+    fn round_executor_agrees_with_run_trial_and_first_finder(
+        kind in any::<u8>(),
+        n in 1usize..6,
+        d in 1u64..8,
+        seed in any::<u64>(),
+        ceiling in any::<bool>(),
+    ) {
+        let s = rand_scenario(kind, n, d, ceiling);
+        let horizon = 3_000u64;
+
+        // The FirstFinder observation over a fixed horizon equals the
+        // executor's found_round over the same horizon.
+        let obs = observe_trial(&s, seed, horizon, &[ObserverSpec::FirstFinder]);
+        let observed_round = obs[0].as_first_find().map(|f| f.round);
+        let mut ex = RoundExecutor::new(&s, seed);
+        let executor_round = ex.run(horizon);
+        prop_assert_eq!(
+            observed_round, executor_round,
+            "observation layer and round executor disagree (kind {}, n {}, d {})",
+            kind, n, d
+        );
+
+        // Against the capped engine: the engine's winner stands on the
+        // target at round M_steps, so the executor can only find at or
+        // before it; for one agent the first find *is* M_steps.
+        let fast = run_trial(&s, seed);
+        if let Some(m_steps) = fast.steps {
+            let mut ex = RoundExecutor::new(&s, seed);
+            let r = ex.run(m_steps).expect("some agent stands on the target by M_steps");
+            prop_assert!(r <= m_steps);
+            if n == 1 {
+                prop_assert_eq!(r, m_steps, "single agent: found_round must equal M_steps");
+            }
+        }
+    }
+
+    /// Observer determinism across the full scheduling matrix:
+    /// threads {1,2,4} x granularity {trial, agent} x chunk {1,3}.
+    #[test]
+    fn observed_sweep_is_schedule_invariant(
+        kind in any::<u8>(),
+        n in 1usize..6,
+        d in 1u64..6,
+        trials in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let horizon = 400u64;
+        let mk_jobs = || vec![
+            ObservedJob::new(rand_scenario(kind, n, d, false), trials, seed, horizon, all_specs(d.max(1), 64)),
+            ObservedJob::new(rand_scenario(kind.wrapping_add(3), n, d, true), trials + 1, seed ^ 0x77, horizon / 2, all_specs(d.max(1), 32)),
+        ];
+        let reference: Vec<Vec<TrialObservations>> =
+            run_observed_sweep(&mk_jobs(), &SweepOptions::with_threads(Some(1)));
+        for threads in [1usize, 2, 4] {
+            for granularity in [Granularity::Trial, Granularity::Agent] {
+                for chunk in [1usize, 3] {
+                    let opts = SweepOptions::with_threads(Some(threads))
+                        .granularity(granularity)
+                        .chunk(chunk);
+                    let got = run_observed_sweep(&mk_jobs(), &opts);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "observed sweep diverged at threads {}, granularity {:?}, chunk {}",
+                        threads, granularity, chunk
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The fixed golden scenario: a phase-based mixed-behaviour population
+/// under a guess ceiling — the configuration where a sloppy stepping
+/// core or observer merge drifts first.
+fn golden_scenario() -> Scenario {
+    Scenario::builder()
+        .agents(5)
+        .target(TargetPlacement::UniformInBall { distance: 6 })
+        .move_budget(100_000)
+        .guess_move_ceiling(200)
+        .strategy(|_| Box::new(UniformSearch::new(1, 3, 2).expect("valid")))
+        .build()
+}
+
+const GOLDEN_SEED: u64 = 0xB5E70;
+const GOLDEN_HORIZON: u64 = 2000;
+
+fn golden_observations() -> TrialObservations {
+    observe_trial(&golden_scenario(), GOLDEN_SEED, GOLDEN_HORIZON, &all_specs(6, 500))
+}
+
+/// Pinned golden values for every observer. If the stepping core, the
+/// seed derivation, or an observer's accumulation changes, the exact
+/// number below names the broken contract (update only for a deliberate
+/// reproducibility break, and say so in the changelog).
+#[test]
+fn golden_observer_values_are_pinned() {
+    let obs = golden_observations();
+
+    let find = obs[0].as_first_find().expect("golden scenario finds its target");
+    assert_eq!((find.round, find.moves, find.agent), (458, 187, 4), "FirstFinder drifted");
+
+    let chi = obs[1].as_chi();
+    assert_eq!((chi.memory_bits(), chi.ell()), (12, 1), "ChiFootprint drifted");
+
+    let grid = obs[2].as_coverage();
+    assert_eq!(grid.distinct(), 142, "JointCoverage distinct drifted");
+    assert_eq!(grid.total_visits(), 4574, "JointCoverage totals drifted");
+    assert_eq!(grid.outside(), 3591, "JointCoverage outside tally drifted");
+
+    let fv = obs[3].as_first_visit();
+    assert_eq!(fv.visited(), 142, "FirstVisitTimes visited count drifted");
+    assert_eq!(fv.first_visit(&Point::ORIGIN), Some(0));
+    assert_eq!(fv.mean_first_visit(), Some(559.7887323943662), "mean first visit drifted");
+
+    let trace = obs[4].trace();
+    assert_eq!(trace, vec![(500, 85), (1000, 118), (1500, 118), (2000, 142)], "RoundTrace drifted");
+}
+
+/// The pooled observed sweep reproduces its serial reference *exactly*
+/// at every scheduling configuration (the acceptance matrix, on the
+/// golden scenario with multiple trials).
+#[test]
+fn golden_observations_are_schedule_invariant() {
+    let jobs = || {
+        vec![ObservedJob::new(golden_scenario(), 3, GOLDEN_SEED, GOLDEN_HORIZON, all_specs(6, 100))]
+    };
+    let reference = run_observed_sweep(&jobs(), &SweepOptions::with_threads(Some(1)));
+    for threads in [1usize, 2, 4] {
+        for granularity in [Granularity::Trial, Granularity::Agent] {
+            for chunk in [1usize, 3] {
+                let opts =
+                    SweepOptions::with_threads(Some(threads)).granularity(granularity).chunk(chunk);
+                let got = run_observed_sweep(&jobs(), &opts);
+                assert_eq!(
+                    got, reference,
+                    "observed goldens drifted at threads {threads}, {granularity:?}, chunk {chunk}"
+                );
+            }
+        }
+    }
+}

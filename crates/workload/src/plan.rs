@@ -15,12 +15,13 @@
 use crate::spec::{CellSpec, Defaults, TargetSpec, WorkloadSpec};
 use crate::zoo::ResolvedStrategy;
 use crate::WorkloadError;
-use ants_grid::{Point, TargetPlacement};
+use ants_grid::{Point, Rect, TargetPlacement};
 use ants_rng::{Rng64, SplitMix64};
-use ants_sim::{Scenario, SweepJob};
+use ants_sim::{Metric, MetricSet, ObservedJob, ObserverSpec, Scenario, SweepJob};
 
-/// Salt folded into the spec seed before deriving per-cell seed tags.
-const PLAN_SEED_SALT: u64 = 0x6F4B_10AD_5EED_0001;
+// Salt folded into the spec seed before deriving per-cell seed tags —
+// registered in `ants_sim::salts` so new engine streams cannot alias it.
+const PLAN_SEED_SALT: u64 = ants_sim::salts::WORKLOAD_PLAN_SALT;
 
 /// Expansion ceiling: a typo'd sweep axis should fail validation, not
 /// allocate a million scenarios.
@@ -121,6 +122,53 @@ impl PlannedCell {
     pub fn job(&self, smoke: bool, base_seed: u64) -> Result<SweepJob, WorkloadError> {
         Ok(SweepJob::new(self.scenario()?, self.trials_at(smoke), base_seed ^ self.seed_tag))
     }
+
+    /// The round horizon of the cell's observed runs: the move budget
+    /// read as a transition count (for the Theorem 4.1 measurements the
+    /// spec sets `move_budget = D²`, which is exactly the theorem's step
+    /// horizon).
+    pub fn observe_rounds(&self) -> u64 {
+        self.move_budget
+    }
+
+    /// The observer specs `metrics` induces for this cell, in canonical
+    /// [`Metric::ALL`] order: coverage-style observers measure
+    /// `Rect::ball(dist)` (the theorem's candidate region), and the
+    /// round trace samples at quarter-horizon stride.
+    pub fn observer_specs(&self, metrics: MetricSet) -> Vec<ObserverSpec> {
+        let bounds = Rect::ball(self.dist());
+        let rounds = self.observe_rounds();
+        metrics
+            .iter()
+            .map(|m| match m {
+                Metric::Coverage => ObserverSpec::JointCoverage { bounds },
+                Metric::FirstVisit => ObserverSpec::FirstVisitTimes { bounds },
+                Metric::RoundTrace => {
+                    ObserverSpec::RoundTrace { bounds, stride: (rounds / 4).max(1) }
+                }
+                Metric::Chi => ObserverSpec::ChiFootprint,
+                Metric::FoundRound => ObserverSpec::FirstFinder,
+            })
+            .collect()
+    }
+
+    /// The cell's [`ObservedJob`] for `metrics` at the given effort and
+    /// base seed — same trial seeds as [`PlannedCell::job`], so trial
+    /// metrics and observations describe the same random executions.
+    pub fn observed_job(
+        &self,
+        smoke: bool,
+        base_seed: u64,
+        metrics: MetricSet,
+    ) -> Result<ObservedJob, WorkloadError> {
+        Ok(ObservedJob::new(
+            self.scenario()?,
+            self.trials_at(smoke),
+            base_seed ^ self.seed_tag,
+            self.observe_rounds(),
+            self.observer_specs(metrics),
+        ))
+    }
 }
 
 /// A validated, fully-expanded workload.
@@ -132,6 +180,8 @@ pub struct WorkloadPlan {
     pub key: String,
     /// The spec's description.
     pub description: String,
+    /// The spec's observation metrics (empty = trial metrics only).
+    pub metrics: MetricSet,
     /// The expanded cells, in expansion order.
     pub cells: Vec<PlannedCell>,
 }
@@ -199,6 +249,7 @@ impl WorkloadPlan {
             name: spec.name.clone(),
             key,
             description: spec.description.clone(),
+            metrics: spec.metrics,
             cells,
         })
     }
@@ -212,6 +263,18 @@ impl WorkloadPlan {
     /// order — hand these to `ants_sim::run_sweep_with`.
     pub fn jobs(&self, smoke: bool, base_seed: u64) -> Result<Vec<SweepJob>, WorkloadError> {
         self.cells.iter().map(|c| c.job(smoke, base_seed)).collect()
+    }
+
+    /// The observed jobs of the whole plan for `metrics`, in cell order —
+    /// hand these to `ants_sim::run_observed_sweep`. Callers typically
+    /// pass `self.metrics` joined with any runner-level additions.
+    pub fn observed_jobs(
+        &self,
+        smoke: bool,
+        base_seed: u64,
+        metrics: MetricSet,
+    ) -> Result<Vec<ObservedJob>, WorkloadError> {
+        self.cells.iter().map(|c| c.observed_job(smoke, base_seed, metrics)).collect()
     }
 }
 

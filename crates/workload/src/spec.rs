@@ -10,6 +10,7 @@ use crate::toml;
 use crate::zoo::ZooStrategy;
 use crate::WorkloadError;
 use ants_sim::json::Json;
+use ants_sim::{Metric, MetricSet};
 
 /// Largest accepted target distance (max-norm). Keeps derived move
 /// budgets (`400·D² + 100 000`) comfortably inside `u64` and matches
@@ -166,6 +167,11 @@ pub struct WorkloadSpec {
     pub name: String,
     /// Free-text description (becomes the report claim).
     pub description: String,
+    /// Observation metrics (`metrics = ["coverage", "first_visit", …]`):
+    /// every cell additionally runs through the observation layer and
+    /// the report gains the corresponding columns (see the README's
+    /// workload-format section). Empty = trial metrics only.
+    pub metrics: MetricSet,
     /// Spec-wide defaults.
     pub defaults: Defaults,
     /// The cells, in document order.
@@ -325,6 +331,28 @@ fn parse_population(v: &Json, context: &str) -> Result<Vec<ZooEntry>, WorkloadEr
         .collect()
 }
 
+/// Parse `metrics = ["coverage", ...]` against the observation layer's
+/// vocabulary ([`Metric::ALL`]). Duplicates are harmless (it is a set);
+/// unknown names fail with the allowed list.
+fn parse_metrics(v: &Json, context: &str) -> Result<MetricSet, WorkloadError> {
+    let items = v.as_array().ok_or_else(|| err(context, "expected an array of metric names"))?;
+    let mut set = MetricSet::empty();
+    for (i, item) in items.iter().enumerate() {
+        let name = as_str(item, &format!("{context}[{i}]"))?;
+        let metric = Metric::parse(name).ok_or_else(|| {
+            err(
+                format!("{context}[{i}]"),
+                format!(
+                    "unknown metric '{name}' (allowed: {})",
+                    Metric::ALL.map(Metric::as_str).join(", ")
+                ),
+            )
+        })?;
+        set.insert(metric);
+    }
+    Ok(set)
+}
+
 fn parse_defaults(v: &Json, context: &str) -> Result<Defaults, WorkloadError> {
     check_keys(
         v,
@@ -399,7 +427,7 @@ impl WorkloadSpec {
     /// Parse a workload spec from TOML-subset text.
     pub fn parse(text: &str) -> Result<WorkloadSpec, WorkloadError> {
         let doc = toml::parse(text).map_err(|e| err("spec", format!("{e}")))?;
-        check_keys(&doc, &["name", "description", "defaults", "cells"], "spec")?;
+        check_keys(&doc, &["name", "description", "metrics", "defaults", "cells"], "spec")?;
         let name = as_str(
             doc.get("name").ok_or_else(|| err("spec", "spec needs a top-level 'name'"))?,
             "spec.name",
@@ -413,6 +441,10 @@ impl WorkloadSpec {
             .map(|d| as_str(d, "spec.description"))
             .transpose()?
             .unwrap_or("");
+        let metrics = match doc.get("metrics") {
+            Some(m) => parse_metrics(m, "spec.metrics")?,
+            None => MetricSet::empty(),
+        };
         let defaults = match doc.get("defaults") {
             Some(d) => parse_defaults(d, "defaults")?,
             None => Defaults::default(),
@@ -435,7 +467,7 @@ impl WorkloadSpec {
         if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
             return Err(err("cells", format!("duplicate cell name '{}'", w[0])));
         }
-        Ok(WorkloadSpec { name, description: description.to_string(), defaults, cells })
+        Ok(WorkloadSpec { name, description: description.to_string(), metrics, defaults, cells })
     }
 
     /// Serialize back to canonical TOML-subset text.
@@ -447,6 +479,11 @@ impl WorkloadSpec {
         out.push_str(&format!("name = \"{}\"\n", toml::escape(&self.name)));
         if !self.description.is_empty() {
             out.push_str(&format!("description = \"{}\"\n", toml::escape(&self.description)));
+        }
+        if !self.metrics.is_empty() {
+            let names: Vec<String> =
+                self.metrics.iter().map(|m| format!("\"{}\"", m.as_str())).collect();
+            out.push_str(&format!("metrics = [{}]\n", names.join(", ")));
         }
         let d = &self.defaults;
         if *d != Defaults::default() {
@@ -587,6 +624,28 @@ sweep = { target = [ { model = \"corner\", dist = 8 }, { model = \"ring\", dist 
         let spec = WorkloadSpec::parse(MINIMAL).unwrap();
         let again = WorkloadSpec::parse(&spec.to_toml()).unwrap();
         assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn metrics_key_parses_validates_and_round_trips() {
+        let text = format!("metrics = [\"found_round\", \"coverage\", \"coverage\"]\n{MINIMAL}");
+        let spec = WorkloadSpec::parse(&text).unwrap();
+        assert!(spec.metrics.contains(Metric::Coverage));
+        assert!(spec.metrics.contains(Metric::FoundRound));
+        assert!(!spec.metrics.contains(Metric::Chi));
+        // Canonical serialization orders metrics by Metric::ALL.
+        assert!(spec.to_toml().contains("metrics = [\"coverage\", \"found_round\"]"));
+        assert_eq!(WorkloadSpec::parse(&spec.to_toml()).unwrap(), spec);
+        // No metrics key = empty set.
+        assert!(WorkloadSpec::parse(MINIMAL).unwrap().metrics.is_empty());
+        // Unknown names fail with the vocabulary.
+        let bad = format!("metrics = [\"warp\"]\n{MINIMAL}");
+        let e = WorkloadSpec::parse(&bad).unwrap_err();
+        assert!(e.to_string().contains("unknown metric 'warp'"), "{e}");
+        assert!(e.to_string().contains("coverage"), "{e}");
+        // Non-string entries fail too.
+        let bad = format!("metrics = [3]\n{MINIMAL}");
+        assert!(WorkloadSpec::parse(&bad).unwrap_err().to_string().contains("string"));
     }
 
     #[test]

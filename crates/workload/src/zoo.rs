@@ -7,20 +7,31 @@
 //! ```text
 //! entry      := name | name '(' arg (',' arg)* ')'
 //! name       := randomwalk | spiral | nonuniform | coin | uniform
-//!             | fullyuniform | harmonic | levy | automaton
+//!             | fullyuniform | harmonic | levy | automaton | mortal
 //! arg        := integer | float | dist | agents | ident   (automaton kinds)
+//!             | entry                                      (mortal's inner)
 //! ```
 //!
 //! The tokens `dist` and `agents` bind to the cell's resolved target
 //! distance and agent count at expansion time, so one spec line like
 //! `nonuniform(dist)` follows a `sweep.dist` axis across cells.
+//! `mortal(inner, expiry)` nests: its first argument is a whole entry
+//! (arguments split at *top-level* commas only), wrapping any inner
+//! strategy with a deterministic lifetime of `expiry` moves.
 
 use crate::WorkloadError;
 use ants_automaton::{library, Pfa};
-use ants_core::baselines::{AutomatonStrategy, HarmonicSearch, LevyWalk, RandomWalk, SpiralSearch};
+use ants_core::baselines::{
+    AutomatonStrategy, Expiring, HarmonicSearch, LevyWalk, RandomWalk, SpiralSearch,
+};
 use ants_core::{CoinNonUniformSearch, FullyUniformSearch, NonUniformSearch, UniformSearch};
 use ants_sim::StrategyFactory;
 use std::fmt;
+
+/// Largest accepted `mortal(…)` expiry: beyond `2^40` moves no workload
+/// in this workspace could ever exhaust a lifetime, so bigger values are
+/// almost certainly typos.
+pub const MAX_MORTAL_EXPIRY: u64 = 1 << 40;
 
 /// A symbolic strategy argument: a literal, or a binding to the cell's
 /// resolved target distance / agent count.
@@ -97,6 +108,10 @@ pub enum ZooStrategy {
     Levy(f64, Arg),
     /// `automaton(kind, …)` — a compiled library PFA.
     Automaton(AutomatonKind),
+    /// `mortal(inner, expiry)` — any inner entry, halting after `expiry`
+    /// moves (deterministic lifetime; see
+    /// [`ants_core::baselines::Expiring`]).
+    Mortal(Box<ZooStrategy>, Arg),
 }
 
 impl ZooStrategy {
@@ -199,9 +214,15 @@ impl ZooStrategy {
                 };
                 Ok(ZooStrategy::Automaton(kind))
             }
+            "mortal" => {
+                need(2)?;
+                let inner = ZooStrategy::parse(&args[0])
+                    .map_err(|e| format!("mortal inner strategy: {e}"))?;
+                Ok(ZooStrategy::Mortal(Box::new(inner), arg(1)?))
+            }
             other => Err(format!(
                 "unknown strategy '{other}' (try randomwalk, spiral, nonuniform, coin, uniform, \
-                 fullyuniform, harmonic, levy, or automaton)"
+                 fullyuniform, harmonic, levy, automaton, or mortal)"
             )),
         }
     }
@@ -269,6 +290,16 @@ impl ZooStrategy {
                 let (label, pfa) = compile_automaton(kind, dist, agents)?;
                 ResolvedKind::Automaton { label, pfa }
             }
+            ZooStrategy::Mortal(ref inner, expiry) => {
+                let expiry = expiry.resolve(dist, agents);
+                if !(1..=MAX_MORTAL_EXPIRY).contains(&expiry) {
+                    return Err(format!(
+                        "mortal expiry must be in 1..={MAX_MORTAL_EXPIRY}, got {expiry}"
+                    ));
+                }
+                let inner = inner.resolve(dist, agents)?;
+                ResolvedKind::Mortal { inner: Box::new(inner), expiry }
+            }
         };
         Ok(ResolvedStrategy { kind })
     }
@@ -295,6 +326,7 @@ impl fmt::Display for ZooStrategy {
                 AutomatonKind::Alg1(j) => write!(f, "automaton(alg1, {j})"),
                 AutomatonKind::Pfa(s, e, seed) => write!(f, "automaton(pfa, {s}, {e}, {seed})"),
             },
+            ZooStrategy::Mortal(inner, expiry) => write!(f, "mortal({inner}, {expiry})"),
         }
     }
 }
@@ -317,14 +349,39 @@ fn split_call(text: &str) -> Result<(&str, Vec<String>), String> {
                 return Err(format!("trailing characters after ')' in strategy '{text}'"));
             }
             let inner = &rest[..close];
-            let args = if inner.trim().is_empty() {
-                Vec::new()
-            } else {
-                inner.split(',').map(|a| a.trim().to_string()).collect()
-            };
+            let args =
+                if inner.trim().is_empty() { Vec::new() } else { split_top_level(inner, text)? };
             Ok((name, args))
         }
     }
+}
+
+/// Split an argument list at *top-level* commas only, so nested entries
+/// like `mortal(coin(dist, 2), 500)` keep their inner calls intact.
+fn split_top_level(inner: &str, whole: &str) -> Result<Vec<String>, String> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| format!("unbalanced ')' in strategy '{whole}'"))?;
+            }
+            ',' if depth == 0 => {
+                args.push(inner[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(format!("unbalanced '(' in strategy '{whole}'"));
+    }
+    args.push(inner[start..].trim().to_string());
+    Ok(args)
 }
 
 fn parse_arg(text: &str) -> Result<Arg, String> {
@@ -383,7 +440,9 @@ fn compile_automaton(kind: AutomatonKind, dist: u64, agents: u64) -> Result<(Str
             if !(1..=16).contains(&ell) {
                 return Err(format!("automaton(pfa) needs 1 <= ell <= 16, got {ell}"));
             }
-            let mut rng = ants_rng::derive_rng(seed, 0x9FA);
+            // Stream registered as salts::ZOO_PFA_STREAM: the base here
+            // is the spec-authored seed, never a trial seed.
+            let mut rng = ants_rng::derive_rng(seed, ants_sim::salts::ZOO_PFA_STREAM);
             let pfa = library::random_pfa(states as usize, ell as u32, &mut rng);
             Ok((format!("automaton(pfa, {states}, {ell}, {seed})"), pfa))
         }
@@ -408,6 +467,7 @@ enum ResolvedKind {
     Harmonic { n: u64 },
     Levy { mu: f64, l_max: u64 },
     Automaton { label: String, pfa: Pfa },
+    Mortal { inner: Box<ResolvedStrategy>, expiry: u64 },
 }
 
 impl ResolvedStrategy {
@@ -423,6 +483,9 @@ impl ResolvedStrategy {
             ResolvedKind::Harmonic { n } => format!("harmonic({n})"),
             ResolvedKind::Levy { mu, l_max } => format!("levy({mu}, {l_max})"),
             ResolvedKind::Automaton { label, .. } => label.clone(),
+            ResolvedKind::Mortal { inner, expiry } => {
+                format!("mortal({}, {expiry})", inner.label())
+            }
         }
     }
 
@@ -453,6 +516,10 @@ impl ResolvedStrategy {
             }
             ResolvedKind::Automaton { pfa, .. } => {
                 Box::new(move |_| Box::new(AutomatonStrategy::new(pfa.clone())))
+            }
+            ResolvedKind::Mortal { inner, expiry } => {
+                let inner_factory = inner.factory();
+                Box::new(move |agent| Box::new(Expiring::new(inner_factory(agent), expiry)))
             }
         }
     }
@@ -495,6 +562,28 @@ mod tests {
                 "automaton(pfa, 4, 2, 7)",
                 ZooStrategy::Automaton(AutomatonKind::Pfa(Arg::Lit(4), Arg::Lit(2), Arg::Lit(7))),
             ),
+            (
+                "mortal(randomwalk, 500)",
+                ZooStrategy::Mortal(Box::new(ZooStrategy::RandomWalk), Arg::Lit(500)),
+            ),
+            (
+                "mortal(nonuniform(dist), 1000)",
+                ZooStrategy::Mortal(Box::new(ZooStrategy::NonUniform(Arg::Dist)), Arg::Lit(1000)),
+            ),
+            (
+                "mortal(coin(dist, 2), agents)",
+                ZooStrategy::Mortal(
+                    Box::new(ZooStrategy::Coin(Arg::Dist, Arg::Lit(2))),
+                    Arg::Agents,
+                ),
+            ),
+            (
+                "mortal(mortal(spiral, 9), 100)",
+                ZooStrategy::Mortal(
+                    Box::new(ZooStrategy::Mortal(Box::new(ZooStrategy::Spiral), Arg::Lit(9))),
+                    Arg::Lit(100),
+                ),
+            ),
         ] {
             assert_eq!(ZooStrategy::parse(text).unwrap(), want, "{text}");
             // Canonical rendering re-parses to the same value.
@@ -520,9 +609,50 @@ mod tests {
             "randomwalk(1)",
             "spiral(",
             "spiral)x",
+            "mortal",
+            "mortal(randomwalk)",
+            "mortal(randomwalk, 10, 20)",
+            "mortal(bogus, 10)",
+            "mortal(coin(dist, 10)", // unbalanced nesting
         ] {
             assert!(ZooStrategy::parse(text).is_err(), "'{text}' should not parse");
         }
+    }
+
+    #[test]
+    fn mortal_resolution_validates_expiry_and_inner() {
+        let sym = ZooStrategy::parse("mortal(nonuniform(dist), 500)").unwrap();
+        let r = sym.resolve(16, 4).unwrap();
+        assert_eq!(r.label(), "mortal(nonuniform(16), 500)");
+        // Zero expiry (e.g. via a literal) is rejected at resolve time.
+        assert!(ZooStrategy::parse("mortal(spiral, 0)").unwrap().resolve(8, 2).is_err());
+        let too_big = format!("mortal(spiral, {})", MAX_MORTAL_EXPIRY + 1);
+        assert!(ZooStrategy::parse(&too_big).unwrap().resolve(8, 2).is_err());
+        // Inner validation still applies through the wrapper.
+        assert!(ZooStrategy::parse("mortal(nonuniform(1), 10)").unwrap().resolve(8, 2).is_err());
+        // dist/agents bind inside and as the expiry.
+        let sym = ZooStrategy::parse("mortal(spiral, agents)").unwrap();
+        assert_eq!(sym.resolve(8, 6).unwrap().label(), "mortal(spiral, 6)");
+    }
+
+    #[test]
+    fn mortal_factories_halt_after_expiry_moves() {
+        let r = ZooStrategy::parse("mortal(randomwalk, 12)").unwrap().resolve(8, 2).unwrap();
+        let factory = r.factory();
+        let mut s = factory(0);
+        let mut rng = ants_rng::derive_rng(4, 0);
+        let mut moves = 0u64;
+        for _ in 0..100 {
+            if s.step(&mut rng).is_move() {
+                moves += 1;
+            }
+        }
+        assert_eq!(moves, 12, "the wrapper halts after exactly the expiry");
+        assert!(s.is_halted());
+        // The wrapper charges the lifetime counter in its footprint.
+        let bare = ZooStrategy::parse("randomwalk").unwrap().resolve(8, 2).unwrap();
+        let bare_bits = bare.factory()(0).selection_complexity().memory_bits();
+        assert_eq!(s.selection_complexity().memory_bits(), bare_bits + 4);
     }
 
     #[test]
@@ -562,6 +692,8 @@ mod tests {
             "automaton(walk)",
             "automaton(alg1, 3)",
             "automaton(pfa, 4, 2, 7)",
+            "mortal(randomwalk, 32)",
+            "mortal(nonuniform(dist), 1000)",
         ] {
             let r = ZooStrategy::parse(text).unwrap().resolve(8, 4).unwrap();
             let factory = r.factory();

@@ -31,6 +31,8 @@ fn strategy_pool(idx: u8) -> ZooStrategy {
         "automaton(pfa, 4, 2, 7)",
         "automaton(drift, 3)",
         "fullyuniform(2, 2)",
+        "mortal(randomwalk, 64)",
+        "mortal(nonuniform(dist), 500)",
     ];
     ZooStrategy::parse(texts[idx as usize % texts.len()]).expect("pool entries parse")
 }
@@ -123,6 +125,17 @@ proptest! {
         let spec = WorkloadSpec {
             name: format!("prop wl {seed}"),
             description: if seed % 3 == 0 { String::new() } else { format!("desc \"{seed}\"") },
+            metrics: {
+                // Exercise the metrics key in the round-trip: a varying
+                // subset of the observation vocabulary.
+                let mut m = ants_sim::MetricSet::empty();
+                for (bit, metric) in ants_sim::Metric::ALL.into_iter().enumerate() {
+                    if seed & (1 << bit) != 0 {
+                        m.insert(metric);
+                    }
+                }
+                m
+            },
             defaults: Defaults {
                 trials: Some(4),
                 smoke_trials: (seed % 2 == 0).then_some(2),
