@@ -55,13 +55,22 @@ impl fmt::Display for PfaError {
 
 impl std::error::Error for PfaError {}
 
-/// One state: its grid-action label and outgoing transitions.
+/// One state: its grid-action label, outgoing transitions, and the
+/// precomputed sampling table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct State {
     label: GridAction,
     /// Outgoing transitions `(target, probability)`; probabilities are
     /// non-zero and sum to exactly one.
     transitions: Vec<(StateId, DyadicProb)>,
+    /// Precomputed inverse-CDF table: cumulative interval upper bounds
+    /// (in units of `2^-64`) for all transitions but the last, whose
+    /// bound is `2^64` and implicit. Built once at validation time so
+    /// [`Pfa::step`] compares a raw draw against ready `u64` thresholds
+    /// instead of re-deriving dyadic interval widths in `u128` on every
+    /// transition. Empty for single-transition rows (taken without
+    /// consuming randomness).
+    thresholds: Vec<u64>,
 }
 
 /// A probabilistic finite automaton with grid-action labels — the paper's
@@ -171,28 +180,23 @@ impl Pfa {
     ///
     /// Consumes one uniform `u64` and selects the transition whose dyadic
     /// probability interval contains it — exact inverse-CDF sampling with
-    /// no floating-point rounding.
+    /// no floating-point rounding, against the per-state threshold table
+    /// precomputed at build time. Single-transition rows are taken
+    /// without consuming randomness.
     pub fn step<R: Rng64 + ?Sized>(&self, s: StateId, rng: &mut R) -> StateId {
-        let transitions = &self.states[s.0].transitions;
-        if transitions.len() == 1 {
-            return transitions[0].0;
+        let row = &self.states[s.0];
+        if row.transitions.len() == 1 {
+            return row.transitions[0].0;
         }
         let u = rng.next_u64();
-        let mut acc: u128 = 0;
-        for (t, p) in transitions {
-            // Interval width in units of 2^-64.
-            let width = match p.exponent() {
-                64 => p.numerator() as u128,
-                e => (p.numerator() as u128) << (64 - e),
-            };
-            acc += width;
-            if (u as u128) < acc {
-                return *t;
+        for (i, &bound) in row.thresholds.iter().enumerate() {
+            if u < bound {
+                return row.transitions[i].0;
             }
         }
-        // Row sums to exactly 2^64 units, so we can only fall through on
-        // the last transition via rounding of the accumulator — return it.
-        transitions.last().expect("validated non-empty row").0
+        // The last transition's upper bound is 2^64 (the row is exactly
+        // stochastic), so any draw past every table entry selects it.
+        row.transitions.last().expect("validated non-empty row").0
     }
 
     /// The dense `f64` transition matrix (row-major), for analysis.
@@ -290,8 +294,11 @@ impl PfaBuilder {
         if start.0 >= n {
             return Err(PfaError::UnknownState(start));
         }
-        let mut states: Vec<State> =
-            self.labels.into_iter().map(|label| State { label, transitions: Vec::new() }).collect();
+        let mut states: Vec<State> = self
+            .labels
+            .into_iter()
+            .map(|label| State { label, transitions: Vec::new(), thresholds: Vec::new() })
+            .collect();
         for (from, to, p) in self.edges {
             if from.0 >= n {
                 return Err(PfaError::UnknownState(from));
@@ -304,20 +311,31 @@ impl PfaBuilder {
             }
             states[from.0].transitions.push((to, p));
         }
-        for (i, st) in states.iter().enumerate() {
-            // Exact dyadic row sum in units of 2^-64 (fits u128).
+        for (i, st) in states.iter_mut().enumerate() {
+            // Exact dyadic row sum in units of 2^-64 (fits u128). The
+            // partial sums short of the full row are the sampling
+            // thresholds [`Pfa::step`] compares draws against; each is
+            // strictly below 2^64 once the row validates, so they store
+            // exactly in u64.
             let mut sum: u128 = 0;
             for (_, p) in &st.transitions {
                 sum += match p.exponent() {
                     64 => p.numerator() as u128,
                     e => (p.numerator() as u128) << (64 - e),
                 };
+                st.thresholds.push(sum as u64);
             }
             if sum != 1u128 << 64 {
                 return Err(PfaError::NotStochastic {
                     state: StateId(i),
                     sum: format!("{sum}/2^64"),
                 });
+            }
+            // Drop the last bound (always 2^64, implicit) — and the whole
+            // table for single-transition rows, which never draw.
+            st.thresholds.pop();
+            if st.transitions.len() == 1 {
+                st.thresholds.clear();
             }
         }
         if states[start.0].label != GridAction::Origin {

@@ -67,6 +67,28 @@ fn cell_text(cell: &Json) -> String {
     }
 }
 
+/// Cell equality with total-order semantics on numbers: two cells are
+/// equal iff they would render the same dashboard. The derived
+/// `PartialEq` on [`Json`] compares raw `f64`s, which is wrong at both
+/// edges: `NaN != NaN` reports an unchanged NaN cell as changed on every
+/// diff forever, and `-0.0 == 0.0` hides a genuine sign flip. Comparing
+/// numbers via [`f64::total_cmp`] fixes both (and distinguishes NaN
+/// payloads only if their bit patterns actually differ, which round-trips
+/// through our writer as the same token anyway).
+fn cells_equal(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => x.total_cmp(y) == std::cmp::Ordering::Equal,
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| cells_equal(x, y))
+        }
+        (Json::Obj(xs), Json::Obj(ys)) => {
+            xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|((ka, x), (kb, y))| ka == kb && cells_equal(x, y))
+        }
+        _ => a == b,
+    }
+}
+
 /// Diff one matched pair of reports; returns `Ok(changed_cells)` or a
 /// schema-mismatch description.
 fn diff_pair(name: &str, a: &Json, b: &Json) -> Result<usize, String> {
@@ -86,7 +108,7 @@ fn diff_pair(name: &str, a: &Json, b: &Json) -> Result<usize, String> {
     for (i, (ra, rb)) in rows_a.iter().zip(rows_b.iter()).enumerate() {
         let (ca, cb) = (ra.as_array().unwrap_or(empty), rb.as_array().unwrap_or(empty));
         for (col, (va, vb)) in ca.iter().zip(cb.iter()).enumerate() {
-            if va == vb {
+            if cells_equal(va, vb) {
                 continue;
             }
             changed += 1;
@@ -245,4 +267,58 @@ pub fn trend(dir_a: &Path, dir_b: &Path) -> TrendOutcome {
         identical, out.changed, out.failures
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_equal_treats_nan_as_equal_to_itself() {
+        assert!(cells_equal(&Json::Num(f64::NAN), &Json::Num(f64::NAN)));
+        assert!(!cells_equal(&Json::Num(f64::NAN), &Json::Num(1.0)));
+        assert!(!cells_equal(&Json::Num(1.0), &Json::Num(f64::NAN)));
+    }
+
+    #[test]
+    fn cells_equal_distinguishes_signed_zero() {
+        assert!(!cells_equal(&Json::Num(0.0), &Json::Num(-0.0)));
+        assert!(cells_equal(&Json::Num(0.0), &Json::Num(0.0)));
+        assert!(cells_equal(&Json::Num(-0.0), &Json::Num(-0.0)));
+    }
+
+    #[test]
+    fn cells_equal_recurses_into_containers() {
+        let a = Json::Arr(vec![Json::Num(f64::NAN), Json::Str("x".into())]);
+        let b = Json::Arr(vec![Json::Num(f64::NAN), Json::Str("x".into())]);
+        assert!(cells_equal(&a, &b));
+        let c = Json::Obj(vec![("k".into(), Json::Num(f64::NAN))]);
+        let d = Json::Obj(vec![("k".into(), Json::Num(f64::NAN))]);
+        assert!(cells_equal(&c, &d));
+        let e = Json::Obj(vec![("other".into(), Json::Num(f64::NAN))]);
+        assert!(!cells_equal(&c, &e));
+        assert!(!cells_equal(&a, &Json::Arr(vec![Json::Num(f64::NAN)])));
+    }
+
+    fn report(rows: Vec<Vec<Json>>) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("ants-report/v1".into())),
+            ("columns".into(), Json::Arr(vec![Json::Str("value".into())])),
+            ("rows".into(), Json::Arr(rows.into_iter().map(Json::Arr).collect())),
+        ])
+    }
+
+    #[test]
+    fn diff_pair_ignores_identical_nan_cells() {
+        let a = report(vec![vec![Json::Num(f64::NAN)]]);
+        let b = report(vec![vec![Json::Num(f64::NAN)]]);
+        assert_eq!(diff_pair("t", &a, &b), Ok(0));
+    }
+
+    #[test]
+    fn diff_pair_reports_zero_sign_flips_and_real_changes() {
+        let a = report(vec![vec![Json::Num(0.0)], vec![Json::Num(1.0)]]);
+        let b = report(vec![vec![Json::Num(-0.0)], vec![Json::Num(2.0)]]);
+        assert_eq!(diff_pair("t", &a, &b), Ok(2));
+    }
 }

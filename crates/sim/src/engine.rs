@@ -14,49 +14,152 @@ use crate::stepping::{place_target, AgentStepper};
 use ants_core::SelectionComplexity;
 use ants_grid::Point;
 use ants_rng::{Rng64, SplitMix64};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared best-so-far cap hint for the speculative chunks of one trial.
+///
+/// Speculation is the whole tax: a chunk other than the first cannot see
+/// the finds of earlier chunks, so its local early caps start at the full
+/// move budget and it may redo work the serial engine never performs
+/// (measured ~3.3x on E9 at chunk 8 before this type existed). The hint
+/// closes that gap without giving up byte-identity:
+///
+/// * slot `c` holds the best (lowest) find published by chunks with index
+///   *strictly below* `c` — a prefix minimum, maintained with
+///   `fetch_min`, so a published hint can only ever *lower* a chunk's
+///   local cap, never raise it;
+/// * chunk `c` caps its agents at `slot[c] - 1`. Because only finds by
+///   lower-index chunks flow into the slot, that bound is always at or
+///   above the serial early cap (which also folds in finds by lower-index
+///   agents *within* the chunk), so a hinted run stops at or past the
+///   serial stop and the canonical reduction rewinds it exactly as it
+///   rewinds any speculative run.
+///
+/// Reading a find by a *later* chunk would be unsound: the serial winner
+/// rule breaks ties toward lower agent indices, and an earlier agent
+/// censored below its serial stop could miss a find the serial engine
+/// reports. The prefix-min shape makes that impossible by construction.
+///
+/// Timing only moves a chunk's stop point *between* the serial stop and
+/// the unhinted speculative stop; the reduced [`TrialResult`] is
+/// invariant. Under sequential execution in canonical chunk order (one
+/// worker), every slot is fully populated before its chunk runs and the
+/// chunked trial performs the serial engine's work almost exactly.
+#[derive(Debug)]
+pub struct CapHint {
+    /// `slots[c]` = minimum find (in moves) published by chunks `< c`,
+    /// `u64::MAX` when none has been published yet.
+    slots: Vec<AtomicU64>,
+}
+
+impl CapHint {
+    /// A fresh hint for a trial of `n_chunks` chunks (no finds yet).
+    pub fn new(n_chunks: usize) -> Self {
+        Self { slots: (0..n_chunks).map(|_| AtomicU64::new(u64::MAX)).collect() }
+    }
+
+    /// The move cap hinted to chunk `chunk_idx`: one move below the best
+    /// find published by earlier chunks, or `u64::MAX` when no earlier
+    /// chunk has found the target. Never below the serial early cap.
+    pub fn cap_for(&self, chunk_idx: usize) -> u64 {
+        match self.slots[chunk_idx].load(Ordering::Relaxed) {
+            u64::MAX => u64::MAX,
+            moves => moves - 1,
+        }
+    }
+
+    /// Publish a find of `moves` by chunk `chunk_idx`: lowers (never
+    /// raises) the hinted caps of every *later* chunk. Chunks at or below
+    /// `chunk_idx` are untouched — their serial caps owe nothing to this
+    /// find.
+    pub fn publish(&self, chunk_idx: usize, moves: u64) {
+        debug_assert!(moves >= 1, "a find takes at least one move");
+        for slot in &self.slots[chunk_idx + 1..] {
+            slot.fetch_min(moves, Ordering::Relaxed);
+        }
+    }
+}
+
+/// How many steps a hinted agent runs between polls of the shared cap
+/// hint. Polling is one relaxed atomic load; 64 steps keeps even that off
+/// the hot path while bounding post-publish overshoot to a rounding
+/// error.
+const HINT_POLL_MASK: u64 = 0x3F;
+
+/// Chi-footprint breakpoints for a whole chunk, stored as one packed
+/// arena instead of a `Vec` per agent.
+///
+/// Speculative chunks record `(moves, running-max footprint)` breakpoints
+/// so the reduction can rewind each agent to its serial stop. Per-agent
+/// `Vec`s made that one heap allocation per agent on the hot path; the
+/// arena appends every agent's breakpoints to two chunk-level parallel
+/// arrays (structure-of-arrays, with the footprint bit-packed into a
+/// single word) and hands each agent a `(start, end)` span. Lookups
+/// binary-search the span — breakpoint move counts are strictly
+/// increasing within it.
+#[derive(Debug, Clone, Default)]
+struct ChiArena {
+    /// Breakpoint move counts, strictly increasing within each span.
+    moves: Vec<u64>,
+    /// The running-max footprint at each breakpoint, packed
+    /// `memory_bits << 32 | ell`.
+    packed: Vec<u64>,
+}
+
+impl ChiArena {
+    fn mark(&self) -> u32 {
+        debug_assert!(self.moves.len() <= u32::MAX as usize);
+        self.moves.len() as u32
+    }
+
+    fn push(&mut self, moves: u64, chi: SelectionComplexity) {
+        self.moves.push(moves);
+        self.packed.push((u64::from(chi.memory_bits()) << 32) | u64::from(chi.ell()));
+    }
+
+    /// The last recorded footprint in `span` at or below `cap` moves, or
+    /// `None` when the span holds no breakpoint that early.
+    fn chi_at(&self, span: (u32, u32), cap: u64) -> Option<SelectionComplexity> {
+        let (start, end) = (span.0 as usize, span.1 as usize);
+        let idx = self.moves[start..end].partition_point(|&m| m <= cap);
+        idx.checked_sub(1).map(|i| {
+            let packed = self.packed[start + i];
+            SelectionComplexity::new((packed >> 32) as u32, packed as u32)
+        })
+    }
+}
 
 /// One agent simulated under an explicit move cap.
 ///
 /// Pure in `(scenario, trial_seed, agent index, cap)`: the agent's RNG
 /// stream is derived directly from the trial seed and its index, so the
-/// run is identical no matter which chunk (or thread) executes it.
+/// run is identical no matter which chunk (or thread) executes it. A
+/// shared [`CapHint`] may lower `cap` mid-run; that only moves the stop
+/// point between the serial stop and the unhinted speculative stop, which
+/// the reduction treats identically.
 #[derive(Debug, Clone)]
 struct AgentRun {
     /// The cap this agent ran with (always >= 1; a chunk truncates when
-    /// its local cap reaches zero).
+    /// its local cap reaches zero). A mid-run hint records the lowered
+    /// cap — still never below the serial cap.
     cap: u64,
     /// Moves until the target, if found within `cap`.
     moves: Option<u64>,
     /// Steps until the target, for the same stop.
     steps: Option<u64>,
+    /// Steps actually simulated (work instrumentation; timing-dependent
+    /// under a live hint, never part of a [`TrialResult`]).
+    work: u64,
     /// Running-max selection-complexity footprint at the agent's stop.
     chi: SelectionComplexity,
-    /// Footprint breakpoints `(moves, running max)`, recorded only for
-    /// speculative chunks (chunk index > 0). They let the canonical
-    /// reduction evaluate the footprint at any cap at or below the
-    /// speculative stop without re-simulating. Empty when tracking was
-    /// off (chunk 0 runs with the exact serial caps and never needs it).
-    chi_curve: Vec<(u64, SelectionComplexity)>,
-}
-
-impl AgentRun {
-    /// The footprint the serial engine would report had this agent been
-    /// stopped at `cap` moves (`cap` at most the recorded stop).
-    ///
-    /// Valid because the tracked running max is monotone in the move
-    /// count: footprints are non-decreasing between guess aborts, and the
-    /// footprint right before each abort is folded in when it happens.
-    fn chi_at(&self, cap: u64) -> SelectionComplexity {
-        debug_assert!(!self.chi_curve.is_empty(), "chi_at needs a tracked run");
-        let mut out = SelectionComplexity::new(0, 0);
-        for &(m, chi) in &self.chi_curve {
-            if m > cap {
-                break;
-            }
-            out = chi;
-        }
-        out
-    }
+    /// This agent's breakpoint span in the chunk's [`ChiArena`],
+    /// recorded only for speculative chunks (chunk index > 0). The
+    /// reduction evaluates the footprint at any cap at or below the
+    /// speculative stop without re-simulating. Empty (`start == end`)
+    /// when tracking was off — chunk 0 runs with the exact serial caps —
+    /// when the strategy declares a static footprint, or when the agent
+    /// never moved (in each case `chi` is exact at every cap).
+    curve: (u32, u32),
 }
 
 /// Simulate one agent until it finds `target`, exhausts `cap` moves, or
@@ -64,21 +167,30 @@ impl AgentRun {
 ///
 /// This drives the shared stepping core ([`AgentStepper`] owns the
 /// transition semantics: action draw, move/step accounting, target
-/// check, ceiling abort) under the engine's cap policy. With `track` the
-/// running-max footprint is snapshotted after every completed move
+/// check, ceiling abort) under the engine's cap policy. With an `arena`
+/// the running-max footprint is snapshotted after every completed move
 /// (including that move's abort processing), producing the breakpoint
-/// curve [`AgentRun::chi_at`] evaluates.
+/// span [`ChiArena::chi_at`] evaluates. With a `hint`, the cap is
+/// periodically lowered toward finds published by earlier chunks — never
+/// below what the agent has already run, and never below the serial cap.
 fn run_agent(
     scenario: &Scenario,
     trial_seed: u64,
     target: Point,
     agent_idx: usize,
-    cap: u64,
-    track: bool,
+    mut cap: u64,
+    arena: Option<&mut ChiArena>,
+    hint: Option<(&CapHint, usize)>,
 ) -> AgentRun {
     debug_assert!(cap > 0, "callers skip capped-out agents");
     let mut stepper = AgentStepper::for_scenario(scenario, trial_seed, Some(target), agent_idx);
-    let mut chi_curve: Vec<(u64, SelectionComplexity)> = Vec::new();
+    // A static footprint needs no breakpoint curve: the empty span makes
+    // the reduction fall back to `run.chi`, which is exact at every cap.
+    // This skips the per-move footprint sampling for fixed automata and
+    // fixed-parameter walks — the bulk of speculative-chunk overhead.
+    let mut arena = arena.filter(|_| !stepper.chi_static());
+    let start = arena.as_deref().map_or(0, ChiArena::mark);
+    let mut last_chi: Option<SelectionComplexity> = None;
     let mut found = false;
     // A target is "found" when the agent's position coincides with it;
     // the origin case is excluded by TargetPlacement's invariants. The
@@ -86,15 +198,29 @@ fn run_agent(
     // mortal wrapper past its expiry never moves again) must break out
     // explicitly.
     while stepper.moves() < cap && !stepper.halted() {
+        if let Some((h, chunk_idx)) = hint {
+            if stepper.steps() & HINT_POLL_MASK == 0 {
+                let hinted = h.cap_for(chunk_idx);
+                if hinted < cap {
+                    // Lower toward the published find, but never below
+                    // the moves already simulated: the recorded stop must
+                    // be where the loop actually halted.
+                    cap = hinted.max(stepper.moves());
+                }
+            }
+        }
         let out = stepper.step();
         if out.found {
             found = true;
             break;
         }
-        if track && out.moved {
-            let at = stepper.chi();
-            if chi_curve.last().is_none_or(|&(_, prev)| prev != at) {
-                chi_curve.push((stepper.moves(), at));
+        if out.moved {
+            if let Some(a) = arena.as_deref_mut() {
+                let at = stepper.chi();
+                if last_chi != Some(at) {
+                    a.push(stepper.moves(), at);
+                    last_chi = Some(at);
+                }
             }
         }
     }
@@ -103,12 +229,14 @@ fn run_agent(
     // phase-based strategies whose counters widen), so the stepper's
     // final sample — plus its sample before each abort — captures the
     // run's maximum.
+    let end = arena.map_or(start, |a| a.mark());
     AgentRun {
         cap,
         moves: found.then(|| stepper.moves()),
         steps: found.then(|| stepper.steps()),
+        work: stepper.steps(),
         chi: stepper.chi(),
-        chi_curve,
+        curve: (start, end),
     }
 }
 
@@ -119,6 +247,9 @@ fn run_agent(
 pub struct ChunkRun {
     first_agent: usize,
     agents: Vec<AgentRun>,
+    /// Footprint breakpoints for every tracked agent in the chunk (see
+    /// [`ChiArena`]); empty for chunk 0.
+    curve: ChiArena,
 }
 
 impl ChunkRun {
@@ -132,6 +263,41 @@ impl ChunkRun {
     /// [`TrialPlan::run_chunk`].)
     pub fn is_empty(&self) -> bool {
         self.agents.is_empty()
+    }
+
+    /// Steps actually simulated across the chunk's agents — the work
+    /// instrumentation behind the speculation-tax tests and the probe's
+    /// work counter. Timing-dependent under a live [`CapHint`] (a hint
+    /// arriving earlier stops speculative agents sooner); never part of a
+    /// [`TrialResult`].
+    pub fn work(&self) -> u64 {
+        self.agents.iter().map(|a| a.work).sum()
+    }
+
+    /// The footprint the serial engine would report had agent `offset`
+    /// (chunk-relative) been stopped at `cap` moves (`cap` at most the
+    /// recorded stop).
+    ///
+    /// Valid because the tracked running max is monotone in the move
+    /// count: footprints are non-decreasing between guess aborts, and the
+    /// footprint right before each abort is folded in when it happens. An
+    /// agent with no breakpoints never moved, so its final footprint is
+    /// exact at every cap.
+    fn chi_at(&self, offset: usize, cap: u64) -> SelectionComplexity {
+        let run = &self.agents[offset];
+        self.curve.chi_at(run.curve, cap).unwrap_or(if run.curve.0 == run.curve.1 {
+            // No curve recorded: tracking was off, the footprint is
+            // static, or the agent never moved — in each case `chi` is
+            // exact at every cap.
+            run.chi
+        } else {
+            // Breakpoints exist but all lie past `cap`: the footprint at
+            // `cap` predates the first move, i.e. the birth footprint —
+            // unreachable in practice because the first move (moves = 1,
+            // with the birth footprint already folded into the running
+            // max) is always a breakpoint and `cap >= 1`.
+            SelectionComplexity::new(0, 0)
+        })
     }
 }
 
@@ -157,12 +323,12 @@ impl ChunkRun {
 ///   one move below the best prefix result, and the trial stops when the
 ///   cap reaches zero).
 /// * **Chi footprint.** Chunks after the first run with *speculative*
-///   caps (their local prefix best, which is never below the serial cap),
-///   and record running-max footprint breakpoints per move; the reduction
-///   evaluates each agent's footprint at its exact serial stop via
-///   [`AgentRun::chi_at`]. Chunk 0's local caps equal the serial caps, so
-///   it skips tracking entirely — a single-chunk plan is the serial
-///   engine, unchanged.
+///   caps (their local prefix best, lowered toward the serial cap by the
+///   shared [`CapHint`] but never below it), and record running-max
+///   footprint breakpoints per move; the reduction evaluates each agent's
+///   footprint at its exact serial stop via [`ChunkRun::chi_at`]. Chunk
+///   0's local caps equal the serial caps, so it skips tracking entirely
+///   — a single-chunk plan is the serial engine, unchanged.
 pub struct TrialPlan<'a> {
     scenario: &'a Scenario,
     trial_seed: u64,
@@ -192,45 +358,87 @@ impl<'a> TrialPlan<'a> {
         place_target(self.scenario, self.trial_seed)
     }
 
-    /// Execute one chunk: simulate its agents in index order with
-    /// chunk-local early caps (each agent capped one move below the best
-    /// result found *within this chunk*).
+    /// A fresh [`CapHint`] sized for this plan, ready to share across its
+    /// chunks (wrap it in an `Arc` to hand it to workers).
+    pub fn hint(&self) -> CapHint {
+        CapHint::new(self.n_chunks())
+    }
+
+    /// Execute one chunk without a shared hint: agents are capped only by
+    /// the best result found *within this chunk*. This is the fully
+    /// speculative path — see [`TrialPlan::run_chunk_hinted`] for the one
+    /// the sweep scheduler uses.
     ///
     /// # Panics
     ///
     /// Panics if `chunk_idx >= self.n_chunks()`.
     pub fn run_chunk(&self, chunk_idx: usize) -> ChunkRun {
+        self.run_chunk_inner(chunk_idx, None)
+    }
+
+    /// Execute one chunk: simulate its agents in index order with
+    /// chunk-local early caps (each agent capped one move below the best
+    /// result found within this chunk), lowered toward the serial caps by
+    /// `hint` (finds published by earlier chunks — read before every
+    /// agent and polled during long runs) and publishing this chunk's own
+    /// finds for later chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_idx >= self.n_chunks()` or if `hint` was sized
+    /// for a different chunk count.
+    pub fn run_chunk_hinted(&self, chunk_idx: usize, hint: &CapHint) -> ChunkRun {
+        assert_eq!(hint.slots.len(), self.n_chunks(), "hint sized for a different plan");
+        self.run_chunk_inner(chunk_idx, Some(hint))
+    }
+
+    fn run_chunk_inner(&self, chunk_idx: usize, hint: Option<&CapHint>) -> ChunkRun {
         assert!(chunk_idx < self.n_chunks(), "chunk {chunk_idx} out of range");
         let first_agent = chunk_idx * self.chunk;
         let end = (first_agent + self.chunk).min(self.scenario.n_agents());
         // Chunk 0's local caps coincide with the serial caps, so its chi
-        // values are exact as-is; later chunks speculate and must track
-        // the footprint curve for the reduction to rewind.
+        // values are exact as-is (and no hint can lower them: it only
+        // carries finds by *earlier* chunks); later chunks speculate and
+        // must track the footprint curve for the reduction to rewind.
         let track = chunk_idx > 0;
         let target = self.place_target();
         let budget = self.scenario.move_budget();
         let mut best: Option<u64> = None;
         let mut agents = Vec::with_capacity(end - first_agent);
+        let mut curve = ChiArena::default();
+        // Mid-run polling is pointless for chunk 0 (its hinted cap is
+        // always u64::MAX), so only speculative chunks pay for it.
+        let poll = hint.filter(|_| track).map(|h| (h, chunk_idx));
         for agent_idx in first_agent..end {
-            let cap = match best {
+            let local = match best {
                 // A later agent only matters if strictly faster.
                 Some(m) => m.saturating_sub(1),
                 None => budget,
             };
+            let cap = match hint {
+                Some(h) => local.min(h.cap_for(chunk_idx)),
+                None => local,
+            };
             if cap == 0 {
-                // A chunk-local one-move find caps out the rest of the
-                // chunk. The global prefix best is at most the local one,
-                // so the reduction's own cap reaches zero at or before
-                // this agent and never reads past the truncation.
+                // A one-move find — chunk-local or hinted from an earlier
+                // chunk — caps out the rest of the chunk. The global
+                // prefix best is at most the local/hinted one, so the
+                // reduction's own cap reaches zero at or before this
+                // agent and never reads past the truncation.
                 break;
             }
-            let run = run_agent(self.scenario, self.trial_seed, target, agent_idx, cap, track);
+            let arena = track.then_some(&mut curve);
+            let run =
+                run_agent(self.scenario, self.trial_seed, target, agent_idx, cap, arena, poll);
             if let Some(m) = run.moves {
                 best = Some(m);
+                if let Some(h) = hint {
+                    h.publish(chunk_idx, m);
+                }
             }
             agents.push(run);
         }
-        ChunkRun { first_agent, agents }
+        ChunkRun { first_agent, agents, curve }
     }
 
     /// Reduce chunk results in canonical agent order into the trial's
@@ -284,11 +492,12 @@ impl<'a> TrialPlan<'a> {
                     }
                     _ => {
                         // The chunk speculated past the serial cap (its
-                        // local prefix best is never below the serial
-                        // prefix best, so `run.cap > cap`); rewind the
-                        // tracked footprint curve to the serial stop.
+                        // local prefix best and any hinted cap are never
+                        // below the serial prefix best, so
+                        // `run.cap > cap`); rewind the tracked footprint
+                        // curve to the serial stop.
                         debug_assert!(run.cap > cap, "chunk cap below the serial cap");
-                        chi = chi.max(run.chi_at(cap));
+                        chi = chi.max(chunk.chi_at(offset, cap));
                     }
                 }
             }
@@ -308,8 +517,15 @@ impl<'a> TrialPlan<'a> {
     }
 
     /// Run every chunk on the calling thread and reduce.
+    ///
+    /// Chunks share a [`CapHint`] and run in canonical order, so every
+    /// chunk sees the finds of all earlier ones and the plan performs the
+    /// serial engine's work (up to hint-poll granularity) at any chunk
+    /// size — the speculation tax only exists across concurrent workers.
     pub fn run(&self) -> TrialResult {
-        let chunks: Vec<ChunkRun> = (0..self.n_chunks()).map(|c| self.run_chunk(c)).collect();
+        let hint = self.hint();
+        let chunks: Vec<ChunkRun> =
+            (0..self.n_chunks()).map(|c| self.run_chunk_hinted(c, &hint)).collect();
         self.reduce(&chunks)
     }
 }

@@ -74,7 +74,9 @@ mod scenario;
 mod sched;
 mod stepping;
 
-pub use engine::{run_trial, run_trials, run_trials_serial, run_trials_with, ChunkRun, TrialPlan};
+pub use engine::{
+    run_trial, run_trials, run_trials_serial, run_trials_with, CapHint, ChunkRun, TrialPlan,
+};
 pub use metrics::{Outcome, Summary, TrialResult};
 pub use observe::{
     observe_factory, observe_trial, FirstFind, FirstVisitGrid, Metric, MetricSet, Observation,

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::engine::trial_seeds;
 #[cfg(feature = "parallel")]
-use crate::engine::{resolve_threads, run_trial, ChunkRun, TrialPlan};
+use crate::engine::{resolve_threads, ChunkRun, TrialPlan};
 #[cfg(feature = "parallel")]
 use crate::metrics::TrialResult;
 #[cfg(feature = "parallel")]
@@ -131,8 +131,17 @@ pub const DEFAULT_AGENT_CHUNK: usize = 8;
 
 /// Per-trial work proxy (agents × move budget) below which a trial is
 /// never worth splitting: the per-chunk scheduling overhead would rival
-/// the simulation itself.
-const AGENT_SPLIT_WEIGHT: u64 = 1 << 16;
+/// the simulation itself. With the shared [`CapHint`](crate::CapHint)
+/// bounding the speculation tax, this floor only guards against
+/// scheduling overhead, not redundant work, so it sits far lower than it
+/// did when speculative chunks could redo `n_chunks ×` the serial work.
+const AGENT_SPLIT_WEIGHT: u64 = 1 << 12;
+
+/// Auto-granularity splits a job into agent chunks whenever the sweep's
+/// trial units alone cannot keep every worker this many units deep.
+/// Below that, stragglers (one heavy trial outliving its siblings)
+/// leave workers idle — exactly what agent chunks fill.
+const POOL_SATURATION: u64 = 4;
 
 /// How one [`SweepJob`]'s trials are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,17 +161,21 @@ impl Scheduler {
     /// Pick a scheduler for one job under `opts` with `threads` workers,
     /// inside a sweep holding `sweep_trials` trial units in total.
     ///
-    /// The cost heuristic weighs agents × moves against trials. Splitting
-    /// a trial is not free: speculative chunks lose the cross-chunk early
-    /// cap and can re-do up to `n_chunks ×` the serial work (measured
-    /// ~3.3× on E9's standard zoo at chunk 8), so it only pays where the
-    /// parallelism it unlocks is otherwise unavailable. A job is split
-    /// into agent chunks exactly when the *whole sweep's* trials cannot
-    /// fill the pool (`sweep_trials < 2 × threads` — the pool is shared,
-    /// so sibling jobs' trials keep workers busy too), the job has more
-    /// agents than one chunk holds (so the split is real), and a trial is
-    /// heavy enough (`agents × budget >= 2^16`) for the per-chunk
-    /// overhead to vanish.
+    /// A forced granularity (`--granularity trial|agent`) is honoured at
+    /// *any* thread count — a single-worker agent-level run is how the
+    /// speculation tests measure the hinted path's work deterministically.
+    ///
+    /// Under `Auto` the cost heuristic weighs agents × moves against
+    /// trials. The shared [`CapHint`](crate::CapHint) bounds the
+    /// speculation tax (speculative chunks stop within a poll interval of
+    /// the serial caps once earlier chunks publish), so splitting is
+    /// cheap and the policy is aggressive: a job splits into agent chunks
+    /// whenever the *whole sweep's* trials cannot keep every worker
+    /// [`POOL_SATURATION`] units deep (`sweep_trials <
+    /// POOL_SATURATION × threads` — the pool is shared, so sibling jobs'
+    /// trials keep workers busy too), the job has more agents than one
+    /// chunk holds (so the split is real), and a trial is heavy enough
+    /// (`agents × budget >= 2^12`) for the per-chunk overhead to vanish.
     pub fn plan(
         job: &SweepJob,
         opts: &SweepOptions,
@@ -194,15 +207,17 @@ impl Scheduler {
         sweep_trials: u64,
     ) -> Scheduler {
         let chunk = opts.chunk.unwrap_or(DEFAULT_AGENT_CHUNK).max(1);
-        if threads <= 1 {
-            return Scheduler::Serial;
-        }
         match opts.granularity {
+            // Forced granularities win over the thread count: an explicit
+            // `--granularity agent --threads 1` must run chunked (it used
+            // to silently fall back to the serial path).
             Granularity::Trial => Scheduler::TrialLevel,
             Granularity::Agent => Scheduler::AgentLevel { chunk },
             Granularity::Auto => {
-                if agents > chunk
-                    && sweep_trials < 2 * threads as u64
+                if threads <= 1 {
+                    Scheduler::Serial
+                } else if agents > chunk
+                    && sweep_trials < POOL_SATURATION * threads as u64
                     && weight >= AGENT_SPLIT_WEIGHT
                 {
                     Scheduler::AgentLevel { chunk }
@@ -262,6 +277,13 @@ impl SweepOptions {
             probe.record(event);
         }
     }
+
+    #[cfg(feature = "parallel")]
+    fn add_work(&self, steps: u64) {
+        if let Some(probe) = &self.probe {
+            probe.add_work(steps);
+        }
+    }
 }
 
 /// One scheduling event observed by a [`Probe`].
@@ -306,6 +328,7 @@ pub enum ProbeEvent {
 #[derive(Debug, Default)]
 pub struct Probe {
     events: Mutex<Vec<ProbeEvent>>,
+    work: std::sync::atomic::AtomicU64,
 }
 
 impl Probe {
@@ -319,9 +342,23 @@ impl Probe {
         self.events.lock().expect("probe poisoned").push(event);
     }
 
+    #[cfg(feature = "parallel")]
+    fn add_work(&self, steps: u64) {
+        self.work.fetch_add(steps, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Drain the recorded events (unordered across threads).
     pub fn take(&self) -> Vec<ProbeEvent> {
         std::mem::take(&mut *self.events.lock().expect("probe poisoned"))
+    }
+
+    /// Total agent steps simulated by the units recorded so far — the
+    /// work counter behind the speculation-tax tests. Under a live
+    /// [`CapHint`](crate::CapHint) with concurrent workers the count is
+    /// timing-dependent (earlier hints stop speculative agents sooner);
+    /// with one worker it is deterministic.
+    pub fn work(&self) -> u64 {
+        self.work.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -354,23 +391,26 @@ pub fn run_sweep_with(jobs: &[SweepJob], opts: &SweepOptions) -> Vec<Outcome> {
     #[cfg(feature = "parallel")]
     {
         let threads = resolve_threads(opts.threads);
-        if threads > 1 {
-            // Count *work units*, not trials: a single-trial many-agent
-            // job — the flagship case for agent granularity — still fans
-            // out into its chunks.
-            let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
-            let units: u64 = jobs
-                .iter()
-                .map(|j| match Scheduler::plan(j, opts, threads, sweep_trials) {
-                    Scheduler::AgentLevel { chunk } => {
-                        j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
-                    }
-                    Scheduler::Serial | Scheduler::TrialLevel => j.trials,
-                })
-                .sum();
-            if units >= 2 {
-                return sweep_parallel(jobs, opts, threads);
-            }
+        // Count *work units*, not trials: a single-trial many-agent job —
+        // the flagship case for agent granularity — still fans out into
+        // its chunks.
+        let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
+        let mut chunked = false;
+        let units: u64 = jobs
+            .iter()
+            .map(|j| match Scheduler::plan(j, opts, threads, sweep_trials) {
+                Scheduler::AgentLevel { chunk } => {
+                    chunked = true;
+                    j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
+                }
+                Scheduler::Serial | Scheduler::TrialLevel => j.trials,
+            })
+            .sum();
+        // A single worker still takes the pooled path when a job planned
+        // agent chunks (a forced `--granularity agent` must run chunked
+        // at any thread count); plain serial work stays on the fallback.
+        if (threads > 1 || chunked) && units >= 2 {
+            return sweep_parallel(jobs, opts, threads);
         }
     }
     #[cfg(not(feature = "parallel"))]
@@ -396,20 +436,20 @@ pub fn run_observed_sweep(
     #[cfg(feature = "parallel")]
     {
         let threads = resolve_threads(opts.threads);
-        if threads > 1 {
-            let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
-            let units: u64 = jobs
-                .iter()
-                .map(|j| match Scheduler::plan_observed(j, opts, threads, sweep_trials) {
-                    Scheduler::AgentLevel { chunk } => {
-                        j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
-                    }
-                    Scheduler::Serial | Scheduler::TrialLevel => j.trials,
-                })
-                .sum();
-            if units >= 2 {
-                return observed_parallel(jobs, opts, threads);
-            }
+        let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
+        let mut chunked = false;
+        let units: u64 = jobs
+            .iter()
+            .map(|j| match Scheduler::plan_observed(j, opts, threads, sweep_trials) {
+                Scheduler::AgentLevel { chunk } => {
+                    chunked = true;
+                    j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
+                }
+                Scheduler::Serial | Scheduler::TrialLevel => j.trials,
+            })
+            .sum();
+        if (threads > 1 || chunked) && units >= 2 {
+            return observed_parallel(jobs, opts, threads);
         }
     }
     #[cfg(not(feature = "parallel"))]
@@ -572,8 +612,21 @@ where
 
 #[cfg(feature = "parallel")]
 enum Unit {
-    Trial { job: usize, trial: u64, seed: u64 },
-    Chunk { job: usize, trial: u64, seed: u64, chunk: usize, chunk_idx: usize },
+    Trial {
+        job: usize,
+        trial: u64,
+        seed: u64,
+    },
+    /// `red` indexes the trial's pending [`Reduction`] — and therefore
+    /// its shared [`CapHint`](crate::CapHint).
+    Chunk {
+        job: usize,
+        trial: u64,
+        seed: u64,
+        chunk: usize,
+        chunk_idx: usize,
+        red: usize,
+    },
 }
 
 /// A pending per-trial reduction: the contiguous unit range holding the
@@ -611,6 +664,7 @@ fn sweep_parallel(jobs: &[SweepJob], opts: &SweepOptions, threads: usize) -> Vec
                 let n_chunks = j.scenario.n_agents().div_ceil(chunk);
                 for (trial, &seed) in seeds.iter().enumerate() {
                     let start = units.len();
+                    let red = reductions.len();
                     for chunk_idx in 0..n_chunks {
                         units.push(Unit::Chunk {
                             job,
@@ -618,6 +672,7 @@ fn sweep_parallel(jobs: &[SweepJob], opts: &SweepOptions, threads: usize) -> Vec
                             seed,
                             chunk,
                             chunk_idx,
+                            red,
                         });
                     }
                     reductions.push(Reduction {
@@ -632,15 +687,30 @@ fn sweep_parallel(jobs: &[SweepJob], opts: &SweepOptions, threads: usize) -> Vec
         }
     }
 
+    // One shared best-so-far cap hint per agent-level trial: its chunks
+    // publish finds as they land and read finds from earlier chunks, so
+    // speculative work stops within a poll interval of the serial caps
+    // instead of running to the full budget. Purely a work saver —
+    // reductions stay byte-identical (see [`crate::CapHint`]).
+    let hints: Vec<crate::CapHint> =
+        reductions.iter().map(|r| crate::CapHint::new(r.units.len())).collect();
+
     // Wave 1: drain all trial and chunk units through the pool.
     let outs: Vec<Out> = drain(&units, threads, |unit| match *unit {
         Unit::Trial { job, trial, seed } => {
             opts.record(ProbeEvent::TrialUnit { job, trial });
-            Out::Trial(run_trial(&jobs[job].scenario, seed))
+            let scenario = &jobs[job].scenario;
+            let plan = TrialPlan::new(scenario, seed, scenario.n_agents());
+            let chunk = plan.run_chunk(0);
+            opts.add_work(chunk.work());
+            Out::Trial(plan.reduce(std::slice::from_ref(&chunk)))
         }
-        Unit::Chunk { job, trial, seed, chunk, chunk_idx } => {
+        Unit::Chunk { job, trial, seed, chunk, chunk_idx, red } => {
             opts.record(ProbeEvent::ChunkUnit { job, trial, chunk: chunk_idx });
-            Out::Chunk(TrialPlan::new(&jobs[job].scenario, seed, chunk).run_chunk(chunk_idx))
+            let plan = TrialPlan::new(&jobs[job].scenario, seed, chunk);
+            let run = plan.run_chunk_hinted(chunk_idx, &hints[red]);
+            opts.add_work(run.work());
+            Out::Chunk(run)
         }
     });
 
@@ -743,6 +813,26 @@ mod tests {
         // Plenty of trials fill the pool on their own: never split (the
         // speculative chunks would multiply total work for nothing).
         assert_eq!(Scheduler::plan(&job(4, 64, 100, 0), &opts, 4, 100), Scheduler::TrialLevel);
+        // Aggressive split: trials that keep workers less than
+        // POOL_SATURATION units deep still split (15 trials on 4 workers
+        // would have stayed at trial level under the pre-hint policy).
+        assert_eq!(
+            Scheduler::plan(&job(4, 64, 15, 0), &opts, 4, 15),
+            Scheduler::AgentLevel { chunk: DEFAULT_AGENT_CHUNK }
+        );
+        // Too light a trial to split: the per-chunk scheduling overhead
+        // would rival the simulation itself.
+        let light = SweepJob::new(
+            Scenario::builder()
+                .agents(64)
+                .target(TargetPlacement::Corner { distance: 2 })
+                .move_budget(50)
+                .strategy(|_| Box::new(SpiralSearch::new()))
+                .build(),
+            2,
+            0,
+        );
+        assert_eq!(Scheduler::plan(&light, &opts, 4, 2), Scheduler::TrialLevel);
         // The pool is shared: a few-trial heavy job inside a sweep whose
         // siblings already provide plenty of trial units stays unsplit.
         assert_eq!(Scheduler::plan(&job(4, 64, 2, 0), &opts, 4, 100), Scheduler::TrialLevel);
@@ -759,6 +849,20 @@ mod tests {
         );
         let opts = SweepOptions::default().granularity(Granularity::Trial);
         assert_eq!(Scheduler::plan(&job(4, 64, 2, 0), &opts, 4, 2), Scheduler::TrialLevel);
+    }
+
+    /// Regression: an explicit `--granularity agent` (or `trial`) used to
+    /// be silently discarded whenever `threads <= 1` — `plan_weighted`
+    /// returned `Serial` before even looking at the forced granularity.
+    #[test]
+    fn scheduler_plan_honours_forced_granularity_on_one_worker() {
+        let opts = SweepOptions::default().granularity(Granularity::Agent).chunk(3);
+        assert_eq!(
+            Scheduler::plan(&job(4, 64, 2, 0), &opts, 1, 2),
+            Scheduler::AgentLevel { chunk: 3 }
+        );
+        let opts = SweepOptions::default().granularity(Granularity::Trial);
+        assert_eq!(Scheduler::plan(&job(4, 64, 2, 0), &opts, 1, 2), Scheduler::TrialLevel);
     }
 
     #[test]

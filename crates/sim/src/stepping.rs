@@ -56,6 +56,12 @@ pub struct StepOutcome {
 /// agent stood on the target). It is deliberately oblivious to *why* it
 /// is being stepped — move caps, round horizons, and observation
 /// windows are caller policy.
+///
+/// The RNG stream is a [`DefaultRng`] drawn one word per transition;
+/// batching draws through [`ants_rng::BufferedRng`] is stream-preserving
+/// and therefore trajectory-preserving, but measured slower than the
+/// bare generator on this loop (`BENCH_sweep.json` v3), so the alias
+/// stays unbuffered.
 pub struct AgentStepper {
     strategy: Box<dyn SearchStrategy>,
     rng: DefaultRng,
@@ -190,6 +196,16 @@ impl AgentStepper {
     /// check this — a halted agent never moves again.
     pub fn halted(&self) -> bool {
         self.strategy.is_halted()
+    }
+
+    /// Is [`AgentStepper::chi`] constant for this agent's whole run?
+    ///
+    /// True when the strategy declares a static footprint: the running
+    /// max of a constant (and of its abort samples) is that constant, so
+    /// callers that would otherwise sample the footprint after every
+    /// move (the speculative-chunk breakpoint curves) can skip it.
+    pub fn chi_static(&self) -> bool {
+        self.strategy.selection_complexity_is_static()
     }
 }
 

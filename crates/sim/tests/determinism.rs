@@ -108,6 +108,70 @@ proptest! {
             }
         }
     }
+
+    /// The cap hint is monotone: a published find never *raises* any
+    /// chunk's hinted cap, never touches the publisher's own chunk or
+    /// earlier ones, and always bounds later chunks by `moves - 1`.
+    #[test]
+    fn cap_hint_is_monotone(
+        publishes in proptest::collection::vec((0usize..6, 1u64..500), 0..24),
+    ) {
+        use ants_sim::CapHint;
+
+        let hint = CapHint::new(6);
+        for c in 0..6 {
+            prop_assert_eq!(hint.cap_for(c), u64::MAX, "fresh hints must not cap anything");
+        }
+        for (chunk, moves) in publishes {
+            let before: Vec<u64> = (0..6).map(|c| hint.cap_for(c)).collect();
+            hint.publish(chunk, moves);
+            for (c, &prev) in before.iter().enumerate() {
+                let now = hint.cap_for(c);
+                prop_assert!(now <= prev, "publish raised chunk {}'s cap", c);
+                if c <= chunk {
+                    prop_assert_eq!(now, prev, "publish leaked into chunk {}", c);
+                } else {
+                    prop_assert!(now < moves, "chunk {} not bounded by the find", c);
+                }
+            }
+        }
+    }
+
+    /// Hinted agent-level sweeps stay byte-identical to the serial
+    /// reference across threads {1, 2, 4} × chunk {1, 3, 8} — agent
+    /// counts above 8 so chunk 8 genuinely splits, and a single worker
+    /// included so the forced-granularity path is exercised end to end.
+    #[test]
+    fn hinted_agent_sweeps_match_serial_across_threads_and_chunks(
+        kind in any::<u8>(),
+        n in 9usize..14,
+        d in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        let jobs = vec![
+            SweepJob::new(rand_scenario(kind, n, d, false), 2, seed),
+            SweepJob::new(rand_scenario(kind.wrapping_add(1), n - 4, d, true), 3, seed ^ 0x33),
+        ];
+        let reference: Vec<_> = jobs
+            .iter()
+            .map(|j| run_trials_serial(&j.scenario, j.trials, j.seed))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            for chunk in [1usize, 3, 8] {
+                let opts = SweepOptions::with_threads(Some(threads))
+                    .granularity(Granularity::Agent)
+                    .chunk(chunk);
+                let outcomes = run_sweep_with(&jobs, &opts);
+                for (job_idx, (got, want)) in outcomes.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        got.trials(), want.trials(),
+                        "job {} diverged at threads {}, chunk {}",
+                        job_idx, threads, chunk
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Scheduling invariant: under agent-level scheduling every
@@ -221,7 +285,7 @@ fn single_trial_many_agents_fans_out() {
 }
 
 /// The probe must record nothing when the sweep falls back to the serial
-/// path (single worker).
+/// path: one worker under auto granularity plans every job serially.
 #[cfg(feature = "parallel")]
 #[test]
 fn serial_fallback_records_no_units() {
@@ -229,9 +293,43 @@ fn serial_fallback_records_no_units() {
 
     let jobs = vec![SweepJob::new(rand_scenario(1, 2, 3, false), 2, 1)];
     let probe = Probe::new();
-    let opts = SweepOptions::with_threads(Some(1))
-        .granularity(Granularity::Agent)
-        .with_probe(probe.clone());
+    let opts = SweepOptions::with_threads(Some(1)).with_probe(probe.clone());
     let _ = run_sweep_with(&jobs, &opts);
     assert!(probe.take().is_empty());
+    assert_eq!(probe.work(), 0);
+}
+
+/// Regression for the forced-granularity bug: `--granularity agent` on a
+/// single worker must still run chunked (it used to fall back to the
+/// serial path, recording nothing and ignoring the explicit request) —
+/// and stay byte-identical to the serial reference.
+#[cfg(feature = "parallel")]
+#[test]
+fn forced_agent_granularity_runs_chunked_on_one_worker() {
+    use ants_sim::{Probe, ProbeEvent};
+
+    let jobs = vec![SweepJob::new(rand_scenario(3, 5, 4, false), 2, 17)];
+    let probe = Probe::new();
+    let opts = SweepOptions::with_threads(Some(1))
+        .granularity(Granularity::Agent)
+        .chunk(2)
+        .with_probe(probe.clone());
+    let outcomes = run_sweep_with(&jobs, &opts);
+    assert_eq!(
+        outcomes[0].trials(),
+        run_trials_serial(&jobs[0].scenario, 2, 17).trials(),
+        "single-worker chunked sweep diverged"
+    );
+    let mut events = probe.take();
+    events.sort_unstable();
+    let mut expected = Vec::new();
+    for trial in 0..2u64 {
+        for chunk in 0..3 {
+            expected.push(ProbeEvent::ChunkUnit { job: 0, trial, chunk });
+        }
+        expected.push(ProbeEvent::Reduce { job: 0, trial, chunks: 3 });
+    }
+    expected.sort_unstable();
+    assert_eq!(events, expected, "forced agent granularity must produce chunk units");
+    assert!(probe.work() > 0, "chunk units must report their work");
 }

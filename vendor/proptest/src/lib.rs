@@ -55,18 +55,27 @@ macro_rules! prop_assert_ne {
 
 /// Define property-based tests.
 ///
-/// Supported grammar (the subset the workspace uses):
+/// Supported grammar (the subset the workspace uses). Attributes pass
+/// through, so in a test-suite each property carries `#[test]`; here the
+/// expansion is a plain function the doctest can call directly:
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
+/// fn my_strategy() -> impl Strategy<Value = (u64, u64)> {
+///     (0u64..50, 50u64..100)
+/// }
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
 ///
-///     /// Doc comments and attributes pass through.
-///     #[test]
 ///     fn my_property(x in 0u64..100, (a, b) in my_strategy()) {
 ///         prop_assert!(x < 100);
+///         prop_assert!(a < b);
 ///     }
 /// }
+///
+/// my_property();
 /// ```
 #[macro_export]
 macro_rules! proptest {
