@@ -86,5 +86,46 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rng, bench_automaton, bench_strategies, bench_engine);
+/// MC vs exact-DP wall clock on the bundled crosscheck grid: one
+/// `backend/mc/<cell>` + `backend/dp/<cell>` pair per cell, measuring
+/// the full per-cell evaluation each engine actually performs in
+/// `WorkloadExperiment` (the MC side runs the cell's whole trial count
+/// on a single-thread pool; the DP side solves the cell exactly).
+/// `BENCH_dp.json` records the medians and the crossover.
+fn bench_backends(c: &mut Criterion) {
+    use ants_bench::{RunConfig, WorkloadExperiment};
+    let spec = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/workloads/dp_crosscheck.toml");
+    let exp = WorkloadExperiment::from_file(&spec).expect("bundled crosscheck spec loads");
+    let opts = RunConfig::standard().with_threads(Some(1)).sweep_options();
+    let mut g = c.benchmark_group("backend");
+    g.sample_size(10);
+    for cell in &exp.plan().cells {
+        let label = cell.label.replace('/', "-");
+        g.bench_function(&format!("mc/{label}"), |b| {
+            b.iter(|| {
+                let job = cell.job(false, 0).expect("cell builds");
+                black_box(ants_sim::run_sweep_with(&[job], &opts))
+            });
+        });
+        g.bench_function(&format!("dp/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    ants_workload::dp::evaluate_cell(cell, false, ants_sim::MetricSet::empty())
+                        .expect("dp-capable cell"),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_automaton,
+    bench_strategies,
+    bench_engine,
+    bench_backends
+);
 criterion_main!(benches);

@@ -130,6 +130,12 @@ pub struct RunConfig {
     /// set and append the corresponding report columns; the built-in
     /// E1–E15 harnesses have fixed column sets and ignore it.
     pub metrics: MetricSet,
+    /// Backend override (`--backend mc|dp`): force every workload cell
+    /// onto the Monte Carlo pool or the exact DP engine regardless of
+    /// the spec's per-cell `backend` keys. `None` = respect the spec.
+    /// Only [`crate::WorkloadExperiment`] honours it; the built-in
+    /// harnesses are Monte Carlo by construction.
+    pub backend: Option<ants_dp::Backend>,
 }
 
 impl RunConfig {
@@ -142,6 +148,7 @@ impl RunConfig {
             granularity: Granularity::Auto,
             chunk: None,
             metrics: MetricSet::empty(),
+            backend: None,
         }
     }
 
@@ -182,6 +189,12 @@ impl RunConfig {
     /// Set the extra observation metrics.
     pub fn with_metrics(mut self, metrics: MetricSet) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Set the backend override (`None` = respect per-cell spec keys).
+    pub fn with_backend(mut self, backend: Option<ants_dp::Backend>) -> Self {
+        self.backend = backend;
         self
     }
 

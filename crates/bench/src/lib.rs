@@ -18,10 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crosscheck;
 pub mod experiments;
 pub mod runner;
 pub mod workload;
 
+pub use crosscheck::{crosscheck, CrosscheckReport};
 pub use experiments::{Effort, Experiment, Report, RunConfig};
 pub use runner::Runner;
 pub use workload::WorkloadExperiment;

@@ -64,7 +64,8 @@ pub struct Flags {
 
 /// Parse the common run flags: `--smoke`, `--effort smoke|standard`,
 /// `--seed N`, `--threads K`, `--granularity auto|trial|agent`,
-/// `--chunk N`, `--metrics a,b,...`, `--json`, `--csv`.
+/// `--chunk N`, `--metrics a,b,...`, `--backend mc|dp`, `--json`,
+/// `--csv`.
 ///
 /// Unknown arguments are an error (callers print usage).
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -110,6 +111,13 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .ok_or("--metrics needs a comma-separated list (e.g. coverage,first_visit)")?;
                 cfg.metrics = cfg.metrics.union(ants_sim::MetricSet::parse_list(v)?);
             }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value (mc|dp)")?;
+                cfg.backend = Some(
+                    ants_dp::Backend::parse(v)
+                        .ok_or(format!("unknown backend '{v}' (allowed: mc, dp)"))?,
+                );
+            }
             "--json" => json = true,
             "--csv" => csv = true,
             other => return Err(format!("unknown argument '{other}'")),
@@ -154,6 +162,14 @@ pub fn bin_main(exp: &dyn Experiment) {
             std::process::exit(2);
         }
     };
+    if flags.cfg.backend == Some(ants_dp::Backend::Dp) {
+        eprintln!(
+            "error: {} is a Monte Carlo harness; --backend dp only applies to workload \
+             cells (`ants workload run <file> --backend dp`)",
+            exp.meta().key
+        );
+        std::process::exit(2);
+    }
     emit(&Runner::new(flags.cfg).run(exp), flags.csv, flags.json);
 }
 
@@ -226,6 +242,18 @@ mod tests {
         assert!(parse_flags(&args(&["--metrics"])).is_err());
         let e = parse_flags(&args(&["--metrics", "warp"])).unwrap_err();
         assert!(e.contains("unknown metric 'warp'"), "{e}");
+    }
+
+    #[test]
+    fn backend_flag_parses_and_rejects_unknowns() {
+        assert_eq!(parse_flags(&[]).unwrap().cfg.backend, None);
+        let f = parse_flags(&args(&["--backend", "dp"])).unwrap();
+        assert_eq!(f.cfg.backend, Some(ants_dp::Backend::Dp));
+        let f = parse_flags(&args(&["--backend", "mc"])).unwrap();
+        assert_eq!(f.cfg.backend, Some(ants_dp::Backend::Mc));
+        assert!(parse_flags(&args(&["--backend"])).is_err());
+        let e = parse_flags(&args(&["--backend", "exact"])).unwrap_err();
+        assert!(e.contains("unknown backend 'exact'"), "{e}");
     }
 
     #[test]

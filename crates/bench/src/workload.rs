@@ -18,8 +18,9 @@
 //! report cell.
 
 use crate::experiments::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
+use ants_dp::Backend;
 use ants_sim::report::Value;
-use ants_sim::{run_observed_sweep, run_sweep_with, Metric, TrialObservations};
+use ants_sim::{run_observed_sweep, run_sweep_with, Metric, MetricSet, TrialObservations};
 use ants_workload::{PlannedCell, WorkloadError, WorkloadPlan};
 use std::path::Path;
 
@@ -71,6 +72,117 @@ impl WorkloadExperiment {
     pub fn plan(&self) -> &WorkloadPlan {
         &self.plan
     }
+
+    /// The backend a cell runs under this config: the `--backend`
+    /// override if set, else the cell's own (spec-validated) choice.
+    pub fn cell_backend(cfg: &RunConfig, cell: &PlannedCell) -> Backend {
+        cfg.backend.unwrap_or(cell.backend)
+    }
+
+    /// Check that every cell this config routes to the exact backend can
+    /// actually be evaluated exactly — the CLI calls this before running
+    /// so a forced `--backend dp` fails up front with the offending
+    /// strategy named, not mid-report.
+    ///
+    /// # Errors
+    ///
+    /// The first DP-incapable cell, with its label and strategy.
+    pub fn validate_backends(&self, cfg: &RunConfig) -> Result<(), WorkloadError> {
+        for cell in &self.plan.cells {
+            if Self::cell_backend(cfg, cell) != Backend::Dp {
+                continue;
+            }
+            if cell.guess_move_ceiling.is_some() {
+                return Err(WorkloadError {
+                    context: format!("cell '{}'", cell.label),
+                    message: "backend = \"dp\" cannot model 'guess_move_ceiling' — drop the \
+                              ceiling or use backend = \"mc\""
+                        .to_string(),
+                });
+            }
+            for (_, s) in &cell.population {
+                s.kernel().map_err(|message| WorkloadError {
+                    context: format!("cell '{}'", cell.label),
+                    message,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Experiment::run`], but fallible: exact-backend failures (a
+    /// non-Markovian strategy forced onto DP via `--backend`, or a cell
+    /// exceeding the DP's cost guards) come back as errors instead of
+    /// panics. Monte Carlo cells cannot fail.
+    pub fn try_run(&self, cfg: &RunConfig) -> Result<Report, WorkloadError> {
+        let smoke = cfg.effort == Effort::Smoke;
+        let metrics = self.plan.metrics.union(cfg.metrics);
+        let mut columns = vec![
+            "cell",
+            "population",
+            "target",
+            "n",
+            "trials",
+            "found",
+            "success",
+            "median moves",
+            "mean moves",
+            "max chi",
+            "exact",
+        ];
+        for m in metrics.iter() {
+            columns.extend_from_slice(metric_columns(m));
+        }
+        let mut report = Report::new(&self.meta, cfg, columns);
+        report.param("spec", self.plan.name.as_str());
+        report.param("cells", self.plan.cells.len());
+        report.param("total trials", self.plan.total_trials(smoke));
+        if !metrics.is_empty() {
+            let names: Vec<&str> = metrics.iter().map(Metric::as_str).collect();
+            report.param("metrics", names.join(","));
+        }
+        // Route each cell: DP cells leave the trial pool entirely; MC
+        // cells keep their per-cell seed tags, so the presence of DP
+        // neighbours never shifts their randomness.
+        let backends: Vec<Backend> =
+            self.plan.cells.iter().map(|c| Self::cell_backend(cfg, c)).collect();
+        let mc_cells: Vec<&PlannedCell> = self
+            .plan
+            .cells
+            .iter()
+            .zip(&backends)
+            .filter(|(_, b)| **b == Backend::Mc)
+            .map(|(c, _)| c)
+            .collect();
+        let jobs =
+            mc_cells.iter().map(|c| c.job(smoke, cfg.base_seed)).collect::<Result<Vec<_>, _>>()?;
+        let outcomes = run_sweep_with(&jobs, &cfg.sweep_options());
+        // The observed sweep rides the same pool and scheduling options;
+        // an empty metric set skips it entirely, so metric-less specs
+        // keep their exact pre-observation reports.
+        let observed: Vec<Vec<TrialObservations>> = if metrics.is_empty() {
+            Vec::new()
+        } else {
+            let ojobs = mc_cells
+                .iter()
+                .map(|c| c.observed_job(smoke, cfg.base_seed, metrics))
+                .collect::<Result<Vec<_>, _>>()?;
+            run_observed_sweep(&ojobs, &cfg.sweep_options())
+        };
+        let mut mc_idx = 0usize;
+        for (cell, backend) in self.plan.cells.iter().zip(&backends) {
+            let row = match backend {
+                Backend::Mc => {
+                    let i = mc_idx;
+                    mc_idx += 1;
+                    mc_row(cell, smoke, metrics, &outcomes[i], observed.get(i))
+                }
+                Backend::Dp => dp_row(cell, smoke, metrics)?,
+            };
+            report.row(row);
+        }
+        Ok(report)
+    }
 }
 
 fn leak(s: String) -> &'static str {
@@ -89,71 +201,103 @@ impl Experiment for WorkloadExperiment {
     }
 
     fn run(&self, cfg: &RunConfig) -> Report {
-        let smoke = cfg.effort == Effort::Smoke;
-        let metrics = self.plan.metrics.union(cfg.metrics);
-        let mut columns = vec![
-            "cell",
-            "population",
-            "target",
-            "n",
-            "trials",
-            "found",
-            "success",
-            "median moves",
-            "mean moves",
-            "max chi",
-        ];
-        for m in metrics.iter() {
-            columns.extend_from_slice(metric_columns(m));
-        }
-        let mut report = Report::new(&self.meta, cfg, columns);
-        report.param("spec", self.plan.name.as_str());
-        report.param("cells", self.plan.cells.len());
-        report.param("total trials", self.plan.total_trials(smoke));
-        if !metrics.is_empty() {
-            let names: Vec<&str> = metrics.iter().map(Metric::as_str).collect();
-            report.param("metrics", names.join(","));
-        }
-        let jobs = self
-            .plan
-            .jobs(smoke, cfg.base_seed)
-            .expect("plans from WorkloadPlan::expand are pre-validated");
-        let outcomes = run_sweep_with(&jobs, &cfg.sweep_options());
-        // The observed sweep rides the same pool and scheduling options;
-        // an empty metric set skips it entirely, so metric-less specs
-        // keep their exact pre-observation reports.
-        let observed: Vec<Vec<TrialObservations>> = if metrics.is_empty() {
-            Vec::new()
-        } else {
-            let ojobs = self
-                .plan
-                .observed_jobs(smoke, cfg.base_seed, metrics)
-                .expect("plans from WorkloadPlan::expand are pre-validated");
-            run_observed_sweep(&ojobs, &cfg.sweep_options())
-        };
-        for (i, (cell, outcome)) in self.plan.cells.iter().zip(&outcomes).enumerate() {
-            let s = outcome.summary();
-            let median = if s.found() == 0 { f64::NAN } else { s.median_moves() };
-            let mean = if s.found() == 0 { f64::NAN } else { s.mean_moves() };
-            let mut row: Vec<Value> = vec![
-                cell.label.as_str().into(),
-                cell.population_label().into(),
-                cell.target_label().into(),
-                cell.agents.into(),
-                cell.trials_at(smoke).into(),
-                s.found().into(),
-                s.success_rate().into(),
-                median.into(),
-                mean.into(),
-                s.chi_footprint().chi().into(),
-            ];
-            for (spec_idx, m) in metrics.iter().enumerate() {
-                metric_cells(m, cell, &observed[i], spec_idx, &mut row);
-            }
-            report.row(row);
-        }
-        report
+        // Spec-level `backend = "dp"` cells were validated at expansion;
+        // only a forced `--backend dp` override or a cost-guard trip can
+        // fail here, and the CLI pre-validates via `validate_backends`.
+        self.try_run(cfg).unwrap_or_else(|e| panic!("workload run failed: {e}"))
     }
+}
+
+/// One Monte Carlo report row: trial-pool summary plus observation
+/// aggregates, `exact = false`.
+fn mc_row(
+    cell: &PlannedCell,
+    smoke: bool,
+    metrics: MetricSet,
+    outcome: &ants_sim::Outcome,
+    observed: Option<&Vec<TrialObservations>>,
+) -> Vec<Value> {
+    let s = outcome.summary();
+    let median = if s.found() == 0 { f64::NAN } else { s.median_moves() };
+    let mean = if s.found() == 0 { f64::NAN } else { s.mean_moves() };
+    let mut row: Vec<Value> = vec![
+        cell.label.as_str().into(),
+        cell.population_label().into(),
+        cell.target_label().into(),
+        cell.agents.into(),
+        cell.trials_at(smoke).into(),
+        s.found().into(),
+        s.success_rate().into(),
+        median.into(),
+        mean.into(),
+        s.chi_footprint().chi().into(),
+        false.into(),
+    ];
+    for (spec_idx, m) in metrics.iter().enumerate() {
+        metric_cells(m, cell, observed.expect("observed sweep ran"), spec_idx, &mut row);
+    }
+    row
+}
+
+/// One exact report row: the DP cell evaluation mapped onto the same
+/// column vocabulary, `exact = true`.
+fn dp_row(
+    cell: &PlannedCell,
+    smoke: bool,
+    metrics: MetricSet,
+) -> Result<Vec<Value>, WorkloadError> {
+    let r = ants_workload::dp::evaluate_cell(cell, smoke, metrics)?;
+    let mut row: Vec<Value> = vec![
+        cell.label.as_str().into(),
+        cell.population_label().into(),
+        cell.target_label().into(),
+        cell.agents.into(),
+        cell.trials_at(smoke).into(),
+        r.found.into(),
+        r.success.into(),
+        r.median_moves.into(),
+        r.mean_moves.into(),
+        r.max_chi.into(),
+        true.into(),
+    ];
+    let missing = || -> Value {
+        // Unreachable by construction: `dp_request` sets every flag the
+        // metric set contains, and `evaluate` fills every flagged field.
+        f64::NAN.into()
+    };
+    for m in metrics.iter() {
+        match m {
+            Metric::Coverage => {
+                row.push(r.coverage.map_or_else(missing, Value::from));
+                row.push(r.adversarial_left.map_or_else(missing, Value::from));
+            }
+            Metric::FirstVisit => {
+                row.push(r.mean_first_visit.map_or_else(missing, Value::from));
+            }
+            Metric::RoundTrace => match r.round_trace {
+                Some((q, h)) => {
+                    row.push(q.into());
+                    row.push(h.into());
+                }
+                None => {
+                    row.push(missing());
+                    row.push(missing());
+                }
+            },
+            Metric::Chi => row.push(r.chi_obs.map_or_else(missing, Value::from)),
+            Metric::FoundRound => match r.found_round {
+                Some((frac, mean)) => {
+                    row.push(frac.into());
+                    row.push(mean.into());
+                }
+                None => {
+                    row.push(missing());
+                    row.push(missing());
+                }
+            },
+        }
+    }
+    Ok(row)
 }
 
 /// The report columns each metric contributes, in order.
@@ -338,8 +482,9 @@ population = [ { strategy = "spiral" } ]
         let exp = metric_experiment();
         let report = exp.run(&RunConfig::smoke());
         let cols: Vec<&str> = report.records().columns().iter().map(String::as_str).collect();
+        assert_eq!(cols[10], "exact");
         assert_eq!(
-            &cols[10..],
+            &cols[11..],
             &[
                 "coverage",
                 "adversarial left",
@@ -388,16 +533,103 @@ population = [ { strategy = "spiral" } ]
         }
     }
 
+    /// One MC cell and one DP cell sharing a tiny scenario.
+    const MIXED_BACKEND_SPEC: &str = r#"
+name = "backend demo"
+
+[defaults]
+trials = 40
+
+[[cells]]
+name = "mc"
+agents = 2
+move_budget = 16
+target = { model = "fixed", x = 1, y = 1 }
+population = [ { strategy = "randomwalk" } ]
+
+[[cells]]
+name = "dp"
+agents = 2
+move_budget = 16
+backend = "dp"
+target = { model = "fixed", x = 1, y = 1 }
+population = [ { strategy = "randomwalk" } ]
+"#;
+
+    fn mixed_experiment() -> WorkloadExperiment {
+        let plan = WorkloadPlan::expand(&WorkloadSpec::parse(MIXED_BACKEND_SPEC).unwrap()).unwrap();
+        WorkloadExperiment::new(plan)
+    }
+
+    #[test]
+    fn dp_cells_route_off_the_trial_pool_with_exact_rows() {
+        let exp = mixed_experiment();
+        let report = exp.run(&RunConfig::standard());
+        assert_eq!(report.cell(0, "exact"), &Value::Bool(false));
+        assert_eq!(report.cell(1, "exact"), &Value::Bool(true));
+        // Same scenario, so the MC estimate sits near the DP truth.
+        let dp = report.num(1, "success");
+        assert!(dp > 0.0 && dp < 1.0, "{dp}");
+        assert!((report.num(0, "success") - dp).abs() < 0.35);
+        // The DP row's found column is the expectation trials × success.
+        assert!((report.num(1, "found") - 40.0 * dp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_rows_are_byte_identical_across_schedules_and_reruns() {
+        let reference = mixed_experiment().run(&RunConfig::standard().with_threads(Some(1)));
+        for threads in [2usize, 4] {
+            let got = mixed_experiment().run(&RunConfig::standard().with_threads(Some(threads)));
+            assert_eq!(got.to_csv(), reference.to_csv(), "drift at {threads} threads");
+        }
+        let rerun = mixed_experiment().run(&RunConfig::standard().with_threads(Some(1)));
+        assert_eq!(rerun.to_csv(), reference.to_csv());
+    }
+
+    #[test]
+    fn backend_override_forces_both_directions() {
+        let exp = mixed_experiment();
+        let all_dp = exp.run(&RunConfig::standard().with_backend(Some(Backend::Dp)));
+        assert_eq!(all_dp.cell(0, "exact"), &Value::Bool(true));
+        assert_eq!(all_dp.cell(1, "exact"), &Value::Bool(true));
+        // Both cells describe the same scenario, so forced-DP rows agree
+        // exactly.
+        assert_eq!(
+            all_dp.num(0, "success").to_bits(),
+            all_dp.num(1, "success").to_bits(),
+            "identical cells must produce identical exact rows"
+        );
+        let all_mc = exp.run(&RunConfig::standard().with_backend(Some(Backend::Mc)));
+        assert_eq!(all_mc.cell(1, "exact"), &Value::Bool(false));
+    }
+
+    #[test]
+    fn forced_dp_on_a_non_markovian_cell_fails_validation() {
+        let text = MIXED_BACKEND_SPEC.replace("\"randomwalk\"", "\"levy(2.0, 64)\"");
+        // The spec itself is fine: the "dp" cell would fail expansion, so
+        // flip it to mc first and force dp from the config instead.
+        let text = text.replace("backend = \"dp\"", "backend = \"mc\"");
+        let plan = WorkloadPlan::expand(&WorkloadSpec::parse(&text).unwrap()).unwrap();
+        let exp = WorkloadExperiment::new(plan);
+        let cfg = RunConfig::standard().with_backend(Some(Backend::Dp));
+        let e = exp.validate_backends(&cfg).unwrap_err();
+        assert!(e.context.contains("cell 'mc'"), "{e}");
+        assert!(e.message.contains("levy"), "{e}");
+        assert!(exp.try_run(&cfg).is_err());
+        // Without the override the same experiment runs fine.
+        assert!(exp.validate_backends(&RunConfig::standard()).is_ok());
+    }
+
     #[test]
     fn runconfig_metrics_opt_in_without_spec_support() {
         // A spec without a metrics key gains columns via --metrics.
         let exp = experiment();
         let base = exp.run(&RunConfig::smoke());
-        assert_eq!(base.records().columns().len(), 10);
+        assert_eq!(base.records().columns().len(), 11);
         let cfg =
             RunConfig::smoke().with_metrics(ants_sim::MetricSet::parse_list("coverage").unwrap());
         let with = exp.run(&cfg);
-        assert_eq!(with.records().columns().len(), 12);
+        assert_eq!(with.records().columns().len(), 13);
         assert!(with.num(0, "coverage") > 0.0, "agents visited at least the origin");
         // The base columns are unchanged by the observation run.
         for col in ["found", "success", "median moves", "mean moves"] {

@@ -24,11 +24,11 @@ fn chi_zoo() -> WorkloadExperiment {
 fn chi_zoo_smoke_report_matches_golden() {
     let report = chi_zoo().run(&RunConfig::smoke());
     let golden = "\
-cell,population,target,n,trials,found,success,median moves,mean moves,max chi
-race/n4/d8,\"2:nonuniform(8) + 2:coin(8, 1) + 2:uniform(1, 4, 2) + 1:harmonic(4) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(8),4,4,4,1.000,41.0,89.8,15.0
-race/n4/d16,\"2:nonuniform(16) + 2:coin(16, 1) + 2:uniform(1, 4, 2) + 1:harmonic(4) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(16),4,4,4,1.000,166.5,436.0,27.0
-race/n16/d8,\"2:nonuniform(8) + 2:coin(8, 1) + 2:uniform(1, 16, 2) + 1:harmonic(16) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(8),16,4,4,1.000,38.0,37.5,38.0
-race/n16/d16,\"2:nonuniform(16) + 2:coin(16, 1) + 2:uniform(1, 16, 2) + 1:harmonic(16) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(16),16,4,4,1.000,204.5,250.5,46.0
+cell,population,target,n,trials,found,success,median moves,mean moves,max chi,exact
+race/n4/d8,\"2:nonuniform(8) + 2:coin(8, 1) + 2:uniform(1, 4, 2) + 1:harmonic(4) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(8),4,4,4,1.000,41.0,89.8,15.0,false
+race/n4/d16,\"2:nonuniform(16) + 2:coin(16, 1) + 2:uniform(1, 4, 2) + 1:harmonic(4) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(16),4,4,4,1.000,166.5,436.0,27.0,false
+race/n16/d8,\"2:nonuniform(8) + 2:coin(8, 1) + 2:uniform(1, 16, 2) + 1:harmonic(16) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(8),16,4,4,1.000,38.0,37.5,38.0,false
+race/n16/d16,\"2:nonuniform(16) + 2:coin(16, 1) + 2:uniform(1, 16, 2) + 1:harmonic(16) + 1:automaton(alg1, 4) + 2:randomwalk\",ball(16),16,4,4,1.000,204.5,250.5,46.0,false
 ";
     assert_eq!(report.to_csv(), golden);
 }
@@ -73,6 +73,7 @@ fn every_bundled_spec_smoke_runs() {
         "mixed_targets.toml",
         "adversarial_battery.toml",
         "speculation_stress.toml",
+        "dp_crosscheck.toml",
     ] {
         let exp = WorkloadExperiment::from_file(&bundled(name)).expect("spec loads");
         let report = exp.run(&RunConfig::smoke());

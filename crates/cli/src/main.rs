@@ -9,11 +9,13 @@
 //! ants workload run <file>       # run a declarative workload spec
 //! ants workload validate <f>...  # parse + expand + validate spec files
 //! ants workload list <file>      # print a spec's expanded plan
+//! ants workload crosscheck <f>   # MC vs exact-DP Wilson cross-validation
 //! ants trend <dir-a> <dir-b>     # diff two report directories
 //! ants trend --record <dir>      # snapshot target/reports per commit
 //!                                #   [--commit H] [--reports DIR]
 //!                                #   (commit also read from $ANTS_COMMIT;
 //!                                #    falls back to a content hash)
+//! ants trend history <dir>       # per-cell timelines across snapshots
 //!
 //! flags: --smoke | --effort smoke|standard   effort (default standard)
 //!        --seed N                            shift every sweep's seeds
@@ -23,6 +25,9 @@
 //!        --metrics a,b,...                   observation columns for workload
 //!                                            runs (coverage, first_visit,
 //!                                            round_trace, chi, found_round)
+//!        --backend mc|dp                     force every workload cell onto
+//!                                            the Monte Carlo pool or the
+//!                                            exact DP backend
 //!        --json                              write target/reports/<id>.json
 //!        --csv                               print CSV after the table
 //! ```
@@ -48,11 +53,11 @@ use std::path::Path;
 fn usage() -> ! {
     eprintln!(
         "usage: ants <list|run <id>|all|demo [D]|validate [dir]|\
-         workload run|validate|list <file>...|trend <dir-a> <dir-b>|\
-         trend --record <dir> [--commit H] [--reports DIR]> \
+         workload run|validate|list|crosscheck <file>...|trend <dir-a> <dir-b>|\
+         trend --record <dir> [--commit H] [--reports DIR]|trend history <dir>> \
          [--smoke | --effort smoke|standard] [--seed N] [--threads K] \
          [--granularity auto|trial|agent] [--chunk N] [--metrics a,b,...] \
-         [--csv] [--json]\n\
+         [--backend mc|dp] [--csv] [--json]\n\
          reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
     );
     std::process::exit(2);
@@ -126,8 +131,9 @@ fn list_bundled_specs(effort: ants_bench::Effort) {
     );
 }
 
-/// `ants workload run|validate|list <file>...` — the declarative
-/// workload surface. `run` accepts the shared flag set after the file.
+/// `ants workload run|validate|list|crosscheck <file>...` — the
+/// declarative workload surface. `run` and `crosscheck` accept the
+/// shared flag set after the file.
 fn workload(args: &[String]) {
     let Some(verb) = args.first().map(String::as_str) else { usage() };
     match verb {
@@ -146,7 +152,45 @@ fn workload(args: &[String]) {
                 eprintln!("error: {e}");
                 usage()
             });
+            // Surface backend problems (a forced `--backend dp` on a
+            // non-Markovian cell) as a named spec error before any
+            // trials run, not as a panic mid-sweep.
+            if let Err(e) = exp.validate_backends(&flags.cfg) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
             emit(&Runner::new(flags.cfg).run(&exp), flags.csv, flags.json);
+        }
+        "crosscheck" => {
+            let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!(
+                    "error: `ants workload crosscheck <file> [flags]` needs a spec file first"
+                );
+                usage()
+            };
+            let exp = WorkloadExperiment::from_file(Path::new(file)).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let flags = parse_flags(&args[2..]).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                usage()
+            });
+            let report = ants_bench::crosscheck(&exp, &flags.cfg).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            print!("{report}");
+            if report.cells.is_empty() {
+                eprintln!(
+                    "error: no crosscheckable cells in {file} — every cell was skipped, \
+                     so the Wilson comparison is vacuous"
+                );
+                std::process::exit(1);
+            }
+            if !report.all_pass() {
+                std::process::exit(1);
+            }
         }
         "validate" => {
             let files = &args[1..];
@@ -223,6 +267,19 @@ fn workload(args: &[String]) {
     }
 }
 
+/// The built-in experiment harnesses are Monte Carlo by construction;
+/// a forced `--backend dp` would be silently meaningless, so reject it
+/// with a pointer at the surface that does honour it.
+fn reject_dp_on_builtins(cfg: &ants_bench::RunConfig) {
+    if cfg.backend == Some(ants_dp::Backend::Dp) {
+        eprintln!(
+            "error: the built-in experiments are Monte Carlo harnesses; \
+             --backend dp only applies to workload cells (`ants workload run <file> --backend dp`)"
+        );
+        std::process::exit(2);
+    }
+}
+
 fn run_one(args: &[String]) {
     let Some(id) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
     let Some(exp) = experiments::find(id) else {
@@ -233,6 +290,7 @@ fn run_one(args: &[String]) {
         eprintln!("error: {e}");
         usage()
     });
+    reject_dp_on_builtins(&flags.cfg);
     emit(&Runner::new(flags.cfg).run(exp.as_ref()), flags.csv, flags.json);
 }
 
@@ -241,6 +299,7 @@ fn run_all(args: &[String]) {
         eprintln!("error: {e}");
         usage()
     });
+    reject_dp_on_builtins(&flags.cfg);
     let runner = Runner::new(flags.cfg);
     for exp in experiments::all() {
         emit(&runner.run(exp.as_ref()), flags.csv, flags.json);
@@ -362,9 +421,25 @@ fn main() {
     }
 }
 
-/// `ants trend <dir-a> <dir-b>` (diff) or
-/// `ants trend --record <dir> [--commit H] [--reports DIR]` (snapshot).
+/// `ants trend <dir-a> <dir-b>` (diff),
+/// `ants trend --record <dir> [--commit H] [--reports DIR]` (snapshot),
+/// or `ants trend history <dir>` (per-cell timelines across snapshots).
 fn trend_cmd(args: &[String]) {
+    if args.first().map(String::as_str) == Some("history") {
+        let (Some(dir), None) = (args.get(1).filter(|a| !a.starts_with("--")), args.get(2)) else {
+            eprintln!("error: `ants trend history <dir>` takes exactly one snapshot directory");
+            usage()
+        };
+        match trend::history(Path::new(dir)) {
+            Ok(0) => {}
+            Ok(_) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("--record") {
         let Some(dest) = args.get(1).filter(|a| !a.starts_with("--")) else {
             eprintln!("error: `ants trend --record <dir>` needs a destination directory");

@@ -1,6 +1,6 @@
 //! `ants trend` — the JSON-report dashboard tooling.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * `ants trend <dir-a> <dir-b>` diffs two report directories (e.g. two
 //!   commits' dashboards);
@@ -9,7 +9,11 @@
 //!   first concrete step of wiring trends to version history without a
 //!   git dependency (the commit id comes from `--commit`, the
 //!   `ANTS_COMMIT` environment variable, or, failing both, a hash of the
-//!   report contents themselves).
+//!   report contents themselves);
+//! * `ants trend history <dir>` reads every snapshot under `<dir>` and
+//!   prints per-cell timelines: one `v0 -> v1 -> ...` line per report
+//!   column, oldest snapshot first, so a metric drifting across commits
+//!   is visible at a glance instead of pairwise diff by diff.
 //!
 //! Diff contract:
 //!
@@ -201,6 +205,121 @@ pub fn record(
     }
     println!("recorded {} report(s) at {}", reports.len(), dest.display());
     Ok(dest)
+}
+
+/// Look up one cell of a report document by (key-column value, column
+/// name): tolerant of column sets that changed between snapshots — a
+/// column a snapshot does not have simply yields `None`.
+fn lookup_cell<'a>(doc: &'a Json, label: &str, column: &str) -> Option<&'a Json> {
+    let cols = doc.get("columns")?.as_array()?;
+    let idx = cols.iter().position(|c| c.as_str() == Some(column))?;
+    let rows = doc.get("rows")?.as_array()?;
+    rows.iter().filter_map(Json::as_array).find_map(|cells| {
+        if cell_text(cells.first()?) == label {
+            cells.get(idx)
+        } else {
+            None
+        }
+    })
+}
+
+/// `ants trend history <root>`: per-cell timelines across every
+/// snapshot `ants trend --record <root>` wrote.
+///
+/// Snapshots are ordered oldest-first by directory modification time
+/// (name breaks ties), so successive `--record` runs read left to
+/// right. Cells are keyed by each report's first column; every other
+/// column prints one `v0 -> v1 -> ...` line, with `-` filling the
+/// snapshots where the report, cell, or column is absent.
+///
+/// Returns the number of unreadable/off-schema reports (non-zero is an
+/// exit-code failure for the caller); an empty or unreadable `root` is
+/// an `Err` — a history of nothing should never "pass".
+pub fn history(root: &Path) -> Result<usize, String> {
+    let entries =
+        std::fs::read_dir(root).map_err(|e| format!("cannot read {}: {e}", root.display()))?;
+    let mut snaps: Vec<(std::time::SystemTime, String, PathBuf)> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .map(|p| {
+            let mtime = std::fs::metadata(&p)
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            let name = p.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+            (mtime, name, p)
+        })
+        .collect();
+    if snaps.is_empty() {
+        return Err(format!(
+            "no snapshot directories in {} (run `ants trend --record` first)",
+            root.display()
+        ));
+    }
+    snaps.sort();
+    let mut failures = 0usize;
+    // (snapshot id, report name -> parsed document), oldest first.
+    let mut loaded: Vec<(String, std::collections::BTreeMap<String, Json>)> = Vec::new();
+    for (_, id, dir) in &snaps {
+        let mut docs = std::collections::BTreeMap::new();
+        for name in json_names(dir)? {
+            match load_report(&dir.join(&name)) {
+                Ok(doc) => {
+                    docs.insert(name, doc);
+                }
+                Err(e) => {
+                    eprintln!("FAIL {e}");
+                    failures += 1;
+                }
+            }
+        }
+        loaded.push((id.clone(), docs));
+    }
+    let ids: Vec<&str> = loaded.iter().map(|(id, _)| id.as_str()).collect();
+    println!("history: {} snapshot(s) under {} (oldest first)", ids.len(), root.display());
+    println!("order: {}\n", ids.join(" -> "));
+    let reports: BTreeSet<&String> = loaded.iter().flat_map(|(_, docs)| docs.keys()).collect();
+    for name in reports {
+        println!("{name}:");
+        // Schema of record: the newest snapshot that has this report.
+        let newest = loaded.iter().rev().find_map(|(_, docs)| docs.get(name.as_str()));
+        let columns: Vec<String> = newest
+            .and_then(|doc| doc.get("columns"))
+            .and_then(Json::as_array)
+            .map(|cols| cols.iter().filter_map(Json::as_str).map(str::to_owned).collect())
+            .unwrap_or_default();
+        // Cell labels in first-appearance order, oldest snapshot first,
+        // so rows removed since then still show their partial history.
+        let mut labels: Vec<String> = Vec::new();
+        for (_, docs) in &loaded {
+            let rows = docs
+                .get(name.as_str())
+                .and_then(|doc| doc.get("rows"))
+                .and_then(Json::as_array)
+                .unwrap_or(&[]);
+            for cells in rows.iter().filter_map(Json::as_array) {
+                let label = cells.first().map(cell_text).unwrap_or_default();
+                if !labels.contains(&label) {
+                    labels.push(label);
+                }
+            }
+        }
+        for label in &labels {
+            println!("  {} {label}:", columns.first().map_or("cell", String::as_str));
+            for column in columns.iter().skip(1) {
+                let timeline: Vec<String> = loaded
+                    .iter()
+                    .map(|(_, docs)| {
+                        docs.get(name.as_str())
+                            .and_then(|doc| lookup_cell(doc, label, column))
+                            .map_or_else(|| "-".to_string(), cell_text)
+                    })
+                    .collect();
+                println!("    {column}: {}", timeline.join(" -> "));
+            }
+        }
+    }
+    Ok(failures)
 }
 
 /// Run the diff; prints to stdout/stderr and returns the counts the

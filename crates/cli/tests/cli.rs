@@ -231,6 +231,176 @@ fn workload_metrics_flag_and_spec_key_add_columns() {
     std::fs::remove_dir_all(&cwd).ok();
 }
 
+/// A fully Markovian spec: every cell is exactly evaluable by the DP
+/// backend.
+const DP_SPEC: &str = r#"
+name = "cli dp"
+
+[defaults]
+trials = 64
+smoke_trials = 16
+
+[[cells]]
+name = "walk"
+agents = 2
+move_budget = 16
+target = { model = "fixed", x = 1, y = 1 }
+population = [ { strategy = "randomwalk" } ]
+"#;
+
+/// A heavy-tailed cell the exact backend must refuse.
+const LEVY_SPEC: &str = r#"
+name = "cli levy"
+
+[defaults]
+trials = 8
+
+[[cells]]
+name = "heavy"
+agents = 1
+move_budget = 32
+target = { model = "fixed", x = 2, y = 0 }
+population = [ { strategy = "levy(2.0, 64)" } ]
+"#;
+
+/// `--backend dp` routes a Markovian workload onto the exact backend
+/// (the `exact` column flips to true) and is rejected — naming the
+/// strategy — when any cell is not Markovian.
+#[test]
+fn workload_backend_flag_routes_and_validates() {
+    let cwd = temp_dir("wl-backend");
+    std::fs::write(cwd.join("dp.toml"), DP_SPEC).unwrap();
+    std::fs::write(cwd.join("spec.toml"), TEST_SPEC).unwrap();
+    let out = ants(&["workload", "run", "dp.toml", "--smoke", "--backend", "dp", "--csv"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("exact"), "stdout: {stdout}");
+    assert!(stdout.contains(",true"), "stdout: {stdout}");
+    // The same spec on the sampler: exact stays false.
+    let out = ants(&["workload", "run", "dp.toml", "--smoke", "--backend", "mc", "--csv"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains(",false"));
+    // TEST_SPEC carries a spiral walker: a forced dp backend must fail
+    // validation before any trial runs, naming the strategy.
+    let out = ants(&["workload", "run", "spec.toml", "--smoke", "--backend", "dp"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("spiral"), "stderr: {}", stderr(&out));
+    // Unknown backend names get the usage exit code.
+    let out = ants(&["workload", "run", "dp.toml", "--backend", "exact"], &cwd);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("unknown backend"), "stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// A spec-level `backend = "dp"` on a non-Markovian cell fails
+/// `ants workload validate` with a spec-path error naming the strategy.
+#[test]
+fn workload_validate_rejects_dp_on_non_markovian_cells() {
+    let cwd = temp_dir("wl-backend-validate");
+    let spec = LEVY_SPEC.replace("move_budget = 32", "move_budget = 32\nbackend = \"dp\"");
+    std::fs::write(cwd.join("levy.toml"), spec).unwrap();
+    let out = ants(&["workload", "validate", "levy.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("'levy"), "stderr: {err}");
+    assert!(err.contains("not Markovian"), "stderr: {err}");
+    assert!(err.contains("population[0]"), "stderr: {err}");
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants workload crosscheck`: a Markovian spec passes (exit 0), a spec
+/// with nothing the DP can evaluate is vacuous (exit 1), and a missing
+/// file fails.
+#[test]
+fn workload_crosscheck_exit_codes() {
+    let cwd = temp_dir("wl-crosscheck");
+    std::fs::write(cwd.join("dp.toml"), DP_SPEC).unwrap();
+    std::fs::write(cwd.join("levy.toml"), LEVY_SPEC).unwrap();
+    let out = ants(&["workload", "crosscheck", "dp.toml", "--threads", "2"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("pass walk"), "stdout: {stdout}");
+    assert!(stdout.contains("1 checked, 0 skipped, 0 failed"), "stdout: {stdout}");
+    // All cells skipped: the comparison would be vacuous, so it fails.
+    let out = ants(&["workload", "crosscheck", "levy.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("no crosscheckable cells"), "stderr: {}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("skip heavy"));
+    let out = ants(&["workload", "crosscheck", "no-such.toml"], &cwd);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// The built-in harnesses are Monte Carlo only: `--backend dp` on
+/// `ants run`/`ants all` is an error pointing at the workload surface.
+#[test]
+fn run_rejects_dp_backend_on_builtins() {
+    let cwd = temp_dir("run-backend");
+    for args in [&["run", "e4", "--smoke", "--backend", "dp"][..], &["all", "--backend", "dp"][..]]
+    {
+        let out = ants(args, &cwd);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} stderr: {}", stderr(&out));
+        assert!(stderr(&out).contains("ants workload run"), "stderr: {}", stderr(&out));
+    }
+    // `--backend mc` is the default engine: accepted everywhere.
+    let out = ants(&["run", "e4", "--smoke", "--backend", "mc"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants trend history <dir>` prints oldest-first per-cell timelines
+/// across recorded snapshots and fails on an empty or missing root.
+#[test]
+fn trend_history_prints_timelines() {
+    let cwd = temp_dir("trend-history");
+    let reports = cwd.join("target/reports");
+    std::fs::create_dir_all(&reports).unwrap();
+    let report = |x: f64| {
+        format!(
+            r#"{{"schema":"ants-report/v1","id":"w","columns":["cell","x"],"rows":[["r",{x}]]}}"#
+        )
+    };
+    std::fs::write(reports.join("w.json"), report(2.0)).unwrap();
+    let out = ants(&["trend", "--record", "history", "--commit", "aaa"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    std::fs::write(reports.join("w.json"), report(3.5)).unwrap();
+    let out = ants(&["trend", "--record", "history", "--commit", "bbb"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let out = ants(&["trend", "history", "history"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("2 snapshot(s)"), "stdout: {stdout}");
+    assert!(stdout.contains("order: aaa -> bbb"), "stdout: {stdout}");
+    assert!(stdout.contains("x: 2 -> 3.5"), "stdout: {stdout}");
+
+    // A snapshot that never ran the report shows a gap, not a crash.
+    std::fs::create_dir_all(cwd.join("history/ccc")).unwrap();
+    std::fs::write(
+        cwd.join("history/ccc/other.json"),
+        r#"{"schema":"ants-report/v1","id":"o","columns":["cell","y"],"rows":[["q",1]]}"#,
+    )
+    .unwrap();
+    let out = ants(&["trend", "history", "history"], &cwd);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("x: 2 -> 3.5 -> -"), "stdout: {stdout}");
+    assert!(stdout.contains("y: - -> - -> 1"), "stdout: {stdout}");
+
+    // Unparseable snapshot contents fail the exit code.
+    std::fs::write(cwd.join("history/ccc/bad.json"), "{").unwrap();
+    let out = ants(&["trend", "history", "history"], &cwd);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+
+    // Empty root and missing root both fail loudly.
+    std::fs::create_dir_all(cwd.join("empty")).unwrap();
+    for root in ["empty", "no-such-dir"] {
+        let out = ants(&["trend", "history", root], &cwd);
+        assert_eq!(out.status.code(), Some(1), "root {root:?} stderr: {}", stderr(&out));
+    }
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
 /// `ants trend --record <dir>` snapshots the report directory into a
 /// per-commit subdirectory: flag, env var, and content-hash addressing.
 #[test]

@@ -1,0 +1,135 @@
+//! # ants-dp — the exact dynamic-programming backend
+//!
+//! Every number the simulator produces is a Monte Carlo estimate. For
+//! the *Markovian* zoo strategies — finite internal state, exact dyadic
+//! transition probabilities, no dependence on history beyond the state —
+//! the same quantities are exactly computable by dynamic programming
+//! over `(internal state × position)` occupancy tables, in the style of
+//! time-indexed propagation DPs for random walks. This crate is that
+//! second engine:
+//!
+//! * [`MarkovKernel`] / [`TableKernel`] — a strategy as data: per
+//!   internal state, an exact transition distribution over
+//!   `(next state, grid action)`. Constructors cover `randomwalk`,
+//!   `coin(d, ℓ)`, `nonuniform(d)`, `uniform(ℓ, n, K)` (phase-capped
+//!   with exact truncation accounting), every PFA `automaton(...)`
+//!   entry, and `mortal(inner, expiry)` as a state-space product.
+//!   Lévy, harmonic, spiral and fully-uniform strategies are *not*
+//!   Markovian in this sense and fail loudly ([`DpError::Unsupported`])
+//!   — never a silent fallback.
+//! * [`collapse`] — step sequences between moves (coin flips, oracle
+//!   returns) are collapsed by an exact linear solve into per-*move*
+//!   transition entries, so the absorption DP's horizon is the move
+//!   budget, not the (much larger) step count.
+//! * [`absorb`] — the move-indexed forward DP: exact per-trial
+//!   absorption CDFs over the target (success probability within any
+//!   move budget, conditional expected/median moves).
+//! * [`rounds`] — step-indexed DPs for the `observe.rs` metric
+//!   vocabulary: coverage-by-round, first-visit curves, found-round
+//!   curves, and the χ support statistic.
+//! * [`eval`] — the cell evaluator: combines per-strategy CDFs for
+//!   independent mixed populations in closed form
+//!   (`1 − Π(1 − Fᵢ(t))^kᵢ`), averages over the target placement's
+//!   enumerated support, and emits the same row vocabulary as the
+//!   Monte Carlo `WorkloadExperiment`.
+//!
+//! Exactness contract: all kernel probabilities are dyadic rationals
+//! representable in `f64`; the DP's only approximations are (a) f64
+//! summation round-off and (b) explicitly tracked truncation/pruning
+//! mass, which is checked against [`TRUNCATION_TOL`] and turns into a
+//! [`DpError::Truncation`] instead of a wrong answer. Evaluation is
+//! single-threaded with a fixed summation order, so reports are
+//! byte-identical across thread counts and reruns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod absorb;
+mod collapse;
+mod error;
+mod eval;
+mod kernel;
+mod rounds;
+
+pub use absorb::{absorption_cdf, AbsorptionCurve};
+pub use collapse::{collapse, CollapsedKernel, CollapsedRow, MoveExit};
+pub use error::DpError;
+pub use eval::{evaluate, target_support, DpCellReport, DpMetrics, DpRequest, DpStrategy};
+pub use kernel::{
+    coin_kernel, mortal_kernel, nonuniform_kernel, pfa_kernel, randomwalk_kernel, uniform_kernel,
+    KernelTransition, MarkovKernel, PositionClass, TableKernel, UNIFORM_PHASE_CAP,
+};
+pub use rounds::{chi_support, step_absorption_cdf, visit_survival_curve};
+
+/// Backend selector surfaced through workload specs and the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Monte Carlo: the simulator's trial pool (the default).
+    #[default]
+    Mc,
+    /// Exact dynamic programming over Markov kernels.
+    Dp,
+}
+
+impl Backend {
+    /// Parse a spec/CLI backend name.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "mc" => Some(Backend::Mc),
+            "dp" => Some(Backend::Dp),
+            _ => None,
+        }
+    }
+
+    /// The spec/CLI name of this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Mc => "mc",
+            Backend::Dp => "dp",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Largest internal-state space the per-move collapse will solve
+/// exactly (dense Gaussian elimination is cubic in this).
+pub const MAX_SOLVE_STATES: usize = 1024;
+
+/// Largest dense occupancy table, in entries
+/// (`states × (2·budget + 1)²`), the forward DP will allocate.
+pub const MAX_TABLE_ENTRIES: usize = 1 << 23;
+
+/// Maximum probability mass allowed to fall past truncation states or
+/// pruning before the evaluation refuses to report
+/// ([`DpError::Truncation`]).
+pub const TRUNCATION_TOL: f64 = 1e-9;
+
+/// States whose accumulated occupancy mass stays below this floor are
+/// ignored by the χ support statistic (they are never meaningfully
+/// selected).
+pub const CHI_MASS_FLOOR: f64 = 1e-12;
+
+/// Occupancy entries below this mass are dropped by the forward DP; the
+/// dropped total is accounted exactly and checked against
+/// [`TRUNCATION_TOL`].
+pub const PRUNE: f64 = 1e-20;
+
+#[cfg(test)]
+mod tests {
+    use super::Backend;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [Backend::Mc, Backend::Dp] {
+            assert_eq!(Backend::parse(b.as_str()), Some(b));
+            assert_eq!(b.to_string(), b.as_str());
+        }
+        assert_eq!(Backend::parse("exact"), None);
+        assert_eq!(Backend::default(), Backend::Mc);
+    }
+}

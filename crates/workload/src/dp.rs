@@ -1,0 +1,156 @@
+//! The bridge from planned cells to the exact backend: a
+//! [`PlannedCell`] with `backend = "dp"` maps onto an
+//! [`ants_dp::DpRequest`] — kernels built from the resolved zoo
+//! entries, the target placement enumerated into its weighted support,
+//! and the spec's observation metrics translated into the DP's
+//! step-indexed curves.
+
+use crate::plan::PlannedCell;
+use crate::WorkloadError;
+use ants_dp::{evaluate, target_support, DpCellReport, DpMetrics, DpRequest, DpStrategy};
+use ants_sim::{Metric, MetricSet};
+
+/// Build the exact-backend request for a cell.
+///
+/// `smoke` selects the trial count exactly as the Monte Carlo path does
+/// — the DP's probabilities do not depend on it, but the reported
+/// `found` expectation scales with the trials the row claims to cover.
+///
+/// # Errors
+///
+/// Non-Markovian population entries (with the strategy named) and
+/// placements without finite support come back as a [`WorkloadError`]
+/// carrying the cell label.
+pub fn dp_request(
+    cell: &PlannedCell,
+    smoke: bool,
+    metrics: MetricSet,
+) -> Result<DpRequest, WorkloadError> {
+    let ctx =
+        |message: String| WorkloadError { context: format!("cell '{}'", cell.label), message };
+    let population = cell
+        .population
+        .iter()
+        .map(|(w, s)| Ok(DpStrategy { weight: *w, kernel: s.kernel()? }))
+        .collect::<Result<Vec<_>, String>>()
+        .map_err(&ctx)?;
+    let targets = target_support(&cell.placement()).map_err(|e| ctx(e.to_string()))?;
+    let dp_metrics = if metrics.is_empty() {
+        None
+    } else {
+        Some(DpMetrics {
+            coverage: metrics.contains(Metric::Coverage),
+            first_visit: metrics.contains(Metric::FirstVisit),
+            round_trace: metrics.contains(Metric::RoundTrace),
+            chi: metrics.contains(Metric::Chi),
+            found_round: metrics.contains(Metric::FoundRound),
+            bounds_radius: cell.dist(),
+            rounds: cell.observe_rounds(),
+        })
+    };
+    Ok(DpRequest {
+        agents: cell.agents,
+        move_budget: cell.move_budget,
+        trials: cell.trials_at(smoke),
+        population,
+        targets,
+        metrics: dp_metrics,
+    })
+}
+
+/// Evaluate a cell exactly: build the request and run the DP.
+///
+/// # Errors
+///
+/// Request-construction failures (see [`dp_request`]) plus the DP's own
+/// guards — state-space, table-size, and metric-work ceilings, and
+/// truncation mass beyond [`ants_dp::TRUNCATION_TOL`] — all labelled
+/// with the cell.
+pub fn evaluate_cell(
+    cell: &PlannedCell,
+    smoke: bool,
+    metrics: MetricSet,
+) -> Result<DpCellReport, WorkloadError> {
+    let req = dp_request(cell, smoke, metrics)?;
+    evaluate(&req).map_err(|e| WorkloadError {
+        context: format!("cell '{}'", cell.label),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WorkloadPlan, WorkloadSpec};
+
+    fn cell_from(text: &str) -> PlannedCell {
+        let plan = WorkloadPlan::expand(&WorkloadSpec::parse(text).unwrap()).unwrap();
+        plan.cells.into_iter().next().unwrap()
+    }
+
+    const WALK: &str = "\
+name = \"dp\"
+[defaults]
+trials = 64
+backend = \"dp\"
+[[cells]]
+name = \"walk\"
+agents = 3
+move_budget = 24
+target = { model = \"fixed\", x = 1, y = 1 }
+population = [ { strategy = \"randomwalk\" } ]
+";
+
+    #[test]
+    fn request_carries_cell_shape() {
+        let cell = cell_from(WALK);
+        let req = dp_request(&cell, false, MetricSet::empty()).unwrap();
+        assert_eq!(req.agents, 3);
+        assert_eq!(req.move_budget, 24);
+        assert_eq!(req.trials, 64);
+        assert_eq!(req.population.len(), 1);
+        assert_eq!(req.targets, vec![(ants_grid::Point::new(1, 1), 1.0)]);
+        assert!(req.metrics.is_none());
+        // Smoke effort only changes the claimed trial count.
+        assert_eq!(dp_request(&cell, true, MetricSet::empty()).unwrap().trials, 8);
+    }
+
+    #[test]
+    fn evaluation_is_exact_and_deterministic() {
+        let cell = cell_from(WALK);
+        let a = evaluate_cell(&cell, false, MetricSet::empty()).unwrap();
+        let b = evaluate_cell(&cell, false, MetricSet::empty()).unwrap();
+        assert!(a.success > 0.0 && a.success < 1.0);
+        // Bit-identical across reruns — the whole point of the backend.
+        assert_eq!(a.success.to_bits(), b.success.to_bits());
+        assert_eq!(a.mean_moves.to_bits(), b.mean_moves.to_bits());
+    }
+
+    #[test]
+    fn metrics_translate_to_dp_curves() {
+        let text = WALK
+            .replace("move_budget = 24", "move_budget = 16")
+            .replace("name = \"dp\"", "name = \"dpm\"\nmetrics = [\"coverage\", \"found_round\"]");
+        let plan = WorkloadPlan::expand(&WorkloadSpec::parse(&text).unwrap()).unwrap();
+        let cell = &plan.cells[0];
+        let report = evaluate_cell(cell, false, plan.metrics).unwrap();
+        let cov = report.coverage.expect("coverage requested");
+        assert!(cov > 0.0 && cov <= 1.0, "{cov}");
+        assert!(report.found_round.is_some());
+        assert!(report.mean_first_visit.is_none(), "unrequested metrics stay None");
+    }
+
+    #[test]
+    fn non_markovian_cells_error_with_the_strategy_name() {
+        // Construct an MC cell, then ask the DP bridge to evaluate it:
+        // the kernel constructor must refuse, naming the strategy.
+        let text = WALK
+            .replace("backend = \"dp\"", "backend = \"mc\"")
+            .replace("randomwalk", "levy(2.0, 64)");
+        let cell = cell_from(&text);
+        let e = dp_request(&cell, false, MetricSet::empty()).unwrap_err();
+        assert!(e.context.contains("cell 'walk'"), "{e}");
+        assert!(e.message.contains("levy(2, 64)") || e.message.contains("levy"), "{e}");
+        assert!(e.message.contains("mc"), "{e}");
+    }
+}

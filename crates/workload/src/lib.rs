@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dp;
 pub mod plan;
 pub mod spec;
 pub mod toml;

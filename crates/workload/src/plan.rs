@@ -15,6 +15,7 @@
 use crate::spec::{CellSpec, Defaults, TargetSpec, WorkloadSpec};
 use crate::zoo::ResolvedStrategy;
 use crate::WorkloadError;
+use ants_dp::Backend;
 use ants_grid::{Point, Rect, TargetPlacement};
 use ants_rng::{Rng64, SplitMix64};
 use ants_sim::{Metric, MetricSet, ObservedJob, ObserverSpec, Scenario, SweepJob};
@@ -46,6 +47,10 @@ pub struct PlannedCell {
     pub smoke_trials: u64,
     /// The seed tag the runner XORs with its base seed.
     pub seed_tag: u64,
+    /// Evaluation backend: Monte Carlo sampling or the exact DP engine
+    /// (validated at expansion time — a `"dp"` cell only contains
+    /// Markovian strategies).
+    pub backend: Backend,
     /// The resolved weighted population.
     pub population: Vec<(u64, ResolvedStrategy)>,
 }
@@ -376,6 +381,14 @@ fn expand_cell(
     if ceiling == Some(0) {
         return Err(ctx("'guess_move_ceiling' must be >= 1".to_string()));
     }
+    let backend = cell.backend.or(defaults.backend).unwrap_or_default();
+    if backend == Backend::Dp && ceiling.is_some() {
+        return Err(ctx(
+            "backend = \"dp\" cannot model 'guess_move_ceiling' (the exact DP has no \
+             per-guess clock) — drop the ceiling or use backend = \"mc\""
+                .to_string(),
+        ));
+    }
 
     // An explicit cell-level seed pins this cell's tags regardless of
     // what surrounds it: its expansions draw from a *local* stream over
@@ -416,6 +429,7 @@ fn expand_cell(
                                 None => shared,
                             }
                         },
+                        backend,
                         population: Vec::new(),
                     };
                     let dist = planned.dist();
@@ -434,6 +448,17 @@ fn expand_cell(
                                 message,
                             }
                         })?;
+                        if backend == Backend::Dp && !resolved.supports_dp() {
+                            return Err(WorkloadError {
+                                context: format!("cell '{}' population[{i}].strategy", cell.name),
+                                message: format!(
+                                    "strategy '{}' is not Markovian, so backend = \"dp\" \
+                                     cannot evaluate it exactly — use backend = \"mc\" for \
+                                     this cell",
+                                    resolved.label()
+                                ),
+                            });
+                        }
                         planned.population.push((entry.weight, resolved));
                     }
                     // Label: the name plus one suffix per *swept* axis.
@@ -744,6 +769,58 @@ sweep = { dist = [2, 4] }
 ";
         let e = WorkloadPlan::expand(&WorkloadSpec::parse(text).unwrap()).unwrap_err();
         assert!(e.message.contains("fixed"), "{e}");
+    }
+
+    #[test]
+    fn dp_backend_validates_markovian_populations() {
+        let mk = |backend: &str, strategy: &str, extra: &str| {
+            format!(
+                "name = \"b\"\n[defaults]\ntrials = 2\n[[cells]]\nname = \"c\"\nagents = 2\n\
+                 backend = \"{backend}\"\n{extra}target = {{ model = \"ball\", dist = 4 }}\n\
+                 population = [ {{ strategy = \"{strategy}\" }} ]\n"
+            )
+        };
+        // Markovian cells validate and carry the backend through.
+        for s in ["randomwalk", "nonuniform(dist)", "coin(4, 2)", "mortal(randomwalk, 16)"] {
+            let p = plan(&mk("dp", s, ""));
+            assert_eq!(p.cells[0].backend, Backend::Dp, "{s}");
+        }
+        assert_eq!(plan(&mk("mc", "levy(2.0, 64)", "")).cells[0].backend, Backend::Mc);
+        // Non-Markovian strategies fail with a spec path naming them.
+        for s in ["levy(2.0, 64)", "harmonic(agents)", "spiral", "fullyuniform(2, 2)"] {
+            let e =
+                WorkloadPlan::expand(&WorkloadSpec::parse(&mk("dp", s, "")).unwrap()).unwrap_err();
+            assert!(e.context.contains("cell 'c' population[0].strategy"), "{s}: {e}");
+            assert!(e.message.contains("not Markovian"), "{s}: {e}");
+            let family = s.split('(').next().unwrap();
+            assert!(e.message.contains(&format!("'{family}")), "{s}: {e}");
+        }
+        // mortal of a non-Markovian inner is rejected too.
+        let e = WorkloadPlan::expand(
+            &WorkloadSpec::parse(&mk("dp", "mortal(levy(2.0, 64), 16)", "")).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("not Markovian"), "{e}");
+        // A per-guess ceiling has no DP analogue.
+        let e = WorkloadPlan::expand(
+            &WorkloadSpec::parse(&mk("dp", "randomwalk", "guess_move_ceiling = 50\n")).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("guess_move_ceiling"), "{e}");
+        // The defaults-level backend applies to cells without one.
+        let text = "\
+name = \"b\"
+[defaults]
+trials = 2
+backend = \"dp\"
+[[cells]]
+name = \"c\"
+agents = 2
+target = { model = \"ball\", dist = 4 }
+population = [ { strategy = \"spiral\" } ]
+";
+        let e = WorkloadPlan::expand(&WorkloadSpec::parse(text).unwrap()).unwrap_err();
+        assert!(e.message.contains("'spiral' is not Markovian"), "{e}");
     }
 
     #[test]

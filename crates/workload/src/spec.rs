@@ -9,6 +9,7 @@
 use crate::toml;
 use crate::zoo::ZooStrategy;
 use crate::WorkloadError;
+use ants_dp::Backend;
 use ants_sim::json::Json;
 use ants_sim::{Metric, MetricSet};
 
@@ -30,6 +31,9 @@ pub struct Defaults {
     pub guess_move_ceiling: Option<u64>,
     /// Base seed the per-cell seed tags are derived from (default 0).
     pub seed: Option<u64>,
+    /// Evaluation backend (`"mc"` Monte Carlo sampling, `"dp"` exact
+    /// dynamic programming; default `"mc"`).
+    pub backend: Option<Backend>,
 }
 
 /// A target model as declared in a spec.
@@ -152,6 +156,10 @@ pub struct CellSpec {
     /// share randomness — common random numbers). Default: tags come
     /// from the spec-seed stream at the cell's expansion ordinal.
     pub seed: Option<u64>,
+    /// Evaluation backend for this cell (overrides the default; `"dp"`
+    /// requires every population entry to be Markovian — validated at
+    /// expansion time).
+    pub backend: Option<Backend>,
     /// The target model (required here or via a `target` sweep axis).
     pub target: Option<TargetSpec>,
     /// The weighted strategy population (at least one entry).
@@ -353,10 +361,22 @@ fn parse_metrics(v: &Json, context: &str) -> Result<MetricSet, WorkloadError> {
     Ok(set)
 }
 
+/// Parse an optional `backend = "mc" | "dp"` key.
+fn parse_backend(v: &Json, context: &str) -> Result<Option<Backend>, WorkloadError> {
+    v.get("backend")
+        .map(|b| {
+            let ctx = format!("{context}.backend");
+            let name = as_str(b, &ctx)?;
+            Backend::parse(name)
+                .ok_or_else(|| err(ctx, format!("unknown backend '{name}' (allowed: mc, dp)")))
+        })
+        .transpose()
+}
+
 fn parse_defaults(v: &Json, context: &str) -> Result<Defaults, WorkloadError> {
     check_keys(
         v,
-        &["trials", "smoke_trials", "move_budget", "guess_move_ceiling", "seed"],
+        &["trials", "smoke_trials", "move_budget", "guess_move_ceiling", "seed", "backend"],
         context,
     )?;
     let field = |key: &str| -> Result<Option<u64>, WorkloadError> {
@@ -368,6 +388,7 @@ fn parse_defaults(v: &Json, context: &str) -> Result<Defaults, WorkloadError> {
         move_budget: field("move_budget")?,
         guess_move_ceiling: field("guess_move_ceiling")?,
         seed: field("seed")?,
+        backend: parse_backend(v, context)?,
     })
 }
 
@@ -382,6 +403,7 @@ fn parse_cell(v: &Json, context: &str) -> Result<CellSpec, WorkloadError> {
             "move_budget",
             "guess_move_ceiling",
             "seed",
+            "backend",
             "target",
             "population",
             "sweep",
@@ -417,6 +439,7 @@ fn parse_cell(v: &Json, context: &str) -> Result<CellSpec, WorkloadError> {
         move_budget: field("move_budget")?,
         guess_move_ceiling: field("guess_move_ceiling")?,
         seed: field("seed")?,
+        backend: parse_backend(v, context)?,
         target,
         population,
         sweep,
@@ -499,6 +522,9 @@ impl WorkloadSpec {
                     out.push_str(&format!("{key} = {v}\n"));
                 }
             }
+            if let Some(b) = d.backend {
+                out.push_str(&format!("backend = \"{b}\"\n"));
+            }
         }
         for cell in &self.cells {
             out.push_str("\n[[cells]]\n");
@@ -514,6 +540,9 @@ impl WorkloadSpec {
                 if let Some(v) = v {
                     out.push_str(&format!("{key} = {v}\n"));
                 }
+            }
+            if let Some(b) = cell.backend {
+                out.push_str(&format!("backend = \"{b}\"\n"));
             }
             if let Some(t) = cell.target {
                 out.push_str(&format!("target = {}\n", t.to_inline_toml()));
@@ -702,6 +731,35 @@ sweep = { target = [ { model = \"corner\", dist = 8 }, { model = \"ring\", dist 
                 "expected '{needle}' in error for {text:?}, got: {e}"
             );
         }
+    }
+
+    #[test]
+    fn backend_key_parses_defaults_cells_and_round_trips() {
+        let text = "\
+name = \"x\"
+
+[defaults]
+backend = \"dp\"
+
+[[cells]]
+name = \"c\"
+agents = 2
+backend = \"mc\"
+target = { model = \"ball\", dist = 4 }
+population = [ { strategy = \"randomwalk\" } ]
+";
+        let spec = WorkloadSpec::parse(text).unwrap();
+        assert_eq!(spec.defaults.backend, Some(Backend::Dp));
+        assert_eq!(spec.cells[0].backend, Some(Backend::Mc));
+        assert_eq!(WorkloadSpec::parse(&spec.to_toml()).unwrap(), spec);
+        // Absent key = None (the Monte Carlo default applies downstream).
+        assert_eq!(WorkloadSpec::parse(MINIMAL).unwrap().defaults.backend, None);
+        assert_eq!(WorkloadSpec::parse(MINIMAL).unwrap().cells[0].backend, None);
+        // Unknown names fail with the allowed list and the spec path.
+        let bad = text.replace("backend = \"mc\"", "backend = \"exact\"");
+        let e = WorkloadSpec::parse(&bad).unwrap_err();
+        assert!(e.to_string().contains("unknown backend 'exact'"), "{e}");
+        assert!(e.to_string().contains("cells[0].backend"), "{e}");
     }
 
     #[test]

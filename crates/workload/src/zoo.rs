@@ -523,6 +523,70 @@ impl ResolvedStrategy {
             }
         }
     }
+
+    /// Whether this entry admits an exact Markov kernel, i.e. whether a
+    /// `backend = "dp"` cell containing it can validate. Cheap — no
+    /// kernel is built.
+    pub fn supports_dp(&self) -> bool {
+        match &self.kind {
+            ResolvedKind::RandomWalk
+            | ResolvedKind::NonUniform { .. }
+            | ResolvedKind::Coin { .. }
+            | ResolvedKind::Uniform { .. }
+            | ResolvedKind::Automaton { .. } => true,
+            ResolvedKind::Spiral
+            | ResolvedKind::FullyUniform { .. }
+            | ResolvedKind::Harmonic { .. }
+            | ResolvedKind::Levy { .. } => false,
+            ResolvedKind::Mortal { inner, .. } => inner.supports_dp(),
+        }
+    }
+
+    /// Build the exact [`ants_dp::MarkovKernel`] table for this entry.
+    ///
+    /// Errors for the non-Markovian zoo (`spiral`, `fullyuniform`,
+    /// `harmonic`, `levy`) with a message naming the strategy — the DP
+    /// backend never silently falls back to sampling — and for Markovian
+    /// entries whose parameters overflow the exact solver's guards.
+    pub fn kernel(&self) -> Result<ants_dp::TableKernel, String> {
+        let unsupported = |why: &str| {
+            Err(format!(
+                "strategy '{}' is not supported by the exact backend ({why}); \
+                 use backend = \"mc\" for this cell",
+                self.label()
+            ))
+        };
+        match &self.kind {
+            ResolvedKind::RandomWalk => Ok(ants_dp::randomwalk_kernel()),
+            ResolvedKind::NonUniform { d } => {
+                ants_dp::nonuniform_kernel(*d).map_err(|e| e.to_string())
+            }
+            ResolvedKind::Coin { d, ell } => {
+                ants_dp::coin_kernel(*d, *ell).map_err(|e| e.to_string())
+            }
+            ResolvedKind::Uniform { ell, n, k } => {
+                ants_dp::uniform_kernel(*ell, *n, *k, ants_dp::UNIFORM_PHASE_CAP)
+                    .map_err(|e| e.to_string())
+            }
+            ResolvedKind::Automaton { label, pfa } => Ok(ants_dp::pfa_kernel(label, pfa)),
+            ResolvedKind::Mortal { inner, expiry } => {
+                let inner_kernel = inner.kernel().map_err(|e| format!("mortal inner: {e}"))?;
+                ants_dp::mortal_kernel(&inner_kernel, *expiry).map_err(|e| e.to_string())
+            }
+            ResolvedKind::Spiral => {
+                unsupported("its move distribution depends on the unbounded path history")
+            }
+            ResolvedKind::FullyUniform { .. } => {
+                unsupported("its phase schedule grows without a finite state bound")
+            }
+            ResolvedKind::Harmonic { .. } => {
+                unsupported("its jump lengths are drawn from a non-dyadic distribution")
+            }
+            ResolvedKind::Levy { .. } => {
+                unsupported("its step lengths are heavy-tailed, not finite-state Markov")
+            }
+        }
+    }
 }
 
 /// Convenience: parse and resolve in one step (used by validation paths

@@ -71,6 +71,10 @@ fn build_cell(
         move_budget: (!sweep_budget).then_some(5_000),
         guess_move_ceiling: None,
         seed: i.is_multiple_of(2).then_some(17 * i as u64),
+        // MC everywhere: the pool mixes non-Markovian strategies, which
+        // a "dp" cell would (correctly) refuse. The backend round-trip
+        // is pinned by the spec unit tests instead.
+        backend: i.is_multiple_of(3).then_some(ants_dp::Backend::Mc),
         target: Some(target),
         population: pop
             .iter()
@@ -142,6 +146,7 @@ proptest! {
                 move_budget: None,
                 guess_move_ceiling: None,
                 seed: Some(seed),
+                backend: None,
             },
             cells,
         };

@@ -11,6 +11,8 @@
 //! * [`rng`] — deterministic randomness with auditable probability resolution;
 //! * [`automaton`] — probabilistic finite automata and Markov-chain analysis;
 //! * [`core`] — the paper's search algorithms and the `χ = b + log ℓ` metric;
+//! * [`dp`] — the exact dynamic-programming backend: Markov kernels and
+//!   absorption DPs cross-validated against the simulator;
 //! * [`sim`] — the Monte-Carlo simulation engine and statistics;
 //! * [`analysis`] — lower-bound machinery (coverage prediction, drift);
 //! * [`workload`] — declarative workload specs: TOML-subset scenario
@@ -25,6 +27,7 @@ pub use ants_analysis as analysis;
 pub use ants_automaton as automaton;
 pub use ants_bench as bench;
 pub use ants_core as core;
+pub use ants_dp as dp;
 pub use ants_grid as grid;
 pub use ants_rng as rng;
 pub use ants_sim as sim;
