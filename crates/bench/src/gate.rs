@@ -1,0 +1,271 @@
+//! The regression gate: compare a current report document against a
+//! baseline and decide whether the drift is acceptable.
+//!
+//! This is the policy layer behind `ants serve --gate` / `ants query
+//! gate` and usable by CI directly: metrics are held to a relative
+//! tolerance (with NaN==NaN total-order semantics, so a legitimately
+//! unavailable cell never trips the gate), text/bool cells must match
+//! exactly, and wall-clock — the one field the determinism contract
+//! deliberately leaves free — is held to a multiplicative factor above
+//! an absolute floor, so micro-benchmark noise cannot fail a build but
+//! a real slowdown does.
+
+use ants_sim::json::Json;
+
+/// Gate policy: how much drift each kind of cell tolerates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateThresholds {
+    /// Maximum relative drift `|current - baseline| / max(|baseline|, 1)`
+    /// for numeric cells.
+    pub metric_rel_tol: f64,
+    /// Maximum `current / baseline` wall-clock ratio.
+    pub wall_factor: f64,
+    /// Wall-clock deltas below this many milliseconds never fail,
+    /// whatever the ratio (smoke reports finish in single-digit
+    /// milliseconds, where the ratio is pure noise).
+    pub wall_floor_ms: f64,
+}
+
+impl Default for GateThresholds {
+    fn default() -> Self {
+        GateThresholds { metric_rel_tol: 0.05, wall_factor: 4.0, wall_floor_ms: 250.0 }
+    }
+}
+
+/// One cell (or structural property) that drifted past its threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateViolation {
+    /// The row's first-column label, or `-` for report-level properties.
+    pub cell: String,
+    /// The column (or property) that drifted.
+    pub column: String,
+    /// Rendered baseline value.
+    pub baseline: String,
+    /// Rendered current value.
+    pub current: String,
+    /// Why this counts as a violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for GateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} / {}] {} -> {}: {}",
+            self.cell, self.column, self.baseline, self.current, self.detail
+        )
+    }
+}
+
+fn render(cell: &Json) -> String {
+    match cell {
+        Json::Str(s) => s.clone(),
+        other => other.serialize(),
+    }
+}
+
+fn columns_of(doc: &Json) -> Result<Vec<String>, String> {
+    doc.get("columns")
+        .and_then(Json::as_array)
+        .map(|cols| cols.iter().filter_map(Json::as_str).map(str::to_owned).collect())
+        .ok_or_else(|| "report has no columns".to_string())
+}
+
+/// Rows keyed by their first column (the cell label).
+fn rows_of(doc: &Json) -> Vec<(String, &[Json])> {
+    doc.get("rows")
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(Json::as_array)
+                .map(|cells| (cells.first().map(render).unwrap_or_default(), cells))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare `current` against `baseline` under `t`.
+///
+/// Returns the violations (empty = gate passes). Rows are matched by
+/// their first-column label so an appended cell does not misalign every
+/// later row; a row present on only one side is itself a violation.
+///
+/// # Errors
+///
+/// Structural mismatches that make a comparison meaningless rather than
+/// failed: missing/diverged column sets. (A gate diffing apples to
+/// oranges must be a hard error, not a pass *or* a fail.)
+pub fn gate_report(
+    baseline: &Json,
+    current: &Json,
+    t: &GateThresholds,
+) -> Result<Vec<GateViolation>, String> {
+    let cols = columns_of(baseline)?;
+    if cols != columns_of(current)? {
+        return Err("column sets differ between baseline and current".to_string());
+    }
+    let mut violations = Vec::new();
+    let base_rows = rows_of(baseline);
+    let cur_rows = rows_of(current);
+    for (label, base_cells) in &base_rows {
+        let Some((_, cur_cells)) = cur_rows.iter().find(|(l, _)| l == label) else {
+            violations.push(GateViolation {
+                cell: label.clone(),
+                column: "-".to_string(),
+                baseline: "present".to_string(),
+                current: "missing".to_string(),
+                detail: "row disappeared from the current report".to_string(),
+            });
+            continue;
+        };
+        for (idx, col) in cols.iter().enumerate().skip(1) {
+            let (b, c) = (base_cells.get(idx), cur_cells.get(idx));
+            let (Some(b), Some(c)) = (b, c) else {
+                violations.push(GateViolation {
+                    cell: label.clone(),
+                    column: col.clone(),
+                    baseline: b.map(render).unwrap_or_else(|| "missing".into()),
+                    current: c.map(render).unwrap_or_else(|| "missing".into()),
+                    detail: "cell missing on one side".to_string(),
+                });
+                continue;
+            };
+            match (b.as_number(), c.as_number()) {
+                (Some(x), Some(y)) => {
+                    // Total-order equality first: NaN == NaN, and exact
+                    // matches (the common, deterministic case) never
+                    // touch the tolerance arithmetic.
+                    if x.total_cmp(&y) == std::cmp::Ordering::Equal {
+                        continue;
+                    }
+                    // NaN drift (one side NaN, the other not) must fail,
+                    // so the comparison is written to catch it explicitly.
+                    let rel = (y - x).abs() / x.abs().max(1.0);
+                    if rel.is_nan() || rel > t.metric_rel_tol {
+                        violations.push(GateViolation {
+                            cell: label.clone(),
+                            column: col.clone(),
+                            baseline: render(b),
+                            current: render(c),
+                            detail: format!(
+                                "relative drift {rel:.4} exceeds tolerance {:.4}",
+                                t.metric_rel_tol
+                            ),
+                        });
+                    }
+                }
+                _ => {
+                    if render(b) != render(c) {
+                        violations.push(GateViolation {
+                            cell: label.clone(),
+                            column: col.clone(),
+                            baseline: render(b),
+                            current: render(c),
+                            detail: "non-numeric cell changed".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for (label, _) in &cur_rows {
+        if !base_rows.iter().any(|(l, _)| l == label) {
+            violations.push(GateViolation {
+                cell: label.clone(),
+                column: "-".to_string(),
+                baseline: "missing".to_string(),
+                current: "present".to_string(),
+                detail: "row appeared that the baseline does not have".to_string(),
+            });
+        }
+    }
+    // Wall clock: the only field allowed to drift between identical
+    // runs, gated by ratio above an absolute floor.
+    let wall = |doc: &Json| doc.get("wall_ms").and_then(Json::as_number);
+    if let (Some(wb), Some(wc)) = (wall(baseline), wall(current)) {
+        if wc - wb > t.wall_floor_ms && wb > 0.0 && wc / wb > t.wall_factor {
+            violations.push(GateViolation {
+                cell: "-".to_string(),
+                column: "wall_ms".to_string(),
+                baseline: format!("{wb:.1}"),
+                current: format!("{wc:.1}"),
+                detail: format!(
+                    "wall clock grew {:.1}x (limit {:.1}x above a {:.0}ms floor)",
+                    wc / wb,
+                    t.wall_factor,
+                    t.wall_floor_ms
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, f64)], wall: f64) -> Json {
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|(label, x)| format!("[\"{label}\",{}]", ants_sim::json::number(*x)))
+            .collect();
+        Json::parse(&format!(
+            "{{\"schema\":\"ants-report/v1\",\"columns\":[\"cell\",\"metric\"],\
+             \"rows\":[{}],\"wall_ms\":{wall}}}",
+            rendered.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = doc(&[("c1", 0.5), ("c2", f64::NAN)], 10.0);
+        let b = doc(&[("c1", 0.5), ("c2", f64::NAN)], 200.0);
+        // NaN cells and a below-floor wall drift are both fine.
+        assert_eq!(gate_report(&a, &b, &GateThresholds::default()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn metric_drift_past_tolerance_fails() {
+        let t = GateThresholds::default();
+        let base = doc(&[("c1", 1.0)], 10.0);
+        assert!(gate_report(&base, &doc(&[("c1", 1.04)], 10.0), &t).unwrap().is_empty());
+        let v = gate_report(&base, &doc(&[("c1", 1.2)], 10.0), &t).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].cell, "c1");
+        assert!(v[0].detail.contains("relative drift"), "{}", v[0]);
+        // A NaN appearing where a number was is a violation (the rel
+        // comparison is NaN, which never satisfies <= tol).
+        assert_eq!(gate_report(&base, &doc(&[("c1", f64::NAN)], 10.0), &t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_gates_by_ratio_above_floor() {
+        let t = GateThresholds::default();
+        // 5x ratio but only 40ms absolute: passes the floor.
+        assert!(gate_report(&doc(&[("c", 1.0)], 10.0), &doc(&[("c", 1.0)], 50.0), &t)
+            .unwrap()
+            .is_empty());
+        // 5x ratio and 4s absolute: fails.
+        let v = gate_report(&doc(&[("c", 1.0)], 1000.0), &doc(&[("c", 1.0)], 5000.0), &t).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].column, "wall_ms");
+    }
+
+    #[test]
+    fn row_set_changes_are_violations_and_column_changes_are_errors() {
+        let t = GateThresholds::default();
+        let v = gate_report(&doc(&[("a", 1.0), ("b", 2.0)], 1.0), &doc(&[("a", 1.0)], 1.0), &t)
+            .unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].cell.as_str(), v[0].current.as_str()), ("b", "missing"));
+        let v = gate_report(&doc(&[("a", 1.0)], 1.0), &doc(&[("a", 1.0), ("b", 2.0)], 1.0), &t)
+            .unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].cell.as_str(), v[0].baseline.as_str()), ("b", "missing"));
+        let other =
+            Json::parse("{\"columns\":[\"cell\",\"other\"],\"rows\":[],\"wall_ms\":1}").unwrap();
+        assert!(gate_report(&doc(&[], 1.0), &other, &t).is_err());
+    }
+}

@@ -20,10 +20,12 @@
 
 pub mod crosscheck;
 pub mod experiments;
+pub mod gate;
 pub mod runner;
 pub mod workload;
 
 pub use crosscheck::{crosscheck, CrosscheckReport};
 pub use experiments::{Effort, Experiment, Report, RunConfig};
+pub use gate::{gate_report, GateThresholds, GateViolation};
 pub use runner::Runner;
 pub use workload::WorkloadExperiment;

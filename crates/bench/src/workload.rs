@@ -117,30 +117,7 @@ impl WorkloadExperiment {
     pub fn try_run(&self, cfg: &RunConfig) -> Result<Report, WorkloadError> {
         let smoke = cfg.effort == Effort::Smoke;
         let metrics = self.plan.metrics.union(cfg.metrics);
-        let mut columns = vec![
-            "cell",
-            "population",
-            "target",
-            "n",
-            "trials",
-            "found",
-            "success",
-            "median moves",
-            "mean moves",
-            "max chi",
-            "exact",
-        ];
-        for m in metrics.iter() {
-            columns.extend_from_slice(metric_columns(m));
-        }
-        let mut report = Report::new(&self.meta, cfg, columns);
-        report.param("spec", self.plan.name.as_str());
-        report.param("cells", self.plan.cells.len());
-        report.param("total trials", self.plan.total_trials(smoke));
-        if !metrics.is_empty() {
-            let names: Vec<&str> = metrics.iter().map(Metric::as_str).collect();
-            report.param("metrics", names.join(","));
-        }
+        let mut report = self.start_report(cfg, metrics, smoke);
         // Route each cell: DP cells leave the trial pool entirely; MC
         // cells keep their per-cell seed tags, so the presence of DP
         // neighbours never shifts their randomness.
@@ -183,10 +160,104 @@ impl WorkloadExperiment {
         }
         Ok(report)
     }
+
+    /// The report skeleton every run variant shares: the full column
+    /// vocabulary for `metrics` and the spec-identity params.
+    fn start_report(&self, cfg: &RunConfig, metrics: MetricSet, smoke: bool) -> Report {
+        let mut columns = vec![
+            "cell",
+            "population",
+            "target",
+            "n",
+            "trials",
+            "found",
+            "success",
+            "median moves",
+            "mean moves",
+            "max chi",
+            "exact",
+        ];
+        for m in metrics.iter() {
+            columns.extend_from_slice(metric_columns(m));
+        }
+        let mut report = Report::new(&self.meta, cfg, columns);
+        report.param("spec", self.plan.name.as_str());
+        report.param("cells", self.plan.cells.len());
+        report.param("total trials", self.plan.total_trials(smoke));
+        if !metrics.is_empty() {
+            let names: Vec<&str> = metrics.iter().map(Metric::as_str).collect();
+            report.param("metrics", names.join(","));
+        }
+        report
+    }
+
+    /// [`WorkloadExperiment::try_run`], but one cell at a time:
+    /// `on_row(index, cell, row)` fires as soon as each cell's row is
+    /// computed, so a caller can stream partial results (the serve
+    /// daemon pushes each row to its client the moment it exists).
+    ///
+    /// Scheduling options come from the caller rather than
+    /// `cfg.sweep_options()` so a [`Probe`](ants_sim::Probe) can ride
+    /// along. Per-cell sweeps schedule differently from the batched
+    /// sweep `try_run` issues, but the engine's determinism contract
+    /// makes results byte-identical across schedules — a streamed report
+    /// equals its batched twin cell for cell (pinned by
+    /// `streamed_rows_match_batched_rows`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`WorkloadExperiment::try_run`]: DP-backend failures;
+    /// rows already streamed stay streamed (the caller decides how to
+    /// surface a mid-stream error).
+    pub fn try_run_streamed(
+        &self,
+        cfg: &RunConfig,
+        opts: &ants_sim::SweepOptions,
+        mut on_row: impl FnMut(usize, &PlannedCell, &[Value]),
+    ) -> Result<Report, WorkloadError> {
+        let smoke = cfg.effort == Effort::Smoke;
+        let metrics = self.plan.metrics.union(cfg.metrics);
+        let mut report = self.start_report(cfg, metrics, smoke);
+        for (i, cell) in self.plan.cells.iter().enumerate() {
+            let row = match Self::cell_backend(cfg, cell) {
+                Backend::Mc => {
+                    let job = cell.job(smoke, cfg.base_seed)?;
+                    let outcomes = run_sweep_with(&[job], opts);
+                    let observed: Vec<Vec<TrialObservations>> = if metrics.is_empty() {
+                        Vec::new()
+                    } else {
+                        let ojob = cell.observed_job(smoke, cfg.base_seed, metrics)?;
+                        run_observed_sweep(&[ojob], opts)
+                    };
+                    mc_row(cell, smoke, metrics, &outcomes[0], observed.first())
+                }
+                Backend::Dp => dp_row(cell, smoke, metrics)?,
+            };
+            on_row(i, cell, &row);
+            report.row(row);
+        }
+        Ok(report)
+    }
 }
 
+/// Intern a string as `&'static str`. Repeated calls with the same
+/// content return the same leaked allocation, so a long-running process
+/// (the serve daemon constructs a `WorkloadExperiment` per request)
+/// leaks memory proportional to the number of *distinct* workload
+/// identities, not the number of requests.
 fn leak(s: String) -> &'static str {
-    Box::leak(s.into_boxed_str())
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED.get_or_init(Mutex::default).lock().expect("intern table poisoned");
+    match set.get(s.as_str()) {
+        Some(existing) => existing,
+        None => {
+            let leaked: &'static str = Box::leak(s.into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
 }
 
 impl Experiment for WorkloadExperiment {
@@ -618,6 +689,48 @@ population = [ { strategy = "randomwalk" } ]
         assert!(exp.try_run(&cfg).is_err());
         // Without the override the same experiment runs fine.
         assert!(exp.validate_backends(&RunConfig::standard()).is_ok());
+    }
+
+    /// The serving contract: a streamed run is byte-identical to its
+    /// batched twin — same columns, same rows, same CSV — even though
+    /// per-cell sweeps schedule work differently, and the callback sees
+    /// every cell in order with the exact row the report keeps.
+    #[test]
+    fn streamed_rows_match_batched_rows() {
+        for (exp, cfg) in [
+            (metric_experiment(), RunConfig::smoke()),
+            (mixed_experiment(), RunConfig::standard()),
+            (metric_experiment(), RunConfig::smoke().with_threads(Some(3))),
+        ] {
+            let batched = exp.try_run(&cfg).expect("batched run");
+            let mut seen: Vec<(usize, String, Vec<Value>)> = Vec::new();
+            let streamed = exp
+                .try_run_streamed(&cfg, &cfg.sweep_options(), |i, cell, row| {
+                    seen.push((i, cell.label.clone(), row.to_vec()));
+                })
+                .expect("streamed run");
+            assert_eq!(streamed.to_csv(), batched.to_csv());
+            assert_eq!(seen.len(), exp.plan().cells.len());
+            for (pos, (i, label, row)) in seen.iter().enumerate() {
+                assert_eq!(*i, pos, "callback order");
+                assert_eq!(label, &exp.plan().cells[pos].label);
+                // Cell-wise via the JSON tokens: derived PartialEq on
+                // Value says NaN != NaN, which is not the equality a
+                // byte-identity check wants.
+                let tokens =
+                    |cells: &[Value]| -> Vec<String> { cells.iter().map(Value::to_json).collect() };
+                assert_eq!(tokens(row), tokens(&streamed.records().rows()[pos]));
+            }
+        }
+    }
+
+    #[test]
+    fn interning_reuses_identical_meta_strings() {
+        let a = experiment();
+        let b = experiment();
+        // Same spec → same leaked pointers, not fresh allocations.
+        assert!(std::ptr::eq(a.meta().key, b.meta().key));
+        assert!(std::ptr::eq(a.meta().claim, b.meta().claim));
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //!                                #   (commit also read from $ANTS_COMMIT;
 //!                                #    falls back to a content hash)
 //! ants trend history <dir>       # per-cell timelines across snapshots
+//! ants serve --cache <dir>       # content-addressed workload daemon
+//!                                #   [--listen H:P] [--commit H]
+//!                                #   [--threads K] [--granularity G]
+//!                                #   [--chunk N]
+//! ants query submit <file>       # submit a spec (body -> stdout)
+//! ants query gate <file>         # submit + drift-gate vs newest entry
+//!                                #   (exit 1 on drift)
+//! ants query stats|shutdown      # daemon counters / stop the daemon
+//!                                #   query targets: --addr H:P or
+//!                                #   --cache <dir> (discovery file)
 //!
 //! flags: --smoke | --effort smoke|standard   effort (default standard)
 //!        --seed N                            shift every sweep's seeds
@@ -41,6 +51,7 @@
 //! [`Experiment`](ants_bench::Experiment) trait); this binary only
 //! parses arguments, streams reports, and validates JSON output.
 
+mod serve_cmd;
 mod trend;
 
 use ants_bench::experiments;
@@ -54,7 +65,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: ants <list|run <id>|all|demo [D]|validate [dir]|\
          workload run|validate|list|crosscheck <file>...|trend <dir-a> <dir-b>|\
-         trend --record <dir> [--commit H] [--reports DIR]|trend history <dir>> \
+         trend --record <dir> [--commit H] [--reports DIR]|trend history <dir>|\
+         serve --cache <dir> [--listen H:P] [--commit H]|\
+         query submit|gate <file>|stats|shutdown [--addr H:P | --cache <dir>]> \
          [--smoke | --effort smoke|standard] [--seed N] [--threads K] \
          [--granularity auto|trial|agent] [--chunk N] [--metrics a,b,...] \
          [--backend mc|dp] [--csv] [--json]\n\
@@ -384,16 +397,27 @@ fn demo(d: u64) {
     use ants_sim::coverage;
     use ants_sim::StrategyFactory;
 
+    // Validate both strategies up front: a user-facing subcommand must
+    // report a bad parameter, never panic. The validated instances are
+    // cloned into the per-agent factories below.
+    let drift = library::drift_walk(3).unwrap_or_else(|e| {
+        eprintln!("error: cannot build the drift-walk automaton: {e}");
+        std::process::exit(1);
+    });
+    let nonuniform = NonUniformSearch::new(d).unwrap_or_else(|e| {
+        eprintln!("error: cannot build Algorithm 1 for D = {d}: {e} (try `ants demo 24`)");
+        std::process::exit(1);
+    });
+
     println!("Joint coverage of the radius-{d} ball after D^2 steps per agent (4 agents):\n");
-    let low: StrategyFactory =
-        Box::new(|_| Box::new(AutomatonStrategy::new(library::drift_walk(3).expect("valid"))));
+    let chi = drift.chi();
+    let low: StrategyFactory = Box::new(move |_| Box::new(AutomatonStrategy::new(drift.clone())));
     let report = coverage::measure(&low, 4, d * d, Rect::ball(d), 7);
-    println!("low-chi drift walk (chi = {:.1}):", library::drift_walk(3).unwrap().chi());
+    println!("low-chi drift walk (chi = {chi:.1}):");
     println!("{}", render::ascii(&report.grid, report.adversarial_target()));
     println!("{}\n", render::coverage_summary(&report.grid));
 
-    let high: StrategyFactory =
-        Box::new(move |_| Box::new(NonUniformSearch::new(d).expect("valid")));
+    let high: StrategyFactory = Box::new(move |_| Box::new(nonuniform.clone()));
     let report = coverage::measure(&high, 4, 8 * d * d, Rect::ball(d), 7);
     println!("Algorithm 1 (chi = log log D + O(1)):");
     println!("{}", render::ascii(&report.grid, report.adversarial_target()));
@@ -416,6 +440,8 @@ fn main() {
             validate(Path::new(&dir));
         }
         Some("workload") => workload(&args[1..]),
+        Some("serve") => serve_cmd::serve(&args[1..]),
+        Some("query") => serve_cmd::query(&args[1..]),
         Some("trend") => trend_cmd(&args[1..]),
         _ => usage(),
     }

@@ -1,0 +1,195 @@
+//! `ants serve` (daemon) and `ants query` (client) — the CLI front end
+//! of the content-addressed workload service in `ants-serve`.
+//!
+//! Output routing in `query` is deliberate: protocol chatter (`status`,
+//! `error`, human gate summaries) goes to stderr, while the response
+//! *body* — cell and report event lines, stats, the raw gate event —
+//! goes to stdout. A cache-hit contract check is therefore one shell
+//! line: submit twice, compare stdouts byte for byte.
+
+use ants_serve::protocol::{Op, Request};
+use ants_serve::{discover_addr, request_streamed, ServeOptions, Server};
+use ants_sim::json::Json;
+use ants_sim::Granularity;
+use std::path::{Path, PathBuf};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// `ants serve --cache DIR [--listen ADDR] [--commit H] [--threads K]
+/// [--granularity auto|trial|agent] [--chunk N]`
+///
+/// Runs until a `shutdown` request arrives. The commit id falls back to
+/// `$ANTS_COMMIT`, then `"local"` — same resolution order as `trend
+/// --record`.
+pub fn serve(args: &[String]) {
+    let mut cache: Option<PathBuf> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut commit: Option<String> = None;
+    let mut opts_threads: Option<usize> = None;
+    let mut granularity = Granularity::Auto;
+    let mut chunk: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => fail(&format!("{name} needs a value")),
+            }
+        };
+        match arg.as_str() {
+            "--cache" => cache = Some(PathBuf::from(value("--cache"))),
+            "--listen" => listen = value("--listen"),
+            "--commit" => commit = Some(value("--commit")),
+            "--threads" => {
+                let v = value("--threads");
+                match v.parse() {
+                    Ok(t) if t > 0 => opts_threads = Some(t),
+                    _ => fail(&format!("invalid thread count '{v}'")),
+                }
+            }
+            "--granularity" => {
+                let v = value("--granularity");
+                granularity = Granularity::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown granularity '{v}'")));
+            }
+            "--chunk" => {
+                let v = value("--chunk");
+                match v.parse() {
+                    Ok(c) if c > 0 => chunk = Some(c),
+                    _ => fail(&format!("invalid chunk size '{v}'")),
+                }
+            }
+            other => fail(&format!("unknown `ants serve` argument '{other}'")),
+        }
+    }
+    let Some(cache) = cache else {
+        fail("`ants serve` needs --cache <dir> (the content-addressed result store)")
+    };
+    let commit = commit
+        .or_else(|| std::env::var("ANTS_COMMIT").ok().filter(|c| !c.is_empty()))
+        .unwrap_or_else(|| "local".to_string());
+    let opts = ServeOptions { cache, commit, threads: opts_threads, granularity, chunk };
+    let cache_display = opts.cache.display().to_string();
+    let commit_display = opts.commit.clone();
+    let server = Server::bind(opts, &listen).unwrap_or_else(|e| fail(&e));
+    println!(
+        "listening on {} (cache {cache_display}, commit {commit_display})",
+        server.local_addr()
+    );
+    if let Err(e) = server.run() {
+        fail(&e);
+    }
+}
+
+/// `ants query <submit|gate|stats|shutdown> [spec.toml] [--addr A |
+/// --cache DIR] [--smoke | --effort E] [--seed N] [--metrics a,b]
+/// [--backend mc|dp]`
+pub fn query(args: &[String]) {
+    let Some(op) = args.first().and_then(|v| Op::parse(v)) else {
+        fail("`ants query` needs an op first: submit, gate, stats, or shutdown")
+    };
+    let mut rest = &args[1..];
+    let mut req = Request::bare(op);
+    if matches!(op, Op::Submit | Op::Gate) {
+        let Some(file) = rest.first().filter(|a| !a.starts_with("--")) else {
+            fail(&format!("`ants query {}` needs a spec file first", op.as_str()))
+        };
+        req.spec = std::fs::read_to_string(Path::new(file))
+            .unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
+        rest = &rest[1..];
+    }
+    let mut addr: Option<String> = None;
+    let mut cache: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => fail(&format!("{name} needs a value")),
+            }
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--cache" => cache = Some(PathBuf::from(value("--cache"))),
+            "--smoke" => req.effort = ants_bench::Effort::Smoke,
+            "--effort" => {
+                let v = value("--effort");
+                req.effort = ants_bench::Effort::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown effort '{v}'")));
+            }
+            "--seed" => {
+                let v = value("--seed");
+                req.seed = v.parse().unwrap_or_else(|_| fail(&format!("invalid seed '{v}'")));
+            }
+            "--metrics" => {
+                let v = value("--metrics");
+                req.metrics = req
+                    .metrics
+                    .union(ants_sim::MetricSet::parse_list(&v).unwrap_or_else(|e| fail(&e)));
+            }
+            "--backend" => {
+                let v = value("--backend");
+                req.backend = Some(
+                    ants_dp::Backend::parse(&v)
+                        .unwrap_or_else(|| fail(&format!("unknown backend '{v}' (mc|dp)"))),
+                );
+            }
+            other => fail(&format!("unknown `ants query` argument '{other}'")),
+        }
+    }
+    let addr = match (addr, cache) {
+        (Some(a), None) => a,
+        (None, Some(c)) => discover_addr(&c).unwrap_or_else(|e| fail(&e)),
+        (Some(_), Some(_)) => fail("--addr and --cache are mutually exclusive"),
+        (None, None) => fail("`ants query` needs --addr <host:port> or --cache <dir>"),
+    };
+    let mut exit = 0;
+    let outcome = request_streamed(&addr, &req, |line| {
+        route_line(line, &mut exit);
+    });
+    if let Err(e) = outcome {
+        fail(&format!("cannot reach daemon at {addr}: {e}"));
+    }
+    std::process::exit(exit);
+}
+
+/// Route one response line: body to stdout, chatter to stderr, exit
+/// code from `error` and failed `gate` events.
+fn route_line(line: &str, exit: &mut i32) {
+    let event = Json::parse(line).ok().and_then(|doc| {
+        doc.get("event").and_then(Json::as_str).map(str::to_owned).map(|e| (e, doc))
+    });
+    match event {
+        Some((ref ev, ref doc)) if ev == "status" => {
+            let cached = doc.get("cached") == Some(&Json::Bool(true));
+            let key = doc.get("key").and_then(Json::as_str).unwrap_or("?");
+            eprintln!("{} {key}", if cached { "cache hit " } else { "cache miss" });
+        }
+        Some((ref ev, ref doc)) if ev == "error" => {
+            let msg = doc.get("message").and_then(Json::as_str).unwrap_or(line);
+            eprintln!("error: {msg}");
+            *exit = 1;
+        }
+        Some((ref ev, ref doc)) if ev == "gate" => {
+            // The raw event is the machine-readable record; the human
+            // summary rides stderr.
+            println!("{line}");
+            let pass = doc.get("pass") == Some(&Json::Bool(true));
+            let violations =
+                doc.get("violations").and_then(Json::as_array).map_or(0, <[Json]>::len);
+            if let Some(note) = doc.get("note").and_then(Json::as_str) {
+                eprintln!("gate: {note}");
+            }
+            if pass {
+                eprintln!("gate: pass ({violations} violation(s))");
+            } else {
+                eprintln!("gate: FAIL ({violations} violation(s))");
+                *exit = 1;
+            }
+        }
+        _ => println!("{line}"),
+    }
+}

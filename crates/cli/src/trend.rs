@@ -78,10 +78,16 @@ fn cell_text(cell: &Json) -> String {
 /// diff forever, and `-0.0 == 0.0` hides a genuine sign flip. Comparing
 /// numbers via [`f64::total_cmp`] fixes both (and distinguishes NaN
 /// payloads only if their bit patterns actually differ, which round-trips
-/// through our writer as the same token anyway).
+/// through our writer as the same token anyway). Numbers are read
+/// through [`Json::as_number`], so the non-finite string sentinels the
+/// report writer emits (`"NaN"`, `"Inf"`, `"-Inf"`) compare as the
+/// numbers they encode — a NaN cell parsed back from disk is equal to a
+/// freshly computed one.
 fn cells_equal(a: &Json, b: &Json) -> bool {
+    if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+        return x.total_cmp(&y) == std::cmp::Ordering::Equal;
+    }
     match (a, b) {
-        (Json::Num(x), Json::Num(y)) => x.total_cmp(y) == std::cmp::Ordering::Equal,
         (Json::Arr(xs), Json::Arr(ys)) => {
             xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| cells_equal(x, y))
         }
@@ -117,7 +123,7 @@ fn diff_pair(name: &str, a: &Json, b: &Json) -> Result<usize, String> {
             }
             changed += 1;
             let col_name = cols_a.get(col).and_then(Json::as_str).unwrap_or("?");
-            match (va.as_f64(), vb.as_f64()) {
+            match (va.as_number(), vb.as_number()) {
                 (Some(x), Some(y)) => {
                     println!("  {name} row {i} [{col_name}]: {x} -> {y} (Δ {:+})", y - x)
                 }
@@ -404,6 +410,29 @@ mod tests {
         assert!(!cells_equal(&Json::Num(0.0), &Json::Num(-0.0)));
         assert!(cells_equal(&Json::Num(0.0), &Json::Num(0.0)));
         assert!(cells_equal(&Json::Num(-0.0), &Json::Num(-0.0)));
+    }
+
+    /// Snapshots parsed back from disk carry the non-finite string
+    /// sentinels; they must compare as the numbers they encode, so a
+    /// report → JSON → parse → diff round trip over NaN/±Inf/-0.0 is
+    /// change-free.
+    #[test]
+    fn cells_equal_honours_non_finite_sentinels() {
+        use ants_sim::json::number;
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0] {
+            let parsed = Json::parse(&number(x)).unwrap();
+            assert!(cells_equal(&parsed, &Json::Num(x)), "sentinel for {x:?}");
+            assert!(cells_equal(&parsed, &parsed));
+        }
+        assert!(!cells_equal(&Json::parse(&number(f64::NAN)).unwrap(), &Json::Num(1.0)));
+        assert!(!cells_equal(
+            &Json::parse(&number(f64::INFINITY)).unwrap(),
+            &Json::Num(f64::NEG_INFINITY)
+        ));
+        // -0.0 still differs from 0.0 after a round trip.
+        assert!(!cells_equal(&Json::parse(&number(-0.0)).unwrap(), &Json::Num(0.0)));
+        // An ordinary string that merely looks numeric is not a number.
+        assert!(!cells_equal(&Json::Str("nan".into()), &Json::Num(f64::NAN)));
     }
 
     #[test]

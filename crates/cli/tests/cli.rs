@@ -482,6 +482,119 @@ fn trend_record_reads_commit_from_env() {
     std::fs::remove_dir_all(&cwd).ok();
 }
 
+/// Keeps the `ants serve` child from outliving a failed test.
+struct DaemonGuard(std::process::Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Start `ants serve --cache <cwd>/cache` and wait for the discovery
+/// file. `--threads 2` pins the pooled scheduler so cache-hit
+/// assertions about pool work are not vacuous on single-core machines.
+fn spawn_daemon(cwd: &Path) -> DaemonGuard {
+    let child = Command::new(env!("CARGO_BIN_EXE_ants"))
+        .args(["serve", "--cache", "cache", "--threads", "2", "--commit", "clitest"])
+        .current_dir(cwd)
+        .env_remove("ANTS_COMMIT")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn ants serve");
+    let mut guard = DaemonGuard(child);
+    let addr_file = cwd.join("cache/serve.addr");
+    for _ in 0..200 {
+        if addr_file.is_file() {
+            return guard;
+        }
+        if let Some(status) = guard.0.try_wait().expect("poll daemon") {
+            panic!("daemon exited during startup: {status}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    panic!("daemon never wrote {}", addr_file.display());
+}
+
+/// The full daemon round trip through the real binary: a miss, a
+/// byte-identical hit, stats, a failing drift gate, and shutdown.
+#[test]
+fn serve_and_query_end_to_end() {
+    let cwd = temp_dir("serve-e2e");
+    std::fs::write(cwd.join("spec.toml"), TEST_SPEC).unwrap();
+    let mut daemon = spawn_daemon(&cwd);
+
+    // First submission is a miss and streams the body to stdout.
+    let submit = ["query", "submit", "spec.toml", "--cache", "cache", "--smoke"];
+    let miss = ants(&submit, &cwd);
+    assert_eq!(miss.status.code(), Some(0), "stderr: {}", stderr(&miss));
+    assert!(stderr(&miss).contains("cache miss"), "stderr: {}", stderr(&miss));
+    let body = String::from_utf8_lossy(&miss.stdout).into_owned();
+    assert!(body.contains("\"event\":\"cell\""), "stdout: {body}");
+    assert!(body.contains("\"event\":\"report\""), "stdout: {body}");
+    assert!(body.contains("ants-report/v1"), "stdout: {body}");
+
+    // Resubmitting the identical spec is a hit with a byte-identical
+    // body — the shell-level statement of the cache contract.
+    let hit = ants(&submit, &cwd);
+    assert_eq!(hit.status.code(), Some(0), "stderr: {}", stderr(&hit));
+    assert!(stderr(&hit).contains("cache hit"), "stderr: {}", stderr(&hit));
+    assert_eq!(hit.stdout, miss.stdout, "cache hit body drifted from the original response");
+
+    let stats = ants(&["query", "stats", "--cache", "cache"], &cwd);
+    assert_eq!(stats.status.code(), Some(0), "stderr: {}", stderr(&stats));
+    let stats_out = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(stats_out.contains("\"event\":\"stats\""), "stdout: {stats_out}");
+    assert!(stats_out.contains("\"hits\":1"), "stdout: {stats_out}");
+    assert!(stats_out.contains("\"misses\":1"), "stdout: {stats_out}");
+
+    // A different seed drifts the metrics: the gate runs the cell (a
+    // miss under its own key), compares against the seed-31 baseline,
+    // and fails loudly.
+    let gate =
+        ants(&["query", "gate", "spec.toml", "--cache", "cache", "--smoke", "--seed", "99"], &cwd);
+    assert_eq!(gate.status.code(), Some(1), "stderr: {}", stderr(&gate));
+    let gate_out = String::from_utf8_lossy(&gate.stdout).into_owned();
+    assert!(gate_out.contains("\"event\":\"gate\""), "stdout: {gate_out}");
+    assert!(gate_out.contains("\"pass\":false"), "stdout: {gate_out}");
+    assert!(stderr(&gate).contains("gate: FAIL"), "stderr: {}", stderr(&gate));
+
+    // Shutdown stops the daemon and removes the discovery file.
+    let down = ants(&["query", "shutdown", "--cache", "cache"], &cwd);
+    assert_eq!(down.status.code(), Some(0), "stderr: {}", stderr(&down));
+    let status = daemon.0.wait().expect("join daemon");
+    assert!(status.success(), "daemon exit: {status}");
+    assert!(!cwd.join("cache/serve.addr").is_file(), "serve.addr must be removed on shutdown");
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
+/// `ants query` argument errors exit non-zero without a daemon: missing
+/// op, missing spec file, no address, and a stale cache directory.
+#[test]
+fn query_argument_errors_fail_loudly() {
+    let cwd = temp_dir("query-args");
+    std::fs::write(cwd.join("spec.toml"), TEST_SPEC).unwrap();
+    std::fs::create_dir_all(cwd.join("stale")).unwrap();
+    for args in [
+        &["query"][..],
+        &["query", "warp"][..],
+        &["query", "submit"][..],
+        &["query", "submit", "spec.toml"][..],
+        &["query", "submit", "no-such.toml", "--cache", "stale"][..],
+        &["query", "stats", "--cache", "stale"][..],
+        &["query", "stats", "--addr", "x", "--cache", "stale"][..],
+    ] {
+        let out = ants(args, &cwd);
+        assert_eq!(out.status.code(), Some(1), "args {args:?} stderr: {}", stderr(&out));
+    }
+    // The stale-cache error points at how to start the daemon.
+    let out = ants(&["query", "stats", "--cache", "stale"], &cwd);
+    assert!(stderr(&out).contains("ants serve"), "stderr: {}", stderr(&out));
+    std::fs::remove_dir_all(&cwd).ok();
+}
+
 /// `ants trend`: identical reports exit 0, numeric drift is reported
 /// per row but still exits 0, schema mismatches exit 1, and one-sided
 /// reports are flagged.

@@ -1,0 +1,66 @@
+//! A minimal client: connect, send one request line, stream the
+//! response lines back. `ants query` and the in-process tests both ride
+//! this.
+
+use crate::cache::ADDR_FILE;
+use crate::protocol::Request;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+/// Send `req` to `addr` and hand each response line (without its
+/// newline) to `on_line` as it arrives.
+///
+/// # Errors
+///
+/// Connection and read failures. Server-side failures arrive as `error`
+/// event lines, not as `Err`.
+pub fn request_streamed(
+    addr: &str,
+    req: &Request,
+    mut on_line: impl FnMut(&str),
+) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(req.to_json().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        on_line(&line?);
+    }
+    Ok(())
+}
+
+/// Send `req` to `addr` and collect the whole response.
+///
+/// # Errors
+///
+/// As [`request_streamed`].
+pub fn request_lines(addr: &str, req: &Request) -> std::io::Result<Vec<String>> {
+    let mut lines = Vec::new();
+    request_streamed(addr, req, |l| lines.push(l.to_string()))?;
+    Ok(lines)
+}
+
+/// Resolve a daemon address from a cache root's `serve.addr` discovery
+/// file.
+///
+/// # Errors
+///
+/// A missing or empty discovery file (no daemon is serving this cache).
+pub fn discover_addr(cache: &Path) -> Result<String, String> {
+    let path = cache.join(ADDR_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "no daemon serving {} ({}: {e}); start one with `ants serve --cache {}`",
+            cache.display(),
+            path.display(),
+            cache.display()
+        )
+    })?;
+    let addr = text.trim();
+    if addr.is_empty() {
+        return Err(format!("{} is empty", path.display()));
+    }
+    Ok(addr.to_string())
+}

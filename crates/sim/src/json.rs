@@ -38,18 +38,27 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Serialize an `f64` as a JSON token.
+/// Serialize an `f64` as a JSON token, losslessly.
 ///
-/// JSON has no NaN/infinity; they serialize as `null` (and therefore do
-/// not round-trip — reports render unavailable cells as null by design).
+/// JSON has no NaN/infinity tokens, so the non-finite values serialize
+/// as the string sentinels `"NaN"`, `"Inf"`, and `"-Inf"`. Consumers
+/// that want the numeric value back go through [`Json::as_number`],
+/// which maps the sentinels to their `f64`s; a plain JSON reader still
+/// sees a well-formed document. (Serializing as `null`, the previous
+/// behaviour, silently lost the values and made NaN-aware snapshot
+/// diffing vacuous.)
 pub fn number(x: f64) -> String {
     if x.is_finite() {
         // Rust's `Display` for floats is the shortest representation that
         // round-trips, which is exactly what a machine-readable report
-        // wants.
+        // wants. Note `-0.0` prints as `-0`, which parses back to `-0.0`.
         format!("{x}")
+    } else if x.is_nan() {
+        "\"NaN\"".to_string()
+    } else if x > 0.0 {
+        "\"Inf\"".to_string()
     } else {
-        "null".to_string()
+        "\"-Inf\"".to_string()
     }
 }
 
@@ -111,6 +120,25 @@ impl Json {
         }
     }
 
+    /// The value as a number, honouring the non-finite string sentinels
+    /// emitted by [`number`]: `"NaN"`, `"Inf"`, and `"-Inf"` map back to
+    /// their `f64` values. Use this wherever a document cell is
+    /// semantically numeric (report rows, snapshot diffs, the serve wire
+    /// format); use [`Json::as_f64`] when only a literal JSON number
+    /// will do.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Inf" => Some(f64::INFINITY),
+                "-Inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     /// The value as a string, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -124,6 +152,54 @@ impl Json {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// Serialize the tree back to a compact JSON document.
+    ///
+    /// Numbers go through [`number`], so non-finite values round-trip
+    /// via the string sentinels; object keys keep document order. A
+    /// `parse`/`serialize` round-trip is therefore stable after the
+    /// first pass.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => out.push_str(&number(*x)),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -385,9 +461,42 @@ mod tests {
         for x in [0.0, 1.5, -3.25e-7, 1234567890.125, f64::MAX] {
             let v = Json::parse(&number(x)).unwrap();
             assert_eq!(v.as_f64(), Some(x));
+            assert_eq!(v.as_number(), Some(x));
         }
-        assert_eq!(number(f64::NAN), "null");
-        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NAN), "\"NaN\"");
+        assert_eq!(number(f64::INFINITY), "\"Inf\"");
+        assert_eq!(number(f64::NEG_INFINITY), "\"-Inf\"");
+    }
+
+    /// The acceptance contract: NaN, ±Inf, and -0.0 survive a
+    /// serialize → parse → read-back round trip bit-for-bit.
+    #[test]
+    fn non_finite_numbers_round_trip() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0] {
+            let v = Json::parse(&number(x)).unwrap();
+            let back = v.as_number().expect("numeric after round trip");
+            assert_eq!(back.to_bits(), x.to_bits(), "lost {x:?}");
+        }
+        // Plain strings are not numbers; the sentinel mapping is exact.
+        assert_eq!(Json::Str("nan".into()).as_number(), None);
+        assert_eq!(Json::Str("Infinity".into()).as_number(), None);
+        assert_eq!(Json::Null.as_number(), None);
+    }
+
+    #[test]
+    fn serialize_round_trips_documents() {
+        let doc = r#"{"a":[1,2,{"b":null}],"c":"x\"y","d":true,"e":"NaN"}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.serialize(), doc);
+        assert_eq!(Json::parse(&v.serialize()).unwrap(), v);
+        // Non-finite numbers serialize as sentinels and re-parse as
+        // sentinel strings — still numeric through as_number.
+        let tree = Json::Arr(vec![Json::Num(f64::INFINITY), Json::Num(-0.0)]);
+        assert_eq!(tree.serialize(), r#"["Inf",-0]"#);
+        let back = Json::parse(&tree.serialize()).unwrap();
+        let items = back.as_array().unwrap();
+        assert_eq!(items[0].as_number(), Some(f64::INFINITY));
+        assert_eq!(items[1].as_number().unwrap().to_bits(), (-0.0f64).to_bits());
     }
 
     #[test]

@@ -19,8 +19,9 @@ use std::fmt;
 pub enum Value {
     /// An unsigned integer (counts, sizes, distances).
     Int(u64),
-    /// A floating-point measurement. NaN renders as `-` / JSON `null`
-    /// (the conventional "not applicable" cell).
+    /// A floating-point measurement. NaN renders as `-` in text tables
+    /// (the conventional "not applicable" cell) and as the lossless
+    /// `"NaN"` sentinel in JSON (see [`json::number`]).
     Num(f64),
     /// A text label.
     Text(String),
@@ -407,7 +408,8 @@ mod tests {
         // Integers beyond f64's exact range are strings.
         assert_eq!(Value::Int(u64::MAX).to_json(), format!("\"{}\"", u64::MAX));
         assert_eq!(Value::Num(0.5).to_json(), "0.5");
-        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::NAN).to_json(), "\"NaN\"");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "\"Inf\"");
         assert_eq!(Value::Text("a\"b".into()).to_json(), "\"a\\\"b\"");
         assert_eq!(Value::Bool(false).to_json(), "false");
     }

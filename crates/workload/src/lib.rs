@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod dp;
+pub mod hash;
 pub mod plan;
 pub mod spec;
 pub mod toml;
@@ -53,6 +54,7 @@ pub mod zoo;
 use std::fmt;
 use std::path::Path;
 
+pub use hash::Fnv128;
 pub use plan::{PlannedCell, WorkloadPlan};
 pub use spec::{CellSpec, Defaults, Sweep, TargetSpec, WorkloadSpec, ZooEntry};
 pub use toml::TomlError;

@@ -55,7 +55,7 @@ pub fn parse(text: &str) -> Result<Json, TomlError> {
             current = p.header(&mut root)?;
         } else {
             let (key, value) = p.key_value()?;
-            let table = node_at(&mut root, &current);
+            let table = node_at(&mut root, &current).map_err(|m| p.err(&m))?;
             insert_unique(table, key, value, &p)?;
             p.end_of_line()?;
         }
@@ -73,18 +73,31 @@ enum Seg {
 }
 
 /// Navigate (without creating) to the table a path points at.
-fn node_at<'a>(root: &'a mut Json, path: &[Seg]) -> &'a mut Json {
+///
+/// The paths are built by this parser, so a failure here means the tree
+/// and the path disagree — but the daemon use case (arbitrary specs over
+/// a socket) cannot afford a panic on any input, however malformed, so
+/// every lookup is fallible and surfaces as a line-numbered
+/// [`TomlError`] at the call site instead of killing the process.
+fn node_at<'a>(root: &'a mut Json, path: &[Seg]) -> Result<&'a mut Json, String> {
     let mut node = root;
     for seg in path {
         node = match (seg, node) {
             (Seg::Key(k), Json::Obj(fields)) => {
-                &mut fields.iter_mut().find(|(name, _)| name == k).expect("path built by parser").1
+                match fields.iter_mut().find(|(name, _)| name == k) {
+                    Some((_, value)) => value,
+                    None => return Err(format!("table path lost key '{k}'")),
+                }
             }
-            (Seg::Index(i), Json::Arr(items)) => &mut items[*i],
-            _ => unreachable!("table paths only traverse objects and arrays"),
+            (Seg::Index(i), Json::Arr(items)) => match items.get_mut(*i) {
+                Some(item) => item,
+                None => return Err(format!("table path lost array element {i}")),
+            },
+            (Seg::Key(k), _) => return Err(format!("'{k}' no longer names a table")),
+            (Seg::Index(i), _) => return Err(format!("element {i} no longer names an array")),
         };
     }
-    node
+    Ok(node)
 }
 
 fn insert_unique(table: &mut Json, key: String, value: Json, p: &Parser) -> Result<(), TomlError> {
@@ -233,16 +246,19 @@ impl<'a> Parser<'a> {
         array: bool,
         last: bool,
     ) -> Result<Vec<Seg>, TomlError> {
-        let node = node_at(root, &path);
+        let node = node_at(root, &path).map_err(|m| self.err(&m))?;
         let Json::Obj(fields) = node else {
             return Err(self.err(&format!("'{key}' would nest under a non-table value")));
         };
-        if !fields.iter().any(|(name, _)| name == key) {
-            let fresh = if array { Json::Arr(Vec::new()) } else { Json::Obj(Vec::new()) };
-            fields.push((key.to_string(), fresh));
-        }
-        let (_, existing) =
-            fields.iter_mut().find(|(name, _)| name == key).expect("inserted above");
+        let idx = match fields.iter().position(|(name, _)| name == key) {
+            Some(i) => i,
+            None => {
+                let fresh = if array { Json::Arr(Vec::new()) } else { Json::Obj(Vec::new()) };
+                fields.push((key.to_string(), fresh));
+                fields.len() - 1
+            }
+        };
+        let (_, existing) = &mut fields[idx];
         if array {
             let Json::Arr(items) = existing else {
                 return Err(self.err(&format!("'{key}' is not an array of tables")));
@@ -442,12 +458,11 @@ pub fn escape(s: &str) -> String {
 mod tests {
     use super::*;
 
+    /// Missing keys resolve to `Null` so the assertion that follows
+    /// fails with the actual-vs-expected values instead of a panic
+    /// inside the helper.
     fn get<'a>(doc: &'a Json, path: &[&str]) -> &'a Json {
-        let mut node = doc;
-        for key in path {
-            node = node.get(key).unwrap_or_else(|| panic!("missing key {key}"));
-        }
-        node
+        path.iter().fold(doc, |node, key| node.get(key).unwrap_or(&Json::Null))
     }
 
     #[test]

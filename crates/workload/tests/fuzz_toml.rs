@@ -1,0 +1,74 @@
+//! Fuzz the TOML-subset parser and the spec layer above it with
+//! mutated copies of the bundled workload specs.
+//!
+//! The serve daemon feeds arbitrary client bytes straight into
+//! `toml::parse` / `WorkloadSpec::parse`; a panic anywhere in that
+//! path kills the process, so the property under test is simply
+//! *total-ness*: every mutation — byte flips, deletions, insertions,
+//! truncations, stacked in any combination — must come back as `Ok` or
+//! as a line-numbered `TomlError`/`WorkloadError`, never a panic.
+
+use ants_workload::{WorkloadPlan, WorkloadSpec};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Realistic corpus: the bundled example specs exercise every construct
+/// the subset supports (tables, arrays of tables, inline tables,
+/// sweeps, comments).
+const SPECS: &[&str] = &[
+    include_str!("../../../examples/workloads/dp_crosscheck.toml"),
+    include_str!("../../../examples/workloads/mixed_targets.toml"),
+    include_str!("../../../examples/workloads/chi_tradeoff_zoo.toml"),
+    include_str!("../../../examples/workloads/coverage_lower_bound.toml"),
+];
+
+/// Apply one mutation; `pos` is reduced modulo the current length so
+/// stacked mutations stay in range as the text shrinks and grows.
+fn mutate(text: String, op: u8, pos: usize, byte: u8) -> String {
+    let mut bytes = text.into_bytes();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let pos = pos % bytes.len();
+    match op % 4 {
+        0 => bytes[pos] = byte,
+        1 => {
+            bytes.remove(pos);
+        }
+        2 => bytes.insert(pos, byte),
+        _ => bytes.truncate(pos),
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    #[test]
+    fn mutated_specs_never_panic(
+        spec_idx in 0usize..SPECS.len(),
+        edits in vec((any::<u8>(), any::<usize>(), any::<u8>()), 1..5),
+    ) {
+        let mut text = SPECS[spec_idx].to_string();
+        for (op, pos, byte) in edits {
+            text = mutate(text, op, pos, byte);
+        }
+        match ants_workload::toml::parse(&text) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.line >= 1, "error without a line number: {e}"),
+        }
+        // The full pipeline must be just as total: spec validation and
+        // plan expansion run over whatever the parser accepted.
+        if let Ok(spec) = WorkloadSpec::parse(&text) {
+            let _ = WorkloadPlan::expand(&spec);
+        }
+    }
+
+    /// The unmutated corpus parses; mutations must not be vacuous
+    /// because the baseline itself is broken.
+    #[test]
+    fn bundled_corpus_parses_clean(spec_idx in 0usize..SPECS.len()) {
+        let spec = WorkloadSpec::parse(SPECS[spec_idx]);
+        prop_assert!(spec.is_ok(), "corpus entry {spec_idx} failed: {:?}", spec.err());
+    }
+}

@@ -19,7 +19,10 @@
 //!   grids with heterogeneous strategy zoos;
 //! * [`bench`] — the E1–E15 experiment battery behind the
 //!   [`Experiment`](ants_bench::Experiment) trait and its shared runner,
-//!   plus the workload-backed [`WorkloadExperiment`](ants_bench::WorkloadExperiment).
+//!   plus the workload-backed [`WorkloadExperiment`](ants_bench::WorkloadExperiment);
+//! * [`serve`] — the content-addressed workload service: a local NDJSON
+//!   daemon ([`Server`](ants_serve::Server)) that serves cache hits
+//!   without touching the pool and streams misses per cell.
 
 #![forbid(unsafe_code)]
 
@@ -30,5 +33,6 @@ pub use ants_core as core;
 pub use ants_dp as dp;
 pub use ants_grid as grid;
 pub use ants_rng as rng;
+pub use ants_serve as serve;
 pub use ants_sim as sim;
 pub use ants_workload as workload;
