@@ -120,12 +120,58 @@ fn bench_backends(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry overhead on the E9-style hot loop: the same
+/// agent-granularity sweep (Algorithm 1, D = 32, 4 agents, 2M-move
+/// budget) with and without a telemetry handle attached, plus the raw
+/// cost of one sharded counter increment. `BENCH_obs.json` records the
+/// medians; the observability contract pins the on/off delta under 2%
+/// (the loop is dominated by engine stepping — counters flush once per
+/// work unit, not per move).
+fn bench_obs(c: &mut Criterion) {
+    use ants_obs::{Counter, Telemetry};
+    use ants_sim::{run_sweep_with, SweepJob, SweepOptions};
+
+    let job = || {
+        let scenario = Scenario::builder()
+            .agents(4)
+            .target(TargetPlacement::UniformInBall { distance: 32 })
+            .move_budget(2_000_000)
+            .strategy(|_| Box::new(NonUniformSearch::new(32).unwrap()))
+            .build();
+        SweepJob::new(scenario, 2, 0)
+    };
+    let opts =
+        SweepOptions::with_threads(Some(2)).granularity(ants_sim::Granularity::Agent).chunk(1);
+
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    g.bench_function("sweep_e9/telemetry_off", |b| {
+        let opts = opts.clone();
+        b.iter(|| black_box(run_sweep_with(&[job()], &opts)));
+    });
+    g.bench_function("sweep_e9/telemetry_on", |b| {
+        let opts = opts.clone().with_telemetry(Telemetry::new());
+        b.iter(|| black_box(run_sweep_with(&[job()], &opts)));
+    });
+    g.bench_function("counter/add", |b| {
+        let tele = Telemetry::new();
+        b.iter(|| tele.add(black_box(1), Counter::EngineSteps, black_box(3)));
+    });
+    g.bench_function("snapshot/freeze", |b| {
+        let tele = Telemetry::new();
+        tele.add(0, Counter::PoolUnits, 9);
+        b.iter(|| black_box(tele.snapshot()));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_rng,
     bench_automaton,
     bench_strategies,
     bench_engine,
-    bench_backends
+    bench_backends,
+    bench_obs
 );
 criterion_main!(benches);

@@ -136,6 +136,10 @@ pub struct RunConfig {
     /// Only [`crate::WorkloadExperiment`] honours it; the built-in
     /// harnesses are Monte Carlo by construction.
     pub backend: Option<ants_dp::Backend>,
+    /// Telemetry sink (`--telemetry <path>`): attached to every sweep
+    /// this config induces. Strictly observational — results are
+    /// byte-identical with or without it (`tests/telemetry.rs`).
+    pub telemetry: Option<ants_obs::Telemetry>,
 }
 
 impl RunConfig {
@@ -149,6 +153,7 @@ impl RunConfig {
             chunk: None,
             metrics: MetricSet::empty(),
             backend: None,
+            telemetry: None,
         }
     }
 
@@ -198,12 +203,21 @@ impl RunConfig {
         self
     }
 
+    /// Attach a telemetry sink to every sweep this config induces.
+    pub fn with_telemetry(mut self, telemetry: Option<ants_obs::Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// The [`SweepOptions`] this config induces — what experiments hand
     /// to [`ants_sim::run_sweep_with`] / [`ants_sim::map_indexed`].
     pub fn sweep_options(&self) -> SweepOptions {
         let mut opts = SweepOptions::with_threads(self.threads).granularity(self.granularity);
         if let Some(chunk) = self.chunk {
             opts = opts.chunk(chunk);
+        }
+        if let Some(telemetry) = self.telemetry {
+            opts = opts.with_telemetry(telemetry);
         }
         opts
     }

@@ -180,8 +180,29 @@ pub fn gate_report(
         }
     }
     // Wall clock: the only field allowed to drift between identical
-    // runs, gated by ratio above an absolute floor.
-    let wall = |doc: &Json| doc.get("wall_ms").and_then(Json::as_number);
+    // runs, gated by ratio above an absolute floor. A report whose wall
+    // clock was never stamped (field absent, or still the `Report::new`
+    // NaN) gets its own violation naming the report — silently skipping
+    // the check would wave through a runner that stopped timing, and
+    // letting NaN fall into the ratio arithmetic fails confusingly.
+    let wall = |doc: &Json| doc.get("wall_ms").and_then(Json::as_number).filter(|w| !w.is_nan());
+    let report_id = |doc: &Json| {
+        doc.get("id").and_then(Json::as_str).unwrap_or("<unidentified report>").to_string()
+    };
+    for (side, doc) in [("baseline", baseline), ("current", current)] {
+        if wall(doc).is_none() {
+            violations.push(GateViolation {
+                cell: "-".to_string(),
+                column: "wall_ms".to_string(),
+                baseline: if side == "baseline" { "missing".into() } else { "-".into() },
+                current: if side == "current" { "missing".into() } else { "-".into() },
+                detail: format!(
+                    "wall_ms missing from the {side} report '{}': never stamped (NaN or absent)",
+                    report_id(doc)
+                ),
+            });
+        }
+    }
     if let (Some(wb), Some(wc)) = (wall(baseline), wall(current)) {
         if wc - wb > t.wall_floor_ms && wb > 0.0 && wc / wb > t.wall_factor {
             violations.push(GateViolation {
@@ -251,6 +272,29 @@ mod tests {
         let v = gate_report(&doc(&[("c", 1.0)], 1000.0), &doc(&[("c", 1.0)], 5000.0), &t).unwrap();
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].column, "wall_ms");
+    }
+
+    #[test]
+    fn unstamped_wall_clock_is_a_named_violation() {
+        let t = GateThresholds::default();
+        // A report serialized before the runner stamped it carries the
+        // `Report::new` NaN; one with the field dropped entirely is the
+        // same failure. Both must name the offending report.
+        let stamped = doc(&[("c", 1.0)], 10.0);
+        let nan_wall = Json::parse(
+            "{\"schema\":\"ants-report/v1\",\"id\":\"e9\",\"columns\":[\"cell\",\"metric\"],\
+             \"rows\":[[\"c\",1]],\"wall_ms\":\"NaN\"}",
+        )
+        .unwrap();
+        let v = gate_report(&stamped, &nan_wall, &t).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].column, "wall_ms");
+        assert!(v[0].detail.contains("wall_ms missing from the current report 'e9'"), "{}", v[0]);
+        let absent =
+            Json::parse("{\"columns\":[\"cell\",\"metric\"],\"rows\":[[\"c\",1]]}").unwrap();
+        let v = gate_report(&absent, &stamped, &t).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("baseline report '<unidentified report>'"), "{}", v[0]);
     }
 
     #[test]

@@ -54,24 +54,29 @@ impl Runner {
 /// Flags shared by `ants run`/`ants all` and the `exp_*` binaries.
 #[derive(Debug, Clone)]
 pub struct Flags {
-    /// Effort, seed, and thread policy.
+    /// Effort, seed, and thread policy (plus the telemetry handle when
+    /// `--telemetry` asked for one).
     pub cfg: RunConfig,
     /// `--json`: write `target/reports/<key>.json`.
     pub json: bool,
     /// `--csv`: print the table as CSV after the text rendering.
     pub csv: bool,
+    /// `--telemetry <path>`: where to write the NDJSON snapshot after
+    /// the run. `Some` iff `cfg.telemetry` is `Some`.
+    pub telemetry: Option<String>,
 }
 
 /// Parse the common run flags: `--smoke`, `--effort smoke|standard`,
 /// `--seed N`, `--threads K`, `--granularity auto|trial|agent`,
 /// `--chunk N`, `--metrics a,b,...`, `--backend mc|dp`, `--json`,
-/// `--csv`.
+/// `--csv`, `--telemetry <path>`.
 ///
 /// Unknown arguments are an error (callers print usage).
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut cfg = RunConfig::standard();
     let mut json = false;
     let mut csv = false;
+    let mut telemetry = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -120,10 +125,15 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--json" => json = true,
             "--csv" => csv = true,
+            "--telemetry" => {
+                let v = it.next().ok_or("--telemetry needs a path (NDJSON snapshot)")?;
+                telemetry = Some(v.clone());
+                cfg.telemetry = Some(ants_obs::Telemetry::new());
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    Ok(Flags { cfg, json, csv })
+    Ok(Flags { cfg, json, csv, telemetry })
 }
 
 /// Print a finished report and honour the `--csv`/`--json` flags:
@@ -145,9 +155,42 @@ pub fn emit(report: &Report, csv: bool, json: bool) {
     }
 }
 
+/// [`emit`] under a parsed [`Flags`]: the rendering-and-writing step is
+/// timed against the telemetry `report` phase when a handle is attached
+/// (and costs nothing — no clock read — when it is not).
+pub fn emit_for(report: &Report, flags: &Flags) {
+    let _span = ants_obs::SpanGuard::new(flags.cfg.telemetry, ants_obs::Phase::Report);
+    emit(report, flags.csv, flags.json);
+}
+
+/// Honour `--telemetry <path>`: freeze the handle the flags attached
+/// into a snapshot and write it as schema-versioned NDJSON. A no-op
+/// without the flag; exits with status 1 if the file cannot be written.
+/// The confirmation line rides stderr so stdout stays byte-identical to
+/// a telemetry-free run.
+pub fn write_telemetry(flags: &Flags) {
+    let (Some(tele), Some(path)) = (flags.cfg.telemetry, flags.telemetry.as_deref()) else {
+        return;
+    };
+    let path = Path::new(path);
+    let write = || -> io::Result<()> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, tele.snapshot().to_ndjson())
+    };
+    match write() {
+        Ok(()) => eprintln!("telemetry: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write telemetry snapshot {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Entry point for the 15 `exp_*` binaries: parse flags, run the one
 /// experiment at publication scale (or `--smoke`), print, and honour
-/// `--csv`/`--json`.
+/// `--csv`/`--json`/`--telemetry`.
 pub fn bin_main(exp: &dyn Experiment) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = match parse_flags(&args) {
@@ -156,7 +199,8 @@ pub fn bin_main(exp: &dyn Experiment) {
             eprintln!(
                 "error: {e}\nusage: {} [--smoke | --effort smoke|standard] [--seed N] \
                  [--threads K] [--granularity auto|trial|agent] [--chunk N] \
-                 [--metrics coverage,first_visit,round_trace,chi,found_round] [--csv] [--json]",
+                 [--metrics coverage,first_visit,round_trace,chi,found_round] [--csv] [--json] \
+                 [--telemetry PATH]",
                 exp.meta().key
             );
             std::process::exit(2);
@@ -170,7 +214,8 @@ pub fn bin_main(exp: &dyn Experiment) {
         );
         std::process::exit(2);
     }
-    emit(&Runner::new(flags.cfg).run(exp), flags.csv, flags.json);
+    emit_for(&Runner::new(flags.cfg).run(exp), &flags);
+    write_telemetry(&flags);
 }
 
 #[cfg(test)]
@@ -203,6 +248,36 @@ mod tests {
         assert_eq!(f.cfg.chunk, Some(4));
         assert!(f.json);
         assert!(!f.csv);
+        assert!(f.telemetry.is_none() && f.cfg.telemetry.is_none());
+    }
+
+    /// `--telemetry <path>` both records the destination and attaches a
+    /// live handle to the config, so every sweep the config induces is
+    /// instrumented.
+    #[test]
+    fn telemetry_flag_attaches_a_handle() {
+        let f = parse_flags(&args(&["--telemetry", "target/t.ndjson"])).unwrap();
+        assert_eq!(f.telemetry.as_deref(), Some("target/t.ndjson"));
+        assert!(f.cfg.telemetry.is_some());
+        assert!(parse_flags(&args(&["--telemetry"])).is_err());
+    }
+
+    /// `write_telemetry` produces a parseable schema-versioned snapshot
+    /// (and is a no-op when the flag was absent).
+    #[test]
+    fn write_telemetry_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("ants-tele-test-{}", std::process::id()));
+        let path = dir.join("snap.ndjson");
+        let mut f = parse_flags(&args(&["--telemetry", &path.display().to_string()])).unwrap();
+        f.cfg.telemetry.unwrap().add(0, ants_obs::Counter::PoolUnits, 7);
+        write_telemetry(&f);
+        let text = std::fs::read_to_string(&path).expect("snapshot written");
+        let snap = ants_obs::Snapshot::parse_ndjson(&text).expect("parseable");
+        assert_eq!(snap.counter(ants_obs::Counter::PoolUnits), 7);
+        f.telemetry = None;
+        f.cfg.telemetry = None;
+        write_telemetry(&f); // must not panic or write anything
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

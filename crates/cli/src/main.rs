@@ -7,6 +7,10 @@
 //! ants demo [D]                  # coverage of low- vs high-chi agents
 //! ants validate [dir]            # validate emitted JSON reports
 //! ants workload run <file>       # run a declarative workload spec
+//! ants profile <file>            # run a spec with telemetry forced on:
+//!                                #   per-cell wall clock, phase breakdown
+//!                                #   (plan -> execute -> reduce -> report),
+//!                                #   counters, and plan decisions
 //! ants workload validate <f>...  # parse + expand + validate spec files
 //! ants workload list <file>      # print a spec's expanded plan
 //! ants workload crosscheck <f>   # MC vs exact-DP Wilson cross-validation
@@ -40,6 +44,9 @@
 //!                                            exact DP backend
 //!        --json                              write target/reports/<id>.json
 //!        --csv                               print CSV after the table
+//!        --telemetry PATH                    write an NDJSON telemetry
+//!                                            snapshot (ants-telemetry/v1)
+//!                                            after the run
 //! ```
 //!
 //! Granularity and chunk size change scheduling only: report output is
@@ -51,11 +58,12 @@
 //! [`Experiment`](ants_bench::Experiment) trait); this binary only
 //! parses arguments, streams reports, and validates JSON output.
 
+mod profile;
 mod serve_cmd;
 mod trend;
 
 use ants_bench::experiments;
-use ants_bench::runner::{self, emit, parse_flags, Runner};
+use ants_bench::runner::{self, emit_for, parse_flags, write_telemetry, Runner};
 use ants_bench::WorkloadExperiment;
 use ants_sim::json::Json;
 use ants_sim::report::Table;
@@ -64,13 +72,14 @@ use std::path::Path;
 fn usage() -> ! {
     eprintln!(
         "usage: ants <list|run <id>|all|demo [D]|validate [dir]|\
-         workload run|validate|list|crosscheck <file>...|trend <dir-a> <dir-b>|\
+         workload run|validate|list|crosscheck <file>...|profile <file>|\
+         trend <dir-a> <dir-b>|\
          trend --record <dir> [--commit H] [--reports DIR]|trend history <dir>|\
          serve --cache <dir> [--listen H:P] [--commit H]|\
          query submit|gate <file>|stats|shutdown [--addr H:P | --cache <dir>]> \
          [--smoke | --effort smoke|standard] [--seed N] [--threads K] \
          [--granularity auto|trial|agent] [--chunk N] [--metrics a,b,...] \
-         [--backend mc|dp] [--csv] [--json]\n\
+         [--backend mc|dp] [--csv] [--json] [--telemetry PATH]\n\
          reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
     );
     std::process::exit(2);
@@ -172,7 +181,8 @@ fn workload(args: &[String]) {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
-            emit(&Runner::new(flags.cfg).run(&exp), flags.csv, flags.json);
+            emit_for(&Runner::new(flags.cfg).run(&exp), &flags);
+            write_telemetry(&flags);
         }
         "crosscheck" => {
             let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
@@ -304,7 +314,8 @@ fn run_one(args: &[String]) {
         usage()
     });
     reject_dp_on_builtins(&flags.cfg);
-    emit(&Runner::new(flags.cfg).run(exp.as_ref()), flags.csv, flags.json);
+    emit_for(&Runner::new(flags.cfg).run(exp.as_ref()), &flags);
+    write_telemetry(&flags);
 }
 
 fn run_all(args: &[String]) {
@@ -315,9 +326,12 @@ fn run_all(args: &[String]) {
     reject_dp_on_builtins(&flags.cfg);
     let runner = Runner::new(flags.cfg);
     for exp in experiments::all() {
-        emit(&runner.run(exp.as_ref()), flags.csv, flags.json);
+        emit_for(&runner.run(exp.as_ref()), &flags);
         println!();
     }
+    // One snapshot covering the whole battery: the handle is shared by
+    // every sweep the config induced.
+    write_telemetry(&flags);
 }
 
 /// Validate every `*.json` report in `dir`: parseable, the right schema,
@@ -440,6 +454,7 @@ fn main() {
             validate(Path::new(&dir));
         }
         Some("workload") => workload(&args[1..]),
+        Some("profile") => profile::profile(&args[1..]),
         Some("serve") => serve_cmd::serve(&args[1..]),
         Some("query") => serve_cmd::query(&args[1..]),
         Some("trend") => trend_cmd(&args[1..]),

@@ -173,6 +173,13 @@ fn route_line(line: &str, exit: &mut i32) {
             eprintln!("error: {msg}");
             *exit = 1;
         }
+        Some((ref ev, ref doc)) if ev == "stats" => {
+            // The machine-readable line is the body; the human table
+            // rides stderr like all other chatter, so scripted
+            // consumers keep a single-line JSON contract.
+            println!("{line}");
+            stats_table(doc);
+        }
         Some((ref ev, ref doc)) if ev == "gate" => {
             // The raw event is the machine-readable record; the human
             // summary rides stderr.
@@ -192,4 +199,73 @@ fn route_line(line: &str, exit: &mut i32) {
         }
         _ => println!("{line}"),
     }
+}
+
+/// Render the `stats` event's `telemetry` block as a human-readable
+/// table on stderr. Absent or partial blocks degrade gracefully (an
+/// older daemon simply prints fewer rows).
+fn stats_table(doc: &Json) {
+    use ants_sim::report::Table;
+    let num = |node: Option<&Json>, key: &str| -> Option<f64> {
+        node.and_then(|n| n.get(key)).and_then(Json::as_number)
+    };
+    let int = |node: Option<&Json>, key: &str| -> String {
+        num(node, key).map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
+    };
+    let tele = doc.get("telemetry");
+    let serve = tele.and_then(|t| t.get("serve"));
+    let pool = tele.and_then(|t| t.get("pool"));
+    let engine = tele.and_then(|t| t.get("engine"));
+
+    let mut t = Table::new(vec!["stat", "value"]);
+    for key in ["requests", "hits", "misses", "pool_work", "entries"] {
+        t.row(vec![key.to_string(), int(Some(doc), key)]);
+    }
+    if let Some(uptime) = num(serve, "uptime_ns") {
+        t.row(vec!["uptime_s".to_string(), format!("{:.1}", uptime / 1e9)]);
+    }
+    t.row(vec!["cache_bytes".to_string(), int(serve, "cache_bytes")]);
+    for (label, node, key) in [
+        ("pool units", pool, "units"),
+        ("pool steals", pool, "steals"),
+        ("pool reduces", pool, "reduces"),
+        ("engine steps", engine, "steps"),
+        ("hint steps saved", engine, "hint_steps_saved"),
+    ] {
+        t.row(vec![label.to_string(), int(node, key)]);
+    }
+    for kind in ["hit", "miss"] {
+        if let Some((count, median)) = latency_summary(serve, kind) {
+            t.row(vec![format!("{kind} latency (median)"), format!("~{median} ({count} obs)")]);
+        }
+    }
+    eprint!("\n{t}");
+}
+
+/// Count and approximate median of a log2-ns latency histogram: the
+/// bucket holding the middle observation, rendered as a human duration.
+fn latency_summary(serve: Option<&Json>, kind: &str) -> Option<(u64, String)> {
+    let hist = serve?.get(&format!("{kind}_latency_ns"))?.as_array()?;
+    let counts: Vec<u64> =
+        hist.iter().map(|v| v.as_number().unwrap_or(0.0).max(0.0) as u64).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut seen = 0u64;
+    let bucket = counts.iter().position(|&c| {
+        seen += c;
+        seen * 2 > total
+    })?;
+    let ns = (1u64 << bucket.min(63)) as f64;
+    let human = if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.0}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.0}ms", ns / 1e6)
+    } else {
+        format!("{:.1}s", ns / 1e9)
+    };
+    Some((total, human))
 }

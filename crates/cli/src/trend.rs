@@ -25,7 +25,12 @@
 //! * row-by-row, cell-by-cell deltas: numeric cells print `a -> b (Δ)`,
 //!   text/bool cells print `a -> b`; `wall_ms` is reported separately
 //!   and never counts as a data change (it is the only field allowed to
-//!   drift between identical runs).
+//!   drift between identical runs);
+//! * observability never counts either: the diff reads only `columns`
+//!   and `rows`, so a `telemetry` block (or any other side-channel key a
+//!   report may carry) can differ arbitrarily without flagging a change
+//!   — telemetry is strictly observational and must not look like
+//!   drift.
 
 use ants_sim::json::Json;
 use std::collections::BTreeSet;
@@ -468,5 +473,24 @@ mod tests {
         let a = report(vec![vec![Json::Num(0.0)], vec![Json::Num(1.0)]]);
         let b = report(vec![vec![Json::Num(-0.0)], vec![Json::Num(2.0)]]);
         assert_eq!(diff_pair("t", &a, &b), Ok(2));
+    }
+
+    /// Telemetry is observational: two reports whose data rows match
+    /// but whose `telemetry` blocks differ wildly are *identical* to
+    /// the dashboard. Flagging them would turn every profiled run into
+    /// fake drift.
+    #[test]
+    fn diff_pair_ignores_telemetry_blocks() {
+        let with_tele = |busy: f64| {
+            let Json::Obj(mut fields) = report(vec![vec![Json::Num(3.0)]]) else { unreachable!() };
+            fields.push((
+                "telemetry".into(),
+                Json::Obj(vec![("pool_busy_ns".into(), Json::Num(busy))]),
+            ));
+            Json::Obj(fields)
+        };
+        assert_eq!(diff_pair("t", &with_tele(1.0), &with_tele(9e9)), Ok(0));
+        // One-sided blocks are equally invisible.
+        assert_eq!(diff_pair("t", &with_tele(1.0), &report(vec![vec![Json::Num(3.0)]])), Ok(0));
     }
 }

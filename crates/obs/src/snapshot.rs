@@ -1,0 +1,502 @@
+//! The frozen form of a [`Telemetry`](crate::Telemetry) handle: plain
+//! data, mergeable, and round-trippable through the schema-versioned
+//! NDJSON snapshot format.
+//!
+//! One snapshot serializes to [`SNAPSHOT_SCHEMA`]-stamped NDJSON — one
+//! line per subsystem (`pool`, `engine`, `phases`, `serve`, `plans`) — so
+//! a `--telemetry <path>` file can be grepped per layer and a consumer
+//! can parse any single line without reading the rest. [`Snapshot::merge`]
+//! is a commutative, associative fold (counters add with saturation,
+//! gauges take the max, plan logs union as multisets), which is what lets
+//! shards, runs, and processes aggregate in any order.
+
+use crate::json::{escape, Jv};
+use crate::{Counter, Gauge, Phase, HIST_BUCKETS};
+
+/// Schema tag stamped on every NDJSON snapshot line.
+pub const SNAPSHOT_SCHEMA: &str = "ants-telemetry/v1";
+
+/// One scheduling decision, recorded when a sweep plans a job: the
+/// granularity chosen plus every input the heuristic weighed, so a
+/// profile can answer *why* a job split (or did not) without re-deriving
+/// the policy.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlanDecision {
+    /// Job index within the sweep.
+    pub job: u64,
+    /// Chosen granularity: `serial`, `trial`, or `agent`.
+    pub granularity: String,
+    /// Agents in the job's scenario.
+    pub agents: u64,
+    /// The per-trial work proxy (agents × budget or agents × rounds).
+    pub weight: u64,
+    /// Total trial units in the whole sweep (the pool is shared).
+    pub sweep_trials: u64,
+    /// Resolved worker count.
+    pub threads: u64,
+    /// Agents per chunk the plan would use.
+    pub chunk: u64,
+    /// The split-weight threshold the heuristic compared against.
+    pub split_weight: u64,
+    /// The pool-saturation threshold the heuristic compared against.
+    pub saturation: u64,
+}
+
+impl PlanDecision {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"job\":{},\"granularity\":\"{}\",\"agents\":{},\"weight\":{},\
+             \"sweep_trials\":{},\"threads\":{},\"chunk\":{},\"split_weight\":{},\
+             \"saturation\":{}}}",
+            self.job,
+            escape(&self.granularity),
+            self.agents,
+            self.weight,
+            self.sweep_trials,
+            self.threads,
+            self.chunk,
+            self.split_weight,
+            self.saturation
+        )
+    }
+
+    fn from_json(v: &Jv) -> Result<PlanDecision, String> {
+        let field = |k: &str| {
+            v.get(k).and_then(Jv::as_u64).ok_or_else(|| format!("plan decision missing '{k}'"))
+        };
+        Ok(PlanDecision {
+            job: field("job")?,
+            granularity: v
+                .get("granularity")
+                .and_then(Jv::as_str)
+                .ok_or("plan decision missing 'granularity'")?
+                .to_string(),
+            agents: field("agents")?,
+            weight: field("weight")?,
+            sweep_trials: field("sweep_trials")?,
+            threads: field("threads")?,
+            chunk: field("chunk")?,
+            split_weight: field("split_weight")?,
+            saturation: field("saturation")?,
+        })
+    }
+}
+
+/// A point-in-time copy of every telemetry aggregate: totals per counter,
+/// per-worker pool detail, per-phase span sums, latency histograms,
+/// gauges, and the plan-decision log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Nanoseconds since the telemetry handle was created.
+    pub uptime_ns: u64,
+    /// Totals, indexed by [`Counter`] discriminant.
+    pub counters: [u64; Counter::COUNT],
+    /// Per-worker units executed (trailing idle workers trimmed).
+    pub worker_units: Vec<u64>,
+    /// Per-worker units stolen off their home worker.
+    pub worker_steals: Vec<u64>,
+    /// Per-worker cursor polls.
+    pub worker_polls: Vec<u64>,
+    /// Per-worker nanoseconds spent executing units.
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-worker nanoseconds spent claiming work or waiting to exit.
+    pub worker_idle_ns: Vec<u64>,
+    /// Total nanoseconds per [`Phase`].
+    pub phase_ns: [u64; Phase::COUNT],
+    /// Spans recorded per [`Phase`].
+    pub phase_count: [u64; Phase::COUNT],
+    /// Cache-hit latency, log2 nanosecond buckets.
+    pub hit_latency: [u64; HIST_BUCKETS],
+    /// Cache-miss latency, log2 nanosecond buckets.
+    pub miss_latency: [u64; HIST_BUCKETS],
+    /// Last-set gauge values, indexed by [`Gauge`] discriminant.
+    pub gauges: [u64; Gauge::COUNT],
+    /// Every recorded scheduling decision.
+    pub plans: Vec<PlanDecision>,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            uptime_ns: 0,
+            counters: [0; Counter::COUNT],
+            worker_units: Vec::new(),
+            worker_steals: Vec::new(),
+            worker_polls: Vec::new(),
+            worker_busy_ns: Vec::new(),
+            worker_idle_ns: Vec::new(),
+            phase_ns: [0; Phase::COUNT],
+            phase_count: [0; Phase::COUNT],
+            hit_latency: [0; HIST_BUCKETS],
+            miss_latency: [0; HIST_BUCKETS],
+            gauges: [0; Gauge::COUNT],
+            plans: Vec::new(),
+        }
+    }
+}
+
+/// Saturating elementwise sum of two per-worker vectors (result as long
+/// as the longer input).
+fn merge_vec(a: &[u64], b: &[u64]) -> Vec<u64> {
+    (0..a.len().max(b.len()))
+        .map(|i| a.get(i).copied().unwrap_or(0).saturating_add(b.get(i).copied().unwrap_or(0)))
+        .collect()
+}
+
+impl Snapshot {
+    /// One counter total by name-safe index.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// One gauge value.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// Total nanoseconds recorded for `phase`.
+    pub fn phase_total_ns(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase as usize]
+    }
+
+    /// Combine two snapshots: counters, spans, per-worker vectors, and
+    /// histograms add (saturating); gauges and uptime take the max (they
+    /// are levels, not flows); plan logs union as a sorted multiset.
+    ///
+    /// The operation is commutative and associative (pinned by the obs
+    /// proptest battery), so aggregation order never matters.
+    #[must_use]
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out =
+            Snapshot { uptime_ns: self.uptime_ns.max(other.uptime_ns), ..Snapshot::default() };
+        for i in 0..Counter::COUNT {
+            out.counters[i] = self.counters[i].saturating_add(other.counters[i]);
+        }
+        out.worker_units = merge_vec(&self.worker_units, &other.worker_units);
+        out.worker_steals = merge_vec(&self.worker_steals, &other.worker_steals);
+        out.worker_polls = merge_vec(&self.worker_polls, &other.worker_polls);
+        out.worker_busy_ns = merge_vec(&self.worker_busy_ns, &other.worker_busy_ns);
+        out.worker_idle_ns = merge_vec(&self.worker_idle_ns, &other.worker_idle_ns);
+        for i in 0..Phase::COUNT {
+            out.phase_ns[i] = self.phase_ns[i].saturating_add(other.phase_ns[i]);
+            out.phase_count[i] = self.phase_count[i].saturating_add(other.phase_count[i]);
+        }
+        for i in 0..HIST_BUCKETS {
+            out.hit_latency[i] = self.hit_latency[i].saturating_add(other.hit_latency[i]);
+            out.miss_latency[i] = self.miss_latency[i].saturating_add(other.miss_latency[i]);
+        }
+        for i in 0..Gauge::COUNT {
+            out.gauges[i] = self.gauges[i].max(other.gauges[i]);
+        }
+        out.plans = self.plans.iter().chain(&other.plans).cloned().collect();
+        out.plans.sort();
+        out
+    }
+
+    fn pool_body(&self) -> String {
+        format!(
+            "\"units\":{},\"steals\":{},\"polls\":{},\"busy_ns\":{},\"idle_ns\":{},\
+             \"reduces\":{},\"worker_units\":{},\"worker_steals\":{},\"worker_polls\":{},\
+             \"worker_busy_ns\":{},\"worker_idle_ns\":{}",
+            self.counter(Counter::PoolUnits),
+            self.counter(Counter::PoolSteals),
+            self.counter(Counter::PoolPolls),
+            self.counter(Counter::PoolBusyNs),
+            self.counter(Counter::PoolIdleNs),
+            self.counter(Counter::PoolReduces),
+            int_array(&self.worker_units),
+            int_array(&self.worker_steals),
+            int_array(&self.worker_polls),
+            int_array(&self.worker_busy_ns),
+            int_array(&self.worker_idle_ns),
+        )
+    }
+
+    fn engine_body(&self) -> String {
+        format!(
+            "\"steps\":{},\"hint_polls\":{},\"hint_clamps\":{},\"hint_steps_saved\":{}",
+            self.counter(Counter::EngineSteps),
+            self.counter(Counter::HintPolls),
+            self.counter(Counter::HintClamps),
+            self.counter(Counter::HintStepsSaved),
+        )
+    }
+
+    fn phases_body(&self) -> String {
+        let mut parts = Vec::with_capacity(Phase::COUNT * 2);
+        for phase in Phase::ALL {
+            parts.push(format!(
+                "\"{0}_ns\":{1},\"{0}_spans\":{2}",
+                phase.as_str(),
+                self.phase_ns[phase as usize],
+                self.phase_count[phase as usize]
+            ));
+        }
+        parts.join(",")
+    }
+
+    fn serve_body(&self) -> String {
+        format!(
+            "\"uptime_ns\":{},\"submit\":{},\"gate\":{},\"stats\":{},\"shutdown\":{},\
+             \"hits\":{},\"misses\":{},\"cache_entries\":{},\"cache_bytes\":{},\
+             \"hit_latency_ns\":{},\"miss_latency_ns\":{}",
+            self.uptime_ns,
+            self.counter(Counter::ServeSubmit),
+            self.counter(Counter::ServeGate),
+            self.counter(Counter::ServeStats),
+            self.counter(Counter::ServeShutdown),
+            self.counter(Counter::ServeHits),
+            self.counter(Counter::ServeMisses),
+            self.gauge(Gauge::CacheEntries),
+            self.gauge(Gauge::CacheBytes),
+            int_array(&self.hit_latency),
+            int_array(&self.miss_latency),
+        )
+    }
+
+    fn plans_body(&self) -> String {
+        let items: Vec<String> = self.plans.iter().map(PlanDecision::to_json).collect();
+        format!("\"decisions\":[{}]", items.join(","))
+    }
+
+    /// The NDJSON snapshot: one schema-stamped line per subsystem
+    /// (`pool`, `engine`, `phases`, `serve`, `plans`), each a complete
+    /// JSON object, newline-terminated.
+    pub fn to_ndjson(&self) -> String {
+        let line = |subsystem: &str, body: String| {
+            format!("{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"subsystem\":\"{subsystem}\",{body}}}\n")
+        };
+        let mut out = String::new();
+        out.push_str(&line("pool", self.pool_body()));
+        out.push_str(&line("engine", self.engine_body()));
+        out.push_str(&line("phases", self.phases_body()));
+        out.push_str(&line("serve", self.serve_body()));
+        out.push_str(&line("plans", self.plans_body()));
+        out
+    }
+
+    /// The snapshot as a single inline JSON object (the `telemetry` block
+    /// of the serve `stats` event): the same subsystem bodies, nested
+    /// under their names, on one line.
+    pub fn to_inline_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"pool\":{{{}}},\"engine\":{{{}}},\
+             \"phases\":{{{}}},\"serve\":{{{}}},\"plans\":{{{}}}}}",
+            self.pool_body(),
+            self.engine_body(),
+            self.phases_body(),
+            self.serve_body(),
+            self.plans_body()
+        )
+    }
+
+    /// Parse an NDJSON snapshot written by [`Snapshot::to_ndjson`].
+    ///
+    /// Unknown subsystems are ignored (forward compatibility); missing
+    /// subsystem lines leave their fields zero.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, a line whose `schema` is not [`SNAPSHOT_SCHEMA`],
+    /// or a subsystem line missing one of its fields.
+    pub fn parse_ndjson(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        let mut lines = 0usize;
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let doc = Jv::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            let schema = doc.get("schema").and_then(Jv::as_str).unwrap_or("");
+            if schema != SNAPSHOT_SCHEMA {
+                return Err(format!(
+                    "line {}: schema '{schema}' is not '{SNAPSHOT_SCHEMA}'",
+                    idx + 1
+                ));
+            }
+            lines += 1;
+            let subsystem = doc.get("subsystem").and_then(Jv::as_str).unwrap_or("");
+            match subsystem {
+                "pool" => snap.parse_pool(&doc)?,
+                "engine" => snap.parse_engine(&doc)?,
+                "phases" => snap.parse_phases(&doc)?,
+                "serve" => snap.parse_serve(&doc)?,
+                "plans" => snap.parse_plans(&doc)?,
+                _ => {}
+            }
+        }
+        if lines == 0 {
+            return Err("empty snapshot".to_string());
+        }
+        Ok(snap)
+    }
+
+    fn parse_pool(&mut self, doc: &Jv) -> Result<(), String> {
+        self.counters[Counter::PoolUnits as usize] = req_u64(doc, "pool", "units")?;
+        self.counters[Counter::PoolSteals as usize] = req_u64(doc, "pool", "steals")?;
+        self.counters[Counter::PoolPolls as usize] = req_u64(doc, "pool", "polls")?;
+        self.counters[Counter::PoolBusyNs as usize] = req_u64(doc, "pool", "busy_ns")?;
+        self.counters[Counter::PoolIdleNs as usize] = req_u64(doc, "pool", "idle_ns")?;
+        self.counters[Counter::PoolReduces as usize] = req_u64(doc, "pool", "reduces")?;
+        self.worker_units = req_vec(doc, "pool", "worker_units")?;
+        self.worker_steals = req_vec(doc, "pool", "worker_steals")?;
+        self.worker_polls = req_vec(doc, "pool", "worker_polls")?;
+        self.worker_busy_ns = req_vec(doc, "pool", "worker_busy_ns")?;
+        self.worker_idle_ns = req_vec(doc, "pool", "worker_idle_ns")?;
+        Ok(())
+    }
+
+    fn parse_engine(&mut self, doc: &Jv) -> Result<(), String> {
+        self.counters[Counter::EngineSteps as usize] = req_u64(doc, "engine", "steps")?;
+        self.counters[Counter::HintPolls as usize] = req_u64(doc, "engine", "hint_polls")?;
+        self.counters[Counter::HintClamps as usize] = req_u64(doc, "engine", "hint_clamps")?;
+        self.counters[Counter::HintStepsSaved as usize] =
+            req_u64(doc, "engine", "hint_steps_saved")?;
+        Ok(())
+    }
+
+    fn parse_phases(&mut self, doc: &Jv) -> Result<(), String> {
+        for phase in Phase::ALL {
+            self.phase_ns[phase as usize] =
+                req_u64(doc, "phases", &format!("{}_ns", phase.as_str()))?;
+            self.phase_count[phase as usize] =
+                req_u64(doc, "phases", &format!("{}_spans", phase.as_str()))?;
+        }
+        Ok(())
+    }
+
+    fn parse_serve(&mut self, doc: &Jv) -> Result<(), String> {
+        self.uptime_ns = req_u64(doc, "serve", "uptime_ns")?;
+        self.counters[Counter::ServeSubmit as usize] = req_u64(doc, "serve", "submit")?;
+        self.counters[Counter::ServeGate as usize] = req_u64(doc, "serve", "gate")?;
+        self.counters[Counter::ServeStats as usize] = req_u64(doc, "serve", "stats")?;
+        self.counters[Counter::ServeShutdown as usize] = req_u64(doc, "serve", "shutdown")?;
+        self.counters[Counter::ServeHits as usize] = req_u64(doc, "serve", "hits")?;
+        self.counters[Counter::ServeMisses as usize] = req_u64(doc, "serve", "misses")?;
+        self.gauges[Gauge::CacheEntries as usize] = req_u64(doc, "serve", "cache_entries")?;
+        self.gauges[Gauge::CacheBytes as usize] = req_u64(doc, "serve", "cache_bytes")?;
+        self.hit_latency = req_hist(doc, "serve", "hit_latency_ns")?;
+        self.miss_latency = req_hist(doc, "serve", "miss_latency_ns")?;
+        Ok(())
+    }
+
+    fn parse_plans(&mut self, doc: &Jv) -> Result<(), String> {
+        let items =
+            doc.get("decisions").and_then(Jv::as_array).ok_or("plans line missing 'decisions'")?;
+        self.plans = items.iter().map(PlanDecision::from_json).collect::<Result<_, _>>()?;
+        Ok(())
+    }
+}
+
+fn int_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn req_u64(doc: &Jv, subsystem: &str, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Jv::as_u64)
+        .ok_or_else(|| format!("{subsystem} line missing integer '{key}'"))
+}
+
+fn req_vec(doc: &Jv, subsystem: &str, key: &str) -> Result<Vec<u64>, String> {
+    doc.get(key)
+        .and_then(Jv::as_array)
+        .ok_or_else(|| format!("{subsystem} line missing array '{key}'"))?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| format!("{subsystem} '{key}' has a non-integer")))
+        .collect()
+}
+
+fn req_hist(doc: &Jv, subsystem: &str, key: &str) -> Result<[u64; HIST_BUCKETS], String> {
+    let values = req_vec(doc, subsystem, key)?;
+    if values.len() > HIST_BUCKETS {
+        return Err(format!(
+            "{subsystem} '{key}' has {} buckets (max {HIST_BUCKETS})",
+            values.len()
+        ));
+    }
+    let mut out = [0u64; HIST_BUCKETS];
+    out[..values.len()].copy_from_slice(&values);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot { uptime_ns: 12_345, ..Snapshot::default() };
+        s.counters[Counter::PoolUnits as usize] = 28;
+        s.counters[Counter::PoolSteals as usize] = 19;
+        s.counters[Counter::HintStepsSaved as usize] = 7_000;
+        s.counters[Counter::ServeHits as usize] = 3;
+        s.worker_units = vec![9, 8, 6, 5];
+        s.worker_steals = vec![0, 8, 6, 5];
+        s.worker_polls = vec![10, 9, 7, 6];
+        s.worker_busy_ns = vec![100, 90, 70, 60];
+        s.worker_idle_ns = vec![1, 2, 3, 4];
+        s.phase_ns[Phase::Execute as usize] = 500;
+        s.phase_count[Phase::Execute as usize] = 1;
+        s.hit_latency[12] = 3;
+        s.gauges[Gauge::CacheEntries as usize] = 2;
+        s.plans.push(PlanDecision {
+            job: 0,
+            granularity: "agent".to_string(),
+            agents: 64,
+            weight: 1 << 20,
+            sweep_trials: 4,
+            threads: 4,
+            chunk: 8,
+            split_weight: 1 << 12,
+            saturation: 4,
+        });
+        s
+    }
+
+    #[test]
+    fn ndjson_round_trips() {
+        let s = sample();
+        let text = s.to_ndjson();
+        assert_eq!(text.lines().count(), 5, "one line per subsystem:\n{text}");
+        for line in text.lines() {
+            assert!(line.contains(SNAPSHOT_SCHEMA), "unstamped line: {line}");
+        }
+        assert_eq!(Snapshot::parse_ndjson(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn inline_json_is_one_parseable_line() {
+        let s = sample();
+        let line = s.to_inline_json();
+        assert!(!line.contains('\n'));
+        let doc = Jv::parse(&line).unwrap();
+        assert_eq!(doc.get("pool").and_then(|p| p.get("steals")).and_then(Jv::as_u64), Some(19));
+        assert_eq!(
+            doc.get("engine").and_then(|e| e.get("hint_steps_saved")).and_then(Jv::as_u64),
+            Some(7_000)
+        );
+    }
+
+    #[test]
+    fn merge_adds_counters_and_unions_plans() {
+        let s = sample();
+        let m = s.merge(&s);
+        assert_eq!(m.counter(Counter::PoolUnits), 56);
+        assert_eq!(m.worker_units, vec![18, 16, 12, 10]);
+        assert_eq!(m.gauge(Gauge::CacheEntries), 2, "gauges max, not add");
+        assert_eq!(m.uptime_ns, 12_345);
+        assert_eq!(m.plans.len(), 2);
+        assert_eq!(m.phase_total_ns(Phase::Execute), 1_000);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_empty_input() {
+        let e =
+            Snapshot::parse_ndjson("{\"schema\":\"other/v9\",\"subsystem\":\"pool\"}").unwrap_err();
+        assert!(e.contains("ants-telemetry/v1"), "{e}");
+        assert!(Snapshot::parse_ndjson("").is_err());
+        assert!(Snapshot::parse_ndjson("not json").is_err());
+    }
+}

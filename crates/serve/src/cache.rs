@@ -20,8 +20,9 @@
 //! Keys compose the plan's 128-bit content hash with every run input
 //! that changes report bytes: seed, effort, backend override, extra
 //! metrics, and the commit id. Scheduling knobs (threads, granularity,
-//! chunk) are deliberately excluded — the determinism contract makes
-//! them output-invariant, and keying on them would fragment the cache.
+//! chunk) and the telemetry handle are deliberately excluded — the
+//! determinism contract makes them output-invariant, and keying on them
+//! would fragment the cache.
 
 use ants_bench::RunConfig;
 use ants_workload::{WorkloadPlan, WorkloadSpec};
@@ -223,6 +224,10 @@ population = [ { strategy = \"randomwalk\" } ]
             .with_granularity(ants_sim::Granularity::Agent)
             .with_chunk(Some(3));
         assert_eq!(base, cache_key(&plan, &scheduled, "local"));
+        // Telemetry is strictly observational: attaching it never moves
+        // a cache key (it would fragment the cache and flag fake drift).
+        let observed = RunConfig::standard().with_telemetry(Some(ants_obs::Telemetry::new()));
+        assert_eq!(base, cache_key(&plan, &observed, "local"));
         // Keys are safe directory names by construction.
         assert!(safe_commit(&base), "{base}");
     }

@@ -17,6 +17,7 @@
 use crate::cache::{self, cache_key, Entry, ADDR_FILE};
 use crate::protocol::{cell_event, error_event, status_event, Op, Request};
 use ants_bench::{gate_report, RunConfig, WorkloadExperiment};
+use ants_obs::{Counter, Gauge, LatencyKind, Telemetry};
 use ants_sim::json::{escape, Json};
 use ants_sim::{Granularity, Probe, SweepOptions};
 use ants_workload::{WorkloadPlan, WorkloadSpec};
@@ -80,6 +81,13 @@ struct State {
     /// so "a hit did zero pool work" is observable as an unchanged
     /// counter across the request.
     probe: Arc<Probe>,
+    /// One telemetry handle for the daemon's lifetime: per-op request
+    /// counters, hit/miss latency histograms, cache gauges, plus the
+    /// pool/engine counters of every miss sweep (attached via
+    /// [`SweepOptions::with_telemetry`]). Surfaced as the `telemetry`
+    /// block of the `stats` event. Strictly observational: cache keys,
+    /// report bytes, and the gate never read it.
+    telemetry: Telemetry,
     /// Misses serialize here; hits never take it.
     pool: Mutex<()>,
     requests: AtomicU64,
@@ -89,6 +97,25 @@ struct State {
 }
 
 impl State {
+    /// Re-measure the cache gauges: entry count and bytes on disk.
+    /// Called where the cache can have changed (stats requests, after a
+    /// miss persists) rather than on every request.
+    fn refresh_cache_gauges(&self) {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        if let Ok(rd) = std::fs::read_dir(&self.opts.cache) {
+            for e in rd.filter_map(Result::ok) {
+                let path = e.path();
+                if path.is_dir() {
+                    entries += 1;
+                    bytes = bytes.saturating_add(dir_bytes(&path));
+                }
+            }
+        }
+        self.telemetry.set_gauge(Gauge::CacheEntries, entries);
+        self.telemetry.set_gauge(Gauge::CacheBytes, bytes);
+    }
+
     fn stats(&self) -> Stats {
         let entries = std::fs::read_dir(&self.opts.cache)
             .map(|rd| rd.filter_map(Result::ok).filter(|e| e.path().is_dir()).count() as u64)
@@ -101,6 +128,22 @@ impl State {
             entries,
         }
     }
+}
+
+/// Total file bytes under `dir`, recursively.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0u64;
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.filter_map(Result::ok) {
+            let path = e.path();
+            if path.is_dir() {
+                total = total.saturating_add(dir_bytes(&path));
+            } else if let Ok(md) = path.metadata() {
+                total = total.saturating_add(md.len());
+            }
+        }
+    }
+    total
 }
 
 /// The serve daemon: bound socket plus shared state.
@@ -145,6 +188,7 @@ impl Server {
             opts,
             addr,
             probe: Probe::new(),
+            telemetry: Telemetry::new(),
             pool: Mutex::new(()),
             requests: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -215,31 +259,46 @@ fn handle(stream: TcpStream, state: &State) {
     };
     match req.op {
         Op::Stats => {
+            state.telemetry.incr(0, Counter::ServeStats);
+            state.refresh_cache_gauges();
             let s = state.stats();
+            // One line, existing fields first: CI's serve-smoke parses
+            // `pool_work` off this line, and the `telemetry` block rides
+            // behind it as a nested single-line object.
             let _ = writeln!(
                 out,
                 "{{\"event\":\"stats\",\"requests\":{},\"hits\":{},\"misses\":{},\
-                 \"pool_work\":{},\"entries\":{}}}",
-                s.requests, s.hits, s.misses, s.pool_work, s.entries
+                 \"pool_work\":{},\"entries\":{},\"telemetry\":{}}}",
+                s.requests,
+                s.hits,
+                s.misses,
+                s.pool_work,
+                s.entries,
+                state.telemetry.snapshot().to_inline_json()
             );
         }
         Op::Shutdown => {
+            state.telemetry.incr(0, Counter::ServeShutdown);
             let _ = writeln!(out, "{{\"event\":\"ok\",\"message\":\"shutting down\"}}");
             state.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so it observes the flag.
             let _ = TcpStream::connect(state.addr);
         }
         Op::Submit => {
+            state.telemetry.incr(0, Counter::ServeSubmit);
             if let Err(e) = submit(&mut out, state, &req) {
                 let _ = writeln!(out, "{}", error_event(&e));
             }
         }
-        Op::Gate => match submit(&mut out, state, &req) {
-            Ok(outcome) => gate(&mut out, state, &req, &outcome),
-            Err(e) => {
-                let _ = writeln!(out, "{}", error_event(&e));
+        Op::Gate => {
+            state.telemetry.incr(0, Counter::ServeGate);
+            match submit(&mut out, state, &req) {
+                Ok(outcome) => gate(&mut out, state, &req, &outcome),
+                Err(e) => {
+                    let _ = writeln!(out, "{}", error_event(&e));
+                }
             }
-        },
+        }
     }
 }
 
@@ -257,6 +316,7 @@ struct SubmitOutcome {
 /// The `submit` flow: resolve the cache key, replay a hit or compute,
 /// stream, and persist a miss.
 fn submit(out: &mut TcpStream, state: &State, req: &Request) -> Result<SubmitOutcome, String> {
+    let t0 = std::time::Instant::now();
     let spec = WorkloadSpec::parse(&req.spec).map_err(|e| e.to_string())?;
     let plan = WorkloadPlan::expand(&spec).map_err(|e| e.to_string())?;
     let cfg = RunConfig::new(req.effort)
@@ -275,6 +335,8 @@ fn submit(out: &mut TcpStream, state: &State, req: &Request) -> Result<SubmitOut
         let _ = writeln!(out, "{}", status_event(&key, true));
         let _ = out.write_all(body.as_bytes());
         state.hits.fetch_add(1, Ordering::Relaxed);
+        state.telemetry.incr(0, Counter::ServeHits);
+        state.telemetry.record_latency(LatencyKind::Hit, t0.elapsed());
         return Ok(SubmitOutcome { key, wkey, report_json });
     }
     // Announce the miss before queueing for the pool, so the client
@@ -292,13 +354,16 @@ fn submit(out: &mut TcpStream, state: &State, req: &Request) -> Result<SubmitOut
         let report_json = entry.report_text(&wkey)?;
         let _ = out.write_all(body.as_bytes());
         state.hits.fetch_add(1, Ordering::Relaxed);
+        state.telemetry.incr(0, Counter::ServeHits);
+        state.telemetry.record_latency(LatencyKind::Hit, t0.elapsed());
         return Ok(SubmitOutcome { key, wkey, report_json });
     }
     let exp = WorkloadExperiment::new(plan);
     exp.validate_backends(&cfg).map_err(|e| e.to_string())?;
     let mut sweep = SweepOptions::with_threads(cfg.threads)
         .granularity(cfg.granularity)
-        .with_probe(Arc::clone(&state.probe));
+        .with_probe(Arc::clone(&state.probe))
+        .with_telemetry(state.telemetry);
     if let Some(chunk) = cfg.chunk {
         sweep = sweep.chunk(chunk);
     }
@@ -324,6 +389,9 @@ fn submit(out: &mut TcpStream, state: &State, req: &Request) -> Result<SubmitOut
     body.push('\n');
     entry.store(&spec, exp.plan(), &report_json, &body)?;
     state.misses.fetch_add(1, Ordering::Relaxed);
+    state.telemetry.incr(0, Counter::ServeMisses);
+    state.telemetry.record_latency(LatencyKind::Miss, t0.elapsed());
+    state.refresh_cache_gauges();
     // Drop the probe's per-unit event log so a long-lived daemon does
     // not accumulate it; the work counter is separate and survives.
     let _ = state.probe.take();

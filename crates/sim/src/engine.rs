@@ -150,6 +150,10 @@ struct AgentRun {
     /// Steps actually simulated (work instrumentation; timing-dependent
     /// under a live hint, never part of a [`TrialResult`]).
     work: u64,
+    /// Shared-hint reads performed during the run (telemetry only).
+    hint_polls: u64,
+    /// Mid-run cap reductions taken from the hint (telemetry only).
+    hint_clamps: u64,
     /// Running-max selection-complexity footprint at the agent's stop.
     chi: SelectionComplexity,
     /// This agent's breakpoint span in the chunk's [`ChiArena`],
@@ -192,6 +196,8 @@ fn run_agent(
     let start = arena.as_deref().map_or(0, ChiArena::mark);
     let mut last_chi: Option<SelectionComplexity> = None;
     let mut found = false;
+    let mut hint_polls = 0u64;
+    let mut hint_clamps = 0u64;
     // A target is "found" when the agent's position coincides with it;
     // the origin case is excluded by TargetPlacement's invariants. The
     // loop is bounded by moves, so a permanently halted strategy (a
@@ -200,12 +206,14 @@ fn run_agent(
     while stepper.moves() < cap && !stepper.halted() {
         if let Some((h, chunk_idx)) = hint {
             if stepper.steps() & HINT_POLL_MASK == 0 {
+                hint_polls += 1;
                 let hinted = h.cap_for(chunk_idx);
                 if hinted < cap {
                     // Lower toward the published find, but never below
                     // the moves already simulated: the recorded stop must
                     // be where the loop actually halted.
                     cap = hinted.max(stepper.moves());
+                    hint_clamps += 1;
                 }
             }
         }
@@ -235,9 +243,27 @@ fn run_agent(
         moves: found.then(|| stepper.moves()),
         steps: found.then(|| stepper.steps()),
         work: stepper.steps(),
+        hint_polls,
+        hint_clamps,
         chi: stepper.chi(),
         curve: (start, end),
     }
+}
+
+/// Aggregated [`CapHint`] effectiveness counters for one chunk run —
+/// telemetry only, never part of a [`TrialResult`]. Poll and clamp
+/// counts are exact; `moves_saved` is a conservative lower bound on the
+/// speculative work the hint cut off (each saved move is at least one
+/// saved step), timing-dependent under concurrent workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HintStats {
+    /// Shared-hint reads (one per agent start plus periodic in-run polls).
+    pub polls: u64,
+    /// Cap reductions taken from the hint (at agent start or mid-run).
+    pub clamps: u64,
+    /// Moves the hint shaved off not-found speculative agents, relative
+    /// to the unhinted chunk-local bound.
+    pub moves_saved: u64,
 }
 
 /// The results of one agent chunk of a [`TrialPlan`], opaque to callers:
@@ -250,6 +276,8 @@ pub struct ChunkRun {
     /// Footprint breakpoints for every tracked agent in the chunk (see
     /// [`ChiArena`]); empty for chunk 0.
     curve: ChiArena,
+    /// Aggregated hint-effectiveness counters (telemetry only).
+    hint: HintStats,
 }
 
 impl ChunkRun {
@@ -272,6 +300,13 @@ impl ChunkRun {
     /// [`TrialResult`].
     pub fn work(&self) -> u64 {
         self.agents.iter().map(|a| a.work).sum()
+    }
+
+    /// Aggregated [`CapHint`] effectiveness counters for this chunk —
+    /// observability only (see [`HintStats`]); reductions never read
+    /// them.
+    pub fn hint_stats(&self) -> HintStats {
+        self.hint
     }
 
     /// The footprint the serial engine would report had agent `offset`
@@ -406,6 +441,7 @@ impl<'a> TrialPlan<'a> {
         let mut best: Option<u64> = None;
         let mut agents = Vec::with_capacity(end - first_agent);
         let mut curve = ChiArena::default();
+        let mut stats = HintStats::default();
         // Mid-run polling is pointless for chunk 0 (its hinted cap is
         // always u64::MAX), so only speculative chunks pay for it.
         let poll = hint.filter(|_| track).map(|h| (h, chunk_idx));
@@ -416,7 +452,14 @@ impl<'a> TrialPlan<'a> {
                 None => budget,
             };
             let cap = match hint {
-                Some(h) => local.min(h.cap_for(chunk_idx)),
+                Some(h) => {
+                    stats.polls += 1;
+                    let hinted = h.cap_for(chunk_idx);
+                    if hinted < local {
+                        stats.clamps += 1;
+                    }
+                    local.min(hinted)
+                }
                 None => local,
             };
             if cap == 0 {
@@ -430,6 +473,14 @@ impl<'a> TrialPlan<'a> {
             let arena = track.then_some(&mut curve);
             let run =
                 run_agent(self.scenario, self.trial_seed, target, agent_idx, cap, arena, poll);
+            stats.polls += run.hint_polls;
+            stats.clamps += run.hint_clamps;
+            if run.moves.is_none() && run.cap < local {
+                // The hint stopped a not-found speculative agent short of
+                // its unhinted chunk-local bound: every skipped move is
+                // at least one step the unhinted run would have paid.
+                stats.moves_saved += local - run.cap;
+            }
             if let Some(m) = run.moves {
                 best = Some(m);
                 if let Some(h) = hint {
@@ -438,7 +489,7 @@ impl<'a> TrialPlan<'a> {
             }
             agents.push(run);
         }
-        ChunkRun { first_agent, agents, curve }
+        ChunkRun { first_agent, agents, curve, hint: stats }
     }
 
     /// Reduce chunk results in canonical agent order into the trial's

@@ -20,6 +20,7 @@ use crate::engine::run_trials_serial;
 use crate::metrics::Outcome;
 use crate::observe::{observe_trial, ObserverSpec, TrialObservations};
 use crate::scenario::Scenario;
+use ants_obs::Telemetry;
 use std::sync::{Arc, Mutex};
 
 use crate::engine::trial_seeds;
@@ -29,6 +30,8 @@ use crate::engine::{resolve_threads, ChunkRun, TrialPlan};
 use crate::metrics::TrialResult;
 #[cfg(feature = "parallel")]
 use crate::observe::observe_chunk;
+#[cfg(feature = "parallel")]
+use ants_obs::{Counter, Phase, PlanDecision, SpanGuard};
 
 /// One cell of a batched scenario sweep: a scenario plus its trial count
 /// and base seed.
@@ -244,6 +247,7 @@ pub struct SweepOptions {
     /// (`None` = [`DEFAULT_AGENT_CHUNK`]).
     pub chunk: Option<usize>,
     probe: Option<Arc<Probe>>,
+    telemetry: Option<Telemetry>,
 }
 
 impl SweepOptions {
@@ -271,10 +275,27 @@ impl SweepOptions {
         self
     }
 
+    /// Attach a telemetry handle: the sweep records pool, plan, and
+    /// cap-hint counters plus per-phase span timers into it.
+    ///
+    /// Strictly observational — outcomes are byte-identical with or
+    /// without telemetry at every thread count, granularity, and chunk
+    /// size (pinned by `crates/bench/tests/telemetry.rs`). Cost when
+    /// absent: one `Option` check per work *unit*, never per step.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.telemetry
+    }
+
     #[cfg(feature = "parallel")]
-    fn record(&self, event: ProbeEvent) {
+    fn record(&self, worker: usize, event: ProbeEvent) {
         if let Some(probe) = &self.probe {
-            probe.record(event);
+            probe.record(worker, event);
         }
     }
 
@@ -318,17 +339,35 @@ pub enum ProbeEvent {
 }
 
 /// Test-only scheduling instrumentation: records every work unit the
-/// sweep scheduler executes and every reduction it performs.
+/// sweep scheduler executes and every reduction it performs — a thin
+/// consumer of the same per-worker event stream the telemetry layer
+/// rides.
+///
+/// Events land in contention-free per-worker buffers (each worker only
+/// ever touches its own slot, so the per-slot locks are uncontended by
+/// construction — the old implementation funneled every event through
+/// one global mutex) and merge on [`Probe::take`].
 ///
 /// Attached per invocation via [`SweepOptions::with_probe`], so
 /// concurrent sweeps in the same process never pollute each other. Cost
 /// when absent: one `Option` check per *unit* (not per step) — no
 /// production overhead.
 #[doc(hidden)]
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Probe {
-    events: Mutex<Vec<ProbeEvent>>,
+    /// One buffer per possible worker (the scheduler clamps worker
+    /// counts to [`ants_obs::MAX_WORKERS`]).
+    buffers: Vec<Mutex<Vec<ProbeEvent>>>,
     work: std::sync::atomic::AtomicU64,
+}
+
+impl Default for Probe {
+    fn default() -> Self {
+        Probe {
+            buffers: (0..ants_obs::MAX_WORKERS).map(|_| Mutex::new(Vec::new())).collect(),
+            work: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 impl Probe {
@@ -338,8 +377,9 @@ impl Probe {
     }
 
     #[cfg(feature = "parallel")]
-    fn record(&self, event: ProbeEvent) {
-        self.events.lock().expect("probe poisoned").push(event);
+    fn record(&self, worker: usize, event: ProbeEvent) {
+        let slot = &self.buffers[worker.min(self.buffers.len() - 1)];
+        slot.lock().expect("probe poisoned").push(event);
     }
 
     #[cfg(feature = "parallel")]
@@ -347,9 +387,13 @@ impl Probe {
         self.work.fetch_add(steps, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// Drain the recorded events (unordered across threads).
+    /// Drain the recorded events, merged in worker order (event order
+    /// within a worker is execution order; across workers it is not).
     pub fn take(&self) -> Vec<ProbeEvent> {
-        std::mem::take(&mut *self.events.lock().expect("probe poisoned"))
+        self.buffers
+            .iter()
+            .flat_map(|b| std::mem::take(&mut *b.lock().expect("probe poisoned")))
+            .collect()
     }
 
     /// Total agent steps simulated by the units recorded so far — the
@@ -360,6 +404,39 @@ impl Probe {
     pub fn work(&self) -> u64 {
         self.work.load(std::sync::atomic::Ordering::Relaxed)
     }
+}
+
+/// Log one job's scheduling decision, with the weight and thresholds
+/// that drove it (cold path: once per job per sweep).
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn record_plan_decision(
+    tele: Option<Telemetry>,
+    job: usize,
+    plan: Scheduler,
+    agents: usize,
+    weight: u64,
+    threads: usize,
+    sweep_trials: u64,
+    chunk_opt: Option<usize>,
+) {
+    let Some(t) = tele else { return };
+    let (granularity, chunk) = match plan {
+        Scheduler::Serial => ("serial", chunk_opt.unwrap_or(DEFAULT_AGENT_CHUNK).max(1)),
+        Scheduler::TrialLevel => ("trial", chunk_opt.unwrap_or(DEFAULT_AGENT_CHUNK).max(1)),
+        Scheduler::AgentLevel { chunk } => ("agent", chunk),
+    };
+    t.record_plan(PlanDecision {
+        job: job as u64,
+        granularity: granularity.to_string(),
+        agents: agents as u64,
+        weight,
+        sweep_trials,
+        threads: threads as u64,
+        chunk: chunk as u64,
+        split_weight: AGENT_SPLIT_WEIGHT,
+        saturation: POOL_SATURATION,
+    });
 }
 
 /// Run a batch of scenario sweeps across one shared thread pool.
@@ -396,16 +473,29 @@ pub fn run_sweep_with(jobs: &[SweepJob], opts: &SweepOptions) -> Vec<Outcome> {
         // its chunks.
         let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
         let mut chunked = false;
-        let units: u64 = jobs
-            .iter()
-            .map(|j| match Scheduler::plan(j, opts, threads, sweep_trials) {
+        let mut units: u64 = 0;
+        for (i, j) in jobs.iter().enumerate() {
+            let plan = Scheduler::plan(j, opts, threads, sweep_trials);
+            let agents = j.scenario.n_agents();
+            let weight = (agents as u64).saturating_mul(j.scenario.move_budget());
+            record_plan_decision(
+                opts.telemetry,
+                i,
+                plan,
+                agents,
+                weight,
+                threads,
+                sweep_trials,
+                opts.chunk,
+            );
+            units += match plan {
                 Scheduler::AgentLevel { chunk } => {
                     chunked = true;
-                    j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
+                    j.trials.saturating_mul(agents.div_ceil(chunk) as u64)
                 }
                 Scheduler::Serial | Scheduler::TrialLevel => j.trials,
-            })
-            .sum();
+            };
+        }
         // A single worker still takes the pooled path when a job planned
         // agent chunks (a forced `--granularity agent` must run chunked
         // at any thread count); plain serial work stays on the fallback.
@@ -438,16 +528,29 @@ pub fn run_observed_sweep(
         let threads = resolve_threads(opts.threads);
         let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
         let mut chunked = false;
-        let units: u64 = jobs
-            .iter()
-            .map(|j| match Scheduler::plan_observed(j, opts, threads, sweep_trials) {
+        let mut units: u64 = 0;
+        for (i, j) in jobs.iter().enumerate() {
+            let plan = Scheduler::plan_observed(j, opts, threads, sweep_trials);
+            let agents = j.scenario.n_agents();
+            let weight = (agents as u64).saturating_mul(j.rounds);
+            record_plan_decision(
+                opts.telemetry,
+                i,
+                plan,
+                agents,
+                weight,
+                threads,
+                sweep_trials,
+                opts.chunk,
+            );
+            units += match plan {
                 Scheduler::AgentLevel { chunk } => {
                     chunked = true;
-                    j.trials.saturating_mul(j.scenario.n_agents().div_ceil(chunk) as u64)
+                    j.trials.saturating_mul(agents.div_ceil(chunk) as u64)
                 }
                 Scheduler::Serial | Scheduler::TrialLevel => j.trials,
-            })
-            .sum();
+            };
+        }
         if (threads > 1 || chunked) && units >= 2 {
             return observed_parallel(jobs, opts, threads);
         }
@@ -478,8 +581,11 @@ fn observed_parallel(
         end: usize,
     }
 
+    let tele = opts.telemetry;
+
     // Flatten every job into units in canonical (job, trial, chunk)
     // order, remembering each trial's contiguous unit span.
+    let plan_span = SpanGuard::new(tele, Phase::Plan);
     let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
     let mut units: Vec<ObsUnit> = Vec::new();
     let mut spans: Vec<(usize, u64, std::ops::Range<usize>)> = Vec::new();
@@ -503,15 +609,20 @@ fn observed_parallel(
         }
     }
 
+    drop(plan_span);
+
     // Wave 1: drain all chunk units through the pool.
-    let outs: Vec<TrialObservations> = drain(&units, threads, |u| {
+    let execute_span = SpanGuard::new(tele, Phase::Execute);
+    let outs: Vec<TrialObservations> = drain(&units, threads, tele, |_w, u| {
         let j = &jobs[u.job];
         observe_chunk(&j.scenario, u.seed, j.rounds, &j.specs, u.first, u.end)
     });
+    drop(execute_span);
 
     // Wave 2: merge each trial's chunks in canonical order (every merge
     // is also order-independent; the canonical order makes that fact
     // unnecessary for determinism).
+    let _reduce_span = SpanGuard::new(tele, Phase::Reduce);
     let mut per_trial: Vec<Vec<Option<TrialObservations>>> =
         jobs.iter().map(|j| vec![None; j.trials as usize]).collect();
     let mut outs: Vec<Option<TrialObservations>> = outs.into_iter().map(Some).collect();
@@ -559,7 +670,7 @@ where
             let ranges: Vec<(u64, u64)> =
                 (0..n.div_ceil(chunk)).map(|i| (i * chunk, ((i + 1) * chunk).min(n))).collect();
             let parts: Vec<Vec<R>> =
-                drain(&ranges, threads, |&(lo, hi)| (lo..hi).map(&f).collect());
+                drain(&ranges, threads, opts.telemetry, |_w, &(lo, hi)| (lo..hi).map(&f).collect());
             return parts.into_iter().flatten().collect();
         }
     }
@@ -569,15 +680,23 @@ where
 }
 
 /// Drain `units` through `threads` workers pulling from an atomic cursor;
-/// returns one output per unit, in unit order.
+/// returns one output per unit, in unit order. The closure receives the
+/// executing worker's index alongside the unit.
+///
+/// When `tele` is attached each worker counts its own claims, steals
+/// (units claimed off their static round-robin home `i % workers`),
+/// cursor polls, and busy/idle wall-clock in locals, flushing once to
+/// the worker's shard at exit — the hot loop gains no shared-state
+/// traffic and no clock reads unless telemetry is on.
 #[cfg(feature = "parallel")]
-fn drain<T, U, F>(units: &[T], threads: usize, run: F) -> Vec<U>
+fn drain<T, U, F>(units: &[T], threads: usize, tele: Option<Telemetry>, run: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
-    F: Fn(&T) -> U + Sync,
+    F: Fn(usize, &T) -> U + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
 
     if units.is_empty() {
         return Vec::new();
@@ -586,15 +705,45 @@ where
     let workers = threads.min(units.len());
     // Each worker keeps (index, output) pairs for the units it stole;
     // outputs are reassembled in unit order after the join.
+    let cursor = &cursor;
+    let run = &run;
     let collected: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
+                    let started = tele.map(|_| Instant::now());
+                    let mut claimed = 0u64;
+                    let mut stolen = 0u64;
+                    let mut polls = 0u64;
+                    let mut busy = std::time::Duration::ZERO;
                     let mut mine = Vec::new();
                     loop {
+                        polls += 1;
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(unit) = units.get(i) else { break };
-                        mine.push((i, run(unit)));
+                        if started.is_some() {
+                            claimed += 1;
+                            if i % workers != w {
+                                stolen += 1;
+                            }
+                            let t0 = Instant::now();
+                            mine.push((i, run(w, unit)));
+                            busy += t0.elapsed();
+                        } else {
+                            mine.push((i, run(w, unit)));
+                        }
+                    }
+                    if let (Some(t), Some(t0)) = (tele, started) {
+                        let as_ns = |d: std::time::Duration| {
+                            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+                        };
+                        let total_ns = as_ns(t0.elapsed());
+                        let busy_ns = as_ns(busy);
+                        t.add(w, Counter::PoolUnits, claimed);
+                        t.add(w, Counter::PoolSteals, stolen);
+                        t.add(w, Counter::PoolPolls, polls);
+                        t.add(w, Counter::PoolBusyNs, busy_ns);
+                        t.add(w, Counter::PoolIdleNs, total_ns.saturating_sub(busy_ns));
                     }
                     mine
                 })
@@ -647,8 +796,11 @@ fn sweep_parallel(jobs: &[SweepJob], opts: &SweepOptions, threads: usize) -> Vec
         Chunk(ChunkRun),
     }
 
+    let tele = opts.telemetry;
+
     // Flatten every job into units, in canonical (job, trial, chunk)
     // order; remember the reductions agent-level trials will need.
+    let plan_span = SpanGuard::new(tele, Phase::Plan);
     let sweep_trials: u64 = jobs.iter().map(|j| j.trials).sum();
     let mut units: Vec<Unit> = Vec::new();
     let mut reductions: Vec<Reduction> = Vec::new();
@@ -694,36 +846,56 @@ fn sweep_parallel(jobs: &[SweepJob], opts: &SweepOptions, threads: usize) -> Vec
     // reductions stay byte-identical (see [`crate::CapHint`]).
     let hints: Vec<crate::CapHint> =
         reductions.iter().map(|r| crate::CapHint::new(r.units.len())).collect();
+    drop(plan_span);
 
     // Wave 1: drain all trial and chunk units through the pool.
-    let outs: Vec<Out> = drain(&units, threads, |unit| match *unit {
+    let execute_span = SpanGuard::new(tele, Phase::Execute);
+    let outs: Vec<Out> = drain(&units, threads, tele, |w, unit| match *unit {
         Unit::Trial { job, trial, seed } => {
-            opts.record(ProbeEvent::TrialUnit { job, trial });
+            opts.record(w, ProbeEvent::TrialUnit { job, trial });
             let scenario = &jobs[job].scenario;
             let plan = TrialPlan::new(scenario, seed, scenario.n_agents());
             let chunk = plan.run_chunk(0);
             opts.add_work(chunk.work());
+            if let Some(t) = tele {
+                t.add(w, Counter::EngineSteps, chunk.work());
+            }
             Out::Trial(plan.reduce(std::slice::from_ref(&chunk)))
         }
         Unit::Chunk { job, trial, seed, chunk, chunk_idx, red } => {
-            opts.record(ProbeEvent::ChunkUnit { job, trial, chunk: chunk_idx });
+            opts.record(w, ProbeEvent::ChunkUnit { job, trial, chunk: chunk_idx });
             let plan = TrialPlan::new(&jobs[job].scenario, seed, chunk);
             let run = plan.run_chunk_hinted(chunk_idx, &hints[red]);
             opts.add_work(run.work());
+            if let Some(t) = tele {
+                t.add(w, Counter::EngineSteps, run.work());
+                let h = run.hint_stats();
+                t.add(w, Counter::HintPolls, h.polls);
+                t.add(w, Counter::HintClamps, h.clamps);
+                t.add(w, Counter::HintStepsSaved, h.moves_saved);
+            }
             Out::Chunk(run)
         }
     });
+    drop(execute_span);
 
     // Wave 2: reduce agent-level trials (canonical chunk order inside
-    // each reduction; reductions themselves are independent).
-    let reduced: Vec<TrialResult> = drain(&reductions, threads, |r| {
-        opts.record(ProbeEvent::Reduce { job: r.job, trial: r.trial, chunks: r.units.len() });
+    // each reduction; reductions themselves are independent). The drain
+    // runs telemetry-detached so reductions don't inflate the pool's
+    // unit counters — `PoolReduces` counts them instead.
+    let reduce_span = SpanGuard::new(tele, Phase::Reduce);
+    let reduced: Vec<TrialResult> = drain(&reductions, threads, None, |w, r| {
+        opts.record(w, ProbeEvent::Reduce { job: r.job, trial: r.trial, chunks: r.units.len() });
+        if let Some(t) = tele {
+            t.incr(w, Counter::PoolReduces);
+        }
         let plan = TrialPlan::new(&jobs[r.job].scenario, r.seed, r.chunk);
         plan.reduce_iter(outs[r.units.clone()].iter().map(|o| match o {
             Out::Chunk(c) => c,
             Out::Trial(_) => unreachable!("trial unit inside a reduction range"),
         }))
     });
+    drop(reduce_span);
 
     // Assemble per-job outcomes in canonical order.
     let mut per_trial: Vec<Vec<Option<TrialResult>>> =

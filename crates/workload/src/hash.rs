@@ -10,6 +10,10 @@
 //! results by what would actually run. Everything that feeds report
 //! bytes is in the descriptor: name, key, description, metrics, and
 //! every planned cell down to its seed tag and resolved population.
+//! Observability stays out by design: no telemetry handle, counter, or
+//! snapshot ever reaches the descriptor, so attaching telemetry can
+//! never change a cache key or flag drift
+//! (`crates/serve/src/cache.rs` pins this from the key side).
 
 use crate::plan::WorkloadPlan;
 use std::fmt::Write as _;

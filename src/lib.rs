@@ -11,6 +11,9 @@
 //! * [`rng`] — deterministic randomness with auditable probability resolution;
 //! * [`automaton`] — probabilistic finite automata and Markov-chain analysis;
 //! * [`core`] — the paper's search algorithms and the `χ = b + log ℓ` metric;
+//! * [`obs`] — zero-cost telemetry: per-worker sharded counters, span
+//!   timers, and schema-versioned NDJSON snapshots, strictly off the
+//!   determinism path;
 //! * [`dp`] — the exact dynamic-programming backend: Markov kernels and
 //!   absorption DPs cross-validated against the simulator;
 //! * [`sim`] — the Monte-Carlo simulation engine and statistics;
@@ -32,6 +35,7 @@ pub use ants_bench as bench;
 pub use ants_core as core;
 pub use ants_dp as dp;
 pub use ants_grid as grid;
+pub use ants_obs as obs;
 pub use ants_rng as rng;
 pub use ants_serve as serve;
 pub use ants_sim as sim;
