@@ -86,18 +86,24 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-/// MC vs exact-DP wall clock on the bundled crosscheck grid: one
-/// `backend/mc/<cell>` + `backend/dp/<cell>` pair per cell, measuring
-/// the full per-cell evaluation each engine actually performs in
-/// `WorkloadExperiment` (the MC side runs the cell's whole trial count
-/// on a single-thread pool; the DP side solves the cell exactly).
-/// `BENCH_dp.json` records the medians and the crossover.
+/// MC vs exact-DP wall clock on the bundled crosscheck grid: per cell,
+/// `backend/mc/<cell>` measures the full trial count on a single-thread
+/// pool, and the `backend/dp-*` variants measure one exact evaluation
+/// per table representation — `dp-dense` (dense occupancy tables;
+/// absent when the dense guard refuses the cell), `dp-sparse` (the
+/// pruned frontier), and `dp-memo` (a warm cross-cell CDF memo, i.e.
+/// the marginal cost of a repeated cell inside a sweep or a later
+/// `ants serve` submission). `BENCH_dp.json` records the medians and
+/// the MC crossover.
 fn bench_backends(c: &mut Criterion) {
     use ants_bench::{RunConfig, WorkloadExperiment};
+    use ants_dp::DpMode;
+    use ants_workload::dp::{evaluate_cell_with, DpMemo};
     let spec = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../examples/workloads/dp_crosscheck.toml");
     let exp = WorkloadExperiment::from_file(&spec).expect("bundled crosscheck spec loads");
     let opts = RunConfig::standard().with_threads(Some(1)).sweep_options();
+    let no_metrics = ants_sim::MetricSet::empty();
     let mut g = c.benchmark_group("backend");
     g.sample_size(10);
     for cell in &exp.plan().cells {
@@ -108,10 +114,26 @@ fn bench_backends(c: &mut Criterion) {
                 black_box(ants_sim::run_sweep_with(&[job], &opts))
             });
         });
-        g.bench_function(&format!("dp/{label}"), |b| {
+        for (variant, mode) in [("dp-dense", DpMode::Dense), ("dp-sparse", DpMode::Sparse)] {
+            if evaluate_cell_with(cell, false, no_metrics, Some(mode), None).is_err() {
+                continue; // the dense guard refuses the over-budget cell
+            }
+            g.bench_function(&format!("{variant}/{label}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        evaluate_cell_with(cell, false, no_metrics, Some(mode), None)
+                            .expect("dp-capable cell"),
+                    )
+                });
+            });
+        }
+        g.bench_function(&format!("dp-memo/{label}"), |b| {
+            let memo = DpMemo::new();
+            evaluate_cell_with(cell, false, no_metrics, None, Some(&memo))
+                .expect("dp-capable cell");
             b.iter(|| {
                 black_box(
-                    ants_workload::dp::evaluate_cell(cell, false, ants_sim::MetricSet::empty())
+                    evaluate_cell_with(cell, false, no_metrics, None, Some(&memo))
                         .expect("dp-capable cell"),
                 )
             });

@@ -136,6 +136,12 @@ pub struct RunConfig {
     /// Only [`crate::WorkloadExperiment`] honours it; the built-in
     /// harnesses are Monte Carlo by construction.
     pub backend: Option<ants_dp::Backend>,
+    /// DP representation override (`--dp-mode dense|sparse|auto`): force
+    /// every exact-backend cell onto dense tables, the sparse frontier,
+    /// or the per-cell size heuristic, regardless of the spec's
+    /// `dp_mode` keys. `None` = respect the spec. Sparse and dense agree
+    /// to ≤ 1e-9 wherever both run, so this changes cost, not claims.
+    pub dp_mode: Option<ants_dp::DpMode>,
     /// Telemetry sink (`--telemetry <path>`): attached to every sweep
     /// this config induces. Strictly observational — results are
     /// byte-identical with or without it (`tests/telemetry.rs`).
@@ -153,6 +159,7 @@ impl RunConfig {
             chunk: None,
             metrics: MetricSet::empty(),
             backend: None,
+            dp_mode: None,
             telemetry: None,
         }
     }
@@ -200,6 +207,13 @@ impl RunConfig {
     /// Set the backend override (`None` = respect per-cell spec keys).
     pub fn with_backend(mut self, backend: Option<ants_dp::Backend>) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Set the DP representation override (`None` = respect per-cell
+    /// `dp_mode` keys).
+    pub fn with_dp_mode(mut self, dp_mode: Option<ants_dp::DpMode>) -> Self {
+        self.dp_mode = dp_mode;
         self
     }
 

@@ -68,8 +68,9 @@ pub struct Flags {
 
 /// Parse the common run flags: `--smoke`, `--effort smoke|standard`,
 /// `--seed N`, `--threads K`, `--granularity auto|trial|agent`,
-/// `--chunk N`, `--metrics a,b,...`, `--backend mc|dp`, `--json`,
-/// `--csv`, `--telemetry <path>`.
+/// `--chunk N`, `--metrics a,b,...`, `--backend mc|dp`,
+/// `--dp-mode dense|sparse|auto`, `--json`, `--csv`,
+/// `--telemetry <path>`.
 ///
 /// Unknown arguments are an error (callers print usage).
 pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -121,6 +122,13 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 cfg.backend = Some(
                     ants_dp::Backend::parse(v)
                         .ok_or(format!("unknown backend '{v}' (allowed: mc, dp)"))?,
+                );
+            }
+            "--dp-mode" => {
+                let v = it.next().ok_or("--dp-mode needs a value (dense|sparse|auto)")?;
+                cfg.dp_mode = Some(
+                    ants_dp::DpMode::parse(v)
+                        .ok_or(format!("unknown dp mode '{v}' (allowed: dense, sparse, auto)"))?,
                 );
             }
             "--json" => json = true,
@@ -329,6 +337,22 @@ mod tests {
         assert!(parse_flags(&args(&["--backend"])).is_err());
         let e = parse_flags(&args(&["--backend", "exact"])).unwrap_err();
         assert!(e.contains("unknown backend 'exact'"), "{e}");
+    }
+
+    #[test]
+    fn dp_mode_flag_parses_and_rejects_unknowns() {
+        assert_eq!(parse_flags(&[]).unwrap().cfg.dp_mode, None);
+        for (v, want) in [
+            ("dense", ants_dp::DpMode::Dense),
+            ("sparse", ants_dp::DpMode::Sparse),
+            ("auto", ants_dp::DpMode::Auto),
+        ] {
+            let f = parse_flags(&args(&["--dp-mode", v])).unwrap();
+            assert_eq!(f.cfg.dp_mode, Some(want));
+        }
+        assert!(parse_flags(&args(&["--dp-mode"])).is_err());
+        let e = parse_flags(&args(&["--dp-mode", "frontier"])).unwrap_err();
+        assert!(e.contains("unknown dp mode 'frontier'"), "{e}");
     }
 
     #[test]

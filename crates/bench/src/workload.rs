@@ -18,9 +18,11 @@
 //! report cell.
 
 use crate::experiments::{Effort, Experiment, ExperimentMeta, Report, RunConfig, SweepConfig};
-use ants_dp::Backend;
+use ants_dp::{Backend, DpMode};
+use ants_obs::{Counter, Phase, SpanGuard};
 use ants_sim::report::Value;
 use ants_sim::{run_observed_sweep, run_sweep_with, Metric, MetricSet, TrialObservations};
+use ants_workload::dp::DpMemo;
 use ants_workload::{PlannedCell, WorkloadError, WorkloadPlan};
 use std::path::Path;
 
@@ -77,6 +79,13 @@ impl WorkloadExperiment {
     /// override if set, else the cell's own (spec-validated) choice.
     pub fn cell_backend(cfg: &RunConfig, cell: &PlannedCell) -> Backend {
         cfg.backend.unwrap_or(cell.backend)
+    }
+
+    /// The DP representation a cell solves under this config: the
+    /// `--dp-mode` override if set, else the cell's own (spec-resolved)
+    /// `dp_mode`.
+    pub fn cell_dp_mode(cfg: &RunConfig, cell: &PlannedCell) -> DpMode {
+        cfg.dp_mode.unwrap_or(cell.dp_mode)
     }
 
     /// Check that every cell this config routes to the exact backend can
@@ -146,6 +155,10 @@ impl WorkloadExperiment {
                 .collect::<Result<Vec<_>, _>>()?;
             run_observed_sweep(&ojobs, &cfg.sweep_options())
         };
+        // One memo for the whole run: cells that share curves (same
+        // kernel, target, budget, mode) solve once. Memoized reports are
+        // byte-identical to fresh ones, so this is pure wall-clock.
+        let memo = DpMemo::new();
         let mut mc_idx = 0usize;
         for (cell, backend) in self.plan.cells.iter().zip(&backends) {
             let row = match backend {
@@ -154,7 +167,7 @@ impl WorkloadExperiment {
                     mc_idx += 1;
                     mc_row(cell, smoke, metrics, &outcomes[i], observed.get(i))
                 }
-                Backend::Dp => dp_row(cell, smoke, metrics)?,
+                Backend::Dp => dp_row(cell, smoke, metrics, cfg, &memo)?,
             };
             report.row(row);
         }
@@ -213,6 +226,23 @@ impl WorkloadExperiment {
         &self,
         cfg: &RunConfig,
         opts: &ants_sim::SweepOptions,
+        on_row: impl FnMut(usize, &PlannedCell, &[Value]),
+    ) -> Result<Report, WorkloadError> {
+        self.try_run_streamed_with(cfg, opts, &DpMemo::new(), on_row)
+    }
+
+    /// [`WorkloadExperiment::try_run_streamed`] with a caller-owned
+    /// [`DpMemo`], so a long-lived host (the serve daemon) can share DP
+    /// curves *across* submissions, not just across one run's cells.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`WorkloadExperiment::try_run_streamed`].
+    pub fn try_run_streamed_with(
+        &self,
+        cfg: &RunConfig,
+        opts: &ants_sim::SweepOptions,
+        memo: &DpMemo,
         mut on_row: impl FnMut(usize, &PlannedCell, &[Value]),
     ) -> Result<Report, WorkloadError> {
         let smoke = cfg.effort == Effort::Smoke;
@@ -231,7 +261,7 @@ impl WorkloadExperiment {
                     };
                     mc_row(cell, smoke, metrics, &outcomes[0], observed.first())
                 }
-                Backend::Dp => dp_row(cell, smoke, metrics)?,
+                Backend::Dp => dp_row(cell, smoke, metrics, cfg, memo)?,
             };
             on_row(i, cell, &row);
             report.row(row);
@@ -311,13 +341,28 @@ fn mc_row(
 }
 
 /// One exact report row: the DP cell evaluation mapped onto the same
-/// column vocabulary, `exact = true`.
+/// column vocabulary, `exact = true`. Solves under the config's
+/// `--dp-mode` override (if any), shares curves through `memo`, and
+/// attributes the solve to telemetry (`dp_solve` span, `dp_solves` /
+/// `dp_memo_hits` / `dp_memo_misses` counters) when a sink is attached.
 fn dp_row(
     cell: &PlannedCell,
     smoke: bool,
     metrics: MetricSet,
+    cfg: &RunConfig,
+    memo: &DpMemo,
 ) -> Result<Vec<Value>, WorkloadError> {
-    let r = ants_workload::dp::evaluate_cell(cell, smoke, metrics)?;
+    let (hits_before, misses_before) = memo.stats();
+    let r = {
+        let _span = SpanGuard::new(cfg.telemetry, Phase::DpSolve);
+        ants_workload::dp::evaluate_cell_with(cell, smoke, metrics, cfg.dp_mode, Some(memo))?
+    };
+    if let Some(t) = cfg.telemetry {
+        let (hits, misses) = memo.stats();
+        t.incr(0, Counter::DpSolves);
+        t.add(0, Counter::DpMemoHits, hits.saturating_sub(hits_before));
+        t.add(0, Counter::DpMemoMisses, misses.saturating_sub(misses_before));
+    }
     let mut row: Vec<Value> = vec![
         cell.label.as_str().into(),
         cell.population_label().into(),
@@ -722,6 +767,47 @@ population = [ { strategy = "randomwalk" } ]
                 assert_eq!(tokens(row), tokens(&streamed.records().rows()[pos]));
             }
         }
+    }
+
+    #[test]
+    fn dp_mode_override_agrees_with_dense_and_counts_telemetry() {
+        let exp = mixed_experiment();
+        let dense = exp.run(&RunConfig::standard());
+        let sparse = exp.run(&RunConfig::standard().with_dp_mode(Some(DpMode::Sparse)));
+        // The representations agree to the truncation tolerance; MC rows
+        // are untouched by the override.
+        assert!((dense.num(1, "success") - sparse.num(1, "success")).abs() <= 1e-9);
+        assert_eq!(
+            dense.num(0, "success").to_bits(),
+            sparse.num(0, "success").to_bits(),
+            "--dp-mode must not perturb MC cells"
+        );
+        // Telemetry attributes the solve: one dp cell → one solve, all
+        // its curve lookups fresh (nothing shares a curve with it).
+        let t = ants_obs::Telemetry::new();
+        let _ = exp.run(&RunConfig::standard().with_telemetry(Some(t)));
+        assert_eq!(t.counter(Counter::DpSolves), 1);
+        assert_eq!(t.counter(Counter::DpMemoHits), 0);
+        assert!(t.counter(Counter::DpMemoMisses) >= 1);
+        assert!(t.snapshot().phase_count[Phase::DpSolve as usize] >= 1);
+    }
+
+    #[test]
+    fn shared_memo_carries_curves_across_streamed_runs() {
+        let exp = mixed_experiment();
+        let cfg = RunConfig::standard();
+        let memo = DpMemo::new();
+        let cold = exp
+            .try_run_streamed_with(&cfg, &cfg.sweep_options(), &memo, |_, _, _| {})
+            .expect("cold run");
+        let (h0, _) = memo.stats();
+        assert_eq!(h0, 0, "first run has nothing to hit");
+        let warm = exp
+            .try_run_streamed_with(&cfg, &cfg.sweep_options(), &memo, |_, _, _| {})
+            .expect("warm run");
+        let (h1, _) = memo.stats();
+        assert!(h1 > 0, "second run reuses the first run's curves");
+        assert_eq!(warm.to_csv(), cold.to_csv(), "memoized rows are byte-identical");
     }
 
     #[test]

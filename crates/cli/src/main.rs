@@ -42,6 +42,10 @@
 //!        --backend mc|dp                     force every workload cell onto
 //!                                            the Monte Carlo pool or the
 //!                                            exact DP backend
+//!        --dp-mode dense|sparse|auto         force the exact backend's
+//!                                            occupancy representation (dense
+//!                                            tables, sparse frontier, or the
+//!                                            per-cell size heuristic)
 //!        --json                              write target/reports/<id>.json
 //!        --csv                               print CSV after the table
 //!        --telemetry PATH                    write an NDJSON telemetry
@@ -79,7 +83,8 @@ fn usage() -> ! {
          query submit|gate <file>|stats|shutdown [--addr H:P | --cache <dir>]> \
          [--smoke | --effort smoke|standard] [--seed N] [--threads K] \
          [--granularity auto|trial|agent] [--chunk N] [--metrics a,b,...] \
-         [--backend mc|dp] [--csv] [--json] [--telemetry PATH]\n\
+         [--backend mc|dp] [--dp-mode dense|sparse|auto] [--csv] [--json] \
+         [--telemetry PATH]\n\
          reproduction harness for Lenzen-Lynch-Newport-Radeva, PODC 2014"
     );
     std::process::exit(2);

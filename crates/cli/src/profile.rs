@@ -89,13 +89,16 @@ fn print_profile(flags: &Flags, cells: &[(String, f64)], snap: &Snapshot) {
             format!("{:.1}", snap.phase_ns[phase as usize] as f64 / 1e6),
         ]);
     }
-    println!("phases (plan -> execute -> reduce -> report):\n\n{t}");
+    println!("phases (plan -> execute -> reduce -> report; dp_solve = exact cells):\n\n{t}");
 
     let mut t = Table::new(vec!["counter", "value"]);
     for counter in Counter::ALL {
-        // Serve counters only move inside the daemon; gauges likewise.
+        // Serve counters only move inside the daemon, and dp counters
+        // only move when a cell ran the exact backend; gauges likewise.
         let value = snap.counter(counter);
-        if value == 0 && counter.as_str().starts_with("serve_") {
+        let prefixed =
+            counter.as_str().starts_with("serve_") || counter.as_str().starts_with("dp_");
+        if value == 0 && prefixed {
             continue;
         }
         t.row(vec![counter.as_str().to_string(), value.to_string()]);

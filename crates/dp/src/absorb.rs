@@ -74,8 +74,34 @@ impl Table {
     }
 }
 
+/// [`absorption_cdf`] with an explicit table representation: `Dense`
+/// runs the dense solver below, `Sparse` the frontier solver
+/// ([`crate::sparse_absorption_cdf`]), and `Auto` resolves against the
+/// predicted dense shape ([`crate::DpMode::resolve`]) — dense at or
+/// below the measured break-even so small-cell results stay
+/// byte-identical to the dense-only backend, sparse beyond it.
+///
+/// # Errors
+///
+/// As the resolved solver.
+pub fn absorption_cdf_mode(
+    collapsed: &CollapsedKernel,
+    label: &str,
+    target: Point,
+    budget: u64,
+    mode: crate::DpMode,
+) -> Result<AbsorptionCurve, DpError> {
+    match mode.resolve(collapsed.rows.len(), budget) {
+        crate::DpMode::Sparse => {
+            crate::frontier::sparse_absorption_cdf(collapsed, label, target, budget)
+        }
+        _ => absorption_cdf(collapsed, label, target, budget),
+    }
+}
+
 /// Compute the exact absorption CDF of a single agent driven by
-/// `collapsed` against `target`, for move budgets up to `budget`.
+/// `collapsed` against `target`, for move budgets up to `budget`, on
+/// the dense table.
 ///
 /// # Errors
 ///
@@ -108,6 +134,9 @@ pub fn absorption_cdf(
                  move budget {budget})"
             ),
             limit: crate::MAX_TABLE_ENTRIES,
+            hint: "set dp_mode = \"sparse\" (or --dp-mode sparse) to solve it on the sparse \
+                   frontier, shrink the cell, or use backend = \"mc\""
+                .into(),
         });
     }
 

@@ -186,6 +186,7 @@ pub fn collapse(kernel: &dyn MarkovKernel) -> Result<CollapsedKernel, DpError> {
         return Err(DpError::Guard {
             what: format!("{} internal-state space ({n} states)", kernel.label()),
             limit: crate::MAX_SOLVE_STATES,
+            hint: "shrink the cell or use backend = \"mc\"".into(),
         });
     }
     if kernel.position_sensitive() {

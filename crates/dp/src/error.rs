@@ -25,6 +25,9 @@ pub enum DpError {
         what: String,
         /// The guard's limit.
         limit: usize,
+        /// What to do about it (e.g. switch `dp_mode`, shrink the cell,
+        /// fall back to Monte Carlo).
+        hint: String,
     },
     /// Truncated tail mass (e.g. the uniform kernel's phase cap)
     /// exceeded [`crate::TRUNCATION_TOL`] — the answer would not be
@@ -43,11 +46,10 @@ impl fmt::Display for DpError {
             DpError::Unsupported { what, reason } => {
                 write!(f, "exact backend does not support {what}: {reason}")
             }
-            DpError::Guard { what, limit } => {
+            DpError::Guard { what, limit, hint } => {
                 write!(
                     f,
-                    "exact backend guard tripped: {what} exceeds the limit of {limit}; \
-                     shrink the cell or use backend = \"mc\""
+                    "exact backend guard tripped: {what} exceeds the limit of {limit}; {hint}"
                 )
             }
             DpError::Truncation { kernel, lost } => {

@@ -36,12 +36,14 @@
 //!   footprint reached with probability above
 //!   [`crate::CHI_MASS_FLOOR`] (MC reports the per-run running max).
 
-use crate::absorb::absorption_cdf;
-use crate::collapse::collapse;
+use crate::absorb::absorption_cdf_mode;
+use crate::collapse::{collapse, CollapsedKernel};
 use crate::error::DpError;
-use crate::kernel::{MarkovKernel, TableKernel};
-use crate::rounds::{chi_support, step_absorption_cdf, visit_survival_curve};
+use crate::kernel::{kernel_fingerprint, MarkovKernel, TableKernel};
+use crate::rounds::{chi_support, step_absorption_cdf_mode, visit_survival_curve_mode};
+use crate::DpMode;
 use ants_grid::{Point, Rect, TargetPlacement};
+use std::sync::Arc;
 
 /// One population entry: a weighted kernel.
 #[derive(Debug, Clone)]
@@ -95,6 +97,25 @@ pub struct DpRequest {
     pub targets: Vec<(Point, f64)>,
     /// Observation metrics to evaluate, if any.
     pub metrics: Option<DpMetrics>,
+    /// Table representation for every DP in the cell (see
+    /// [`DpMode::resolve`] for how `Auto` picks per solve).
+    pub mode: DpMode,
+}
+
+/// A cross-cell cache for solved DP curves.
+///
+/// The exact backend solves one curve per `(kernel, point, clock,
+/// mode)`; sweeps re-solve the same curves cell after cell whenever only
+/// the agent count or trial count varies. Implementations (the workload
+/// layer's `DpMemo`) store the solved curves keyed by a string that
+/// starts from [`kernel_fingerprint`], so a hit is guaranteed to return
+/// exactly the bytes a fresh solve would produce — memoization can never
+/// change a report.
+pub trait SolveCache {
+    /// Look up a previously stored curve.
+    fn get(&self, key: &str) -> Option<Arc<Vec<f64>>>;
+    /// Store a freshly solved curve.
+    fn put(&self, key: &str, value: Arc<Vec<f64>>);
 }
 
 /// The exact cell report, mirroring the MC row vocabulary.
@@ -212,6 +233,38 @@ fn conditional_moments(h: &[f64]) -> (f64, f64) {
     (median, mean / success)
 }
 
+/// Collapse `kernel` into `slot` on first use; later calls return the
+/// cached collapse. A fully memoized cell never pays for the collapse.
+fn collapsed_of<'a>(
+    slot: &'a mut Option<CollapsedKernel>,
+    kernel: &TableKernel,
+) -> Result<&'a CollapsedKernel, DpError> {
+    if slot.is_none() {
+        *slot = Some(collapse(kernel)?);
+    }
+    Ok(slot.as_ref().expect("just filled"))
+}
+
+/// Look `key` up in `cache` (when present), solving and storing on a
+/// miss. The returned `Arc` is exactly the fresh solve's output, so a
+/// hit can never change a report.
+fn cached_curve(
+    cache: Option<&dyn SolveCache>,
+    key: String,
+    solve: impl FnOnce() -> Result<Vec<f64>, DpError>,
+) -> Result<Arc<Vec<f64>>, DpError> {
+    if let Some(c) = cache {
+        if let Some(hit) = c.get(&key) {
+            return Ok(hit);
+        }
+    }
+    let curve = Arc::new(solve()?);
+    if let Some(c) = cache {
+        c.put(&key, Arc::clone(&curve));
+    }
+    Ok(curve)
+}
+
 /// Evaluate one cell exactly.
 ///
 /// # Errors
@@ -219,6 +272,22 @@ fn conditional_moments(h: &[f64]) -> (f64, f64) {
 /// Any [`DpError`] from the collapse, the DPs, or the guards; the error
 /// names the strategy or knob responsible.
 pub fn evaluate(req: &DpRequest) -> Result<DpCellReport, DpError> {
+    evaluate_with(req, None)
+}
+
+/// [`evaluate`] with an optional cross-cell curve cache: every
+/// absorption, survival, and found-round curve is looked up before
+/// solving and stored after solving. Cache keys start from
+/// [`kernel_fingerprint`], so two cells sharing a strategy, a point,
+/// a clock and a [`DpMode`] share the solve — byte-identically.
+///
+/// # Errors
+///
+/// As [`evaluate`].
+pub fn evaluate_with(
+    req: &DpRequest,
+    cache: Option<&dyn SolveCache>,
+) -> Result<DpCellReport, DpError> {
     if req.agents == 0 {
         return Err(DpError::Unsupported {
             what: "a cell with zero agents".into(),
@@ -236,17 +305,23 @@ pub fn evaluate(req: &DpRequest) -> Result<DpCellReport, DpError> {
     let budget = req.move_budget as usize;
 
     // --- Base columns: the exact law of the trial statistic. ---
-    // Per strategy, collapse once; per (strategy, target), one
-    // absorption DP.
-    let collapsed: Vec<_> =
-        req.population.iter().map(|s| collapse(&s.kernel)).collect::<Result<_, _>>()?;
+    // Per strategy, collapse once (lazily — a fully memoized cell skips
+    // it); per (strategy, target), one absorption DP or cache hit.
+    let mode = req.mode;
+    let fps: Vec<u128> = req.population.iter().map(|s| kernel_fingerprint(&s.kernel)).collect();
+    let mut collapsed: Vec<Option<CollapsedKernel>> = req.population.iter().map(|_| None).collect();
     let mut h_mix = vec![0.0f64; budget + 1];
     for &(target, tw) in &req.targets {
         let mut f_bar = vec![0.0f64; budget + 1];
         for (si, strat) in req.population.iter().enumerate() {
-            let curve =
-                absorption_cdf(&collapsed[si], strat.kernel.label(), target, req.move_budget)?;
-            for (fb, &c) in f_bar.iter_mut().zip(curve.cdf.iter()) {
+            let key =
+                format!("a|{:032x}|{},{}|{}|{mode}", fps[si], target.x, target.y, req.move_budget);
+            let cdf = cached_curve(cache, key, || {
+                let c = collapsed_of(&mut collapsed[si], &strat.kernel)?;
+                absorption_cdf_mode(c, strat.kernel.label(), target, req.move_budget, mode)
+                    .map(|curve| curve.cdf)
+            })?;
+            for (fb, &c) in f_bar.iter_mut().zip(cdf.iter()) {
                 *fb += p_strat[si] * c;
             }
         }
@@ -300,6 +375,9 @@ pub fn evaluate(req: &DpRequest) -> Result<DpCellReport, DpError> {
                      horizon {horizon}^3 step-DP work)"
                 ),
                 limit: MAX_METRIC_WORK as usize,
+                hint: "shrink the bounds or horizon, drop the survival metrics, or use \
+                       backend = \"mc\""
+                    .into(),
             });
         }
         // Per bounds cell: population survival q̄^n at every round.
@@ -313,7 +391,16 @@ pub fn evaluate(req: &DpRequest) -> Result<DpCellReport, DpError> {
         for cell in bounds.points() {
             let mut q_bar = vec![0.0f64; hz + 1];
             for (si, strat) in req.population.iter().enumerate() {
-                let q = visit_survival_curve(&strat.kernel, strat.kernel.label(), cell, horizon)?;
+                let key = format!("s|{:032x}|{},{}|{horizon}|{mode}", fps[si], cell.x, cell.y);
+                let q = cached_curve(cache, key, || {
+                    visit_survival_curve_mode(
+                        &strat.kernel,
+                        strat.kernel.label(),
+                        cell,
+                        horizon,
+                        mode,
+                    )
+                })?;
                 for r in 0..=hz {
                     q_bar[r] += p_strat[si] * q[r];
                 }
@@ -358,7 +445,16 @@ pub fn evaluate(req: &DpRequest) -> Result<DpCellReport, DpError> {
         for &(target, tw) in &req.targets {
             let mut f_bar = vec![0.0f64; hz + 1];
             for (si, strat) in req.population.iter().enumerate() {
-                let f = step_absorption_cdf(&strat.kernel, strat.kernel.label(), target, horizon)?;
+                let key = format!("r|{:032x}|{},{}|{horizon}|{mode}", fps[si], target.x, target.y);
+                let f = cached_curve(cache, key, || {
+                    step_absorption_cdf_mode(
+                        &strat.kernel,
+                        strat.kernel.label(),
+                        target,
+                        horizon,
+                        mode,
+                    )
+                })?;
                 for r in 0..=hz {
                     f_bar[r] += p_strat[si] * f[r];
                 }
@@ -378,6 +474,7 @@ pub fn evaluate(req: &DpRequest) -> Result<DpCellReport, DpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::absorb::absorption_cdf;
     use crate::kernel::{nonuniform_kernel, randomwalk_kernel};
 
     fn walk_req(agents: u64, budget: u64, targets: Vec<(Point, f64)>) -> DpRequest {
@@ -388,6 +485,7 @@ mod tests {
             population: vec![DpStrategy { weight: 1, kernel: randomwalk_kernel() }],
             targets,
             metrics: None,
+            mode: DpMode::Auto,
         }
     }
 
@@ -424,6 +522,7 @@ mod tests {
             population,
             targets: target.clone(),
             metrics: None,
+            mode: DpMode::Auto,
         };
         let a = evaluate(&mk(vec![walk.clone()])).unwrap();
         let b = evaluate(&mk(vec![nu.clone()])).unwrap();
@@ -485,6 +584,73 @@ mod tests {
         // the move clock coincide.
         assert!((found_at - rep.success).abs() < 1e-12);
         assert!(mean_round > 0.0 && mean_round <= 8.0);
+    }
+
+    #[test]
+    fn memoized_reports_are_byte_identical() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct MapCache {
+            map: Mutex<HashMap<String, Arc<Vec<f64>>>>,
+            gets: Mutex<(u64, u64)>,
+        }
+        impl SolveCache for MapCache {
+            fn get(&self, key: &str) -> Option<Arc<Vec<f64>>> {
+                let hit = self.map.lock().unwrap().get(key).cloned();
+                let mut g = self.gets.lock().unwrap();
+                if hit.is_some() {
+                    g.0 += 1;
+                } else {
+                    g.1 += 1;
+                }
+                hit
+            }
+            fn put(&self, key: &str, value: Arc<Vec<f64>>) {
+                self.map.lock().unwrap().insert(key.to_string(), value);
+            }
+        }
+
+        let mut req = walk_req(3, 8, vec![(Point::new(1, 0), 1.0), (Point::new(2, 1), 1.0 / 2.0)]);
+        req.metrics = Some(DpMetrics {
+            coverage: true,
+            first_visit: true,
+            round_trace: true,
+            chi: true,
+            found_round: true,
+            bounds_radius: 1,
+            rounds: 8,
+        });
+        let fresh = evaluate(&req).unwrap();
+        let cache = MapCache::default();
+        let cold = evaluate_with(&req, Some(&cache)).unwrap();
+        let warm = evaluate_with(&req, Some(&cache)).unwrap();
+        let (hits, misses) = *cache.gets.lock().unwrap();
+        assert!(hits >= misses, "second pass must hit every key: {hits} hits / {misses} misses");
+        for rep in [&cold, &warm] {
+            assert_eq!(fresh.success.to_bits(), rep.success.to_bits());
+            assert_eq!(fresh.found.to_bits(), rep.found.to_bits());
+            assert_eq!(fresh.median_moves.to_bits(), rep.median_moves.to_bits());
+            assert_eq!(fresh.mean_moves.to_bits(), rep.mean_moves.to_bits());
+            assert_eq!(fresh.coverage.unwrap().to_bits(), rep.coverage.unwrap().to_bits());
+            assert_eq!(
+                fresh.mean_first_visit.unwrap().to_bits(),
+                rep.mean_first_visit.unwrap().to_bits()
+            );
+            assert_eq!(
+                fresh.round_trace.unwrap().0.to_bits(),
+                rep.round_trace.unwrap().0.to_bits()
+            );
+            assert_eq!(
+                fresh.found_round.unwrap().0.to_bits(),
+                rep.found_round.unwrap().0.to_bits()
+            );
+            assert_eq!(
+                fresh.found_round.unwrap().1.to_bits(),
+                rep.found_round.unwrap().1.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -446,6 +446,7 @@ pub fn mortal_kernel(inner: &TableKernel, expiry: u64) -> Result<TableKernel, Dp
                     inner.label()
                 ),
                 limit: crate::MAX_SOLVE_STATES,
+                hint: "shrink the expiry or use backend = \"mc\"".into(),
             }
         })?;
     let at = |state: usize, used: usize| used * s + state;
@@ -488,6 +489,64 @@ pub fn mortal_kernel(inner: &TableKernel, expiry: u64) -> Result<TableKernel, Dp
         chi,
         trunc,
     ))
+}
+
+/// Content fingerprint of a kernel: a 128-bit FNV-1a hash over every
+/// observable the DP layers consume — state count, start state, both
+/// position-class rows (successor, action, exact probability bits),
+/// per-state chi, truncation states, and the trait flags. Two kernels
+/// with equal fingerprints produce byte-identical DP curves, which is
+/// what makes the fingerprint a sound memoization key
+/// ([`crate::SolveCache`]).
+pub fn kernel_fingerprint(k: &dyn MarkovKernel) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    struct Fnv(u128);
+    impl Fnv {
+        fn bytes(&mut self, b: &[u8]) {
+            for &byte in b {
+                self.0 ^= u128::from(byte);
+                self.0 = self.0.wrapping_mul(PRIME);
+            }
+        }
+        fn u64(&mut self, v: u64) {
+            self.bytes(&v.to_le_bytes());
+        }
+    }
+    let action_code = |a: GridAction| -> u64 {
+        match a {
+            GridAction::None => 0,
+            GridAction::Origin => 1,
+            GridAction::Move(d) => {
+                let (dx, dy) = d.delta();
+                // Encodes the move direction injectively: 2 + (dx+1) + 3(dy+1).
+                2 + (dx + 1 + 3 * (dy + 1)) as u64
+            }
+        }
+    };
+    let mut h = Fnv(OFFSET);
+    h.u64(k.num_states() as u64);
+    h.u64(k.start() as u64);
+    h.u64(u64::from(k.chi_is_static()));
+    h.u64(u64::from(k.position_sensitive()));
+    for s in 0..k.num_states() {
+        let chi = k.chi(s);
+        h.u64(u64::from(chi.memory_bits()));
+        h.u64(u64::from(chi.ell()));
+        for pos in [PositionClass::Origin, PositionClass::Away] {
+            let row = k.row(s, pos);
+            h.u64(row.len() as u64);
+            for t in row {
+                h.u64(t.next as u64);
+                h.u64(action_code(t.action));
+                h.u64(t.prob.to_bits());
+            }
+        }
+    }
+    for &t in k.truncation_states() {
+        h.u64(t as u64);
+    }
+    h.0
 }
 
 #[cfg(test)]
@@ -583,6 +642,21 @@ mod tests {
         assert_eq!(halted[0].next, 3);
         // Counter bits match Expiring: expiry 3 needs 2 bits.
         assert_eq!(k.chi(0).memory_bits(), inner.chi(0).memory_bits() + 2);
+    }
+
+    #[test]
+    fn fingerprint_separates_kernels_and_is_stable() {
+        let a = kernel_fingerprint(&randomwalk_kernel());
+        let b = kernel_fingerprint(&nonuniform_kernel(4).unwrap());
+        let c = kernel_fingerprint(&nonuniform_kernel(8).unwrap());
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, kernel_fingerprint(&randomwalk_kernel()));
+        // The mortal wrapper changes the fingerprint even though the
+        // inner rows are shared.
+        let inner = randomwalk_kernel();
+        let m = kernel_fingerprint(&mortal_kernel(&inner, 3).unwrap());
+        assert_ne!(a, m);
     }
 
     #[test]

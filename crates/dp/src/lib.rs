@@ -48,18 +48,29 @@ mod absorb;
 mod collapse;
 mod error;
 mod eval;
+mod frontier;
 mod kernel;
 mod rounds;
 
-pub use absorb::{absorption_cdf, AbsorptionCurve};
+pub use absorb::{absorption_cdf, absorption_cdf_mode, AbsorptionCurve};
 pub use collapse::{collapse, CollapsedKernel, CollapsedRow, MoveExit};
 pub use error::DpError;
-pub use eval::{evaluate, target_support, DpCellReport, DpMetrics, DpRequest, DpStrategy};
-pub use kernel::{
-    coin_kernel, mortal_kernel, nonuniform_kernel, pfa_kernel, randomwalk_kernel, uniform_kernel,
-    KernelTransition, MarkovKernel, PositionClass, TableKernel, UNIFORM_PHASE_CAP,
+pub use eval::{
+    evaluate, evaluate_with, target_support, DpCellReport, DpMetrics, DpRequest, DpStrategy,
+    SolveCache,
 };
-pub use rounds::{chi_support, step_absorption_cdf, visit_survival_curve};
+pub use frontier::{
+    sparse_absorption_cdf, sparse_absorption_cdf_stats, sparse_first_landing_cdf, FrontierStats,
+};
+pub use kernel::{
+    coin_kernel, kernel_fingerprint, mortal_kernel, nonuniform_kernel, pfa_kernel,
+    randomwalk_kernel, uniform_kernel, KernelTransition, MarkovKernel, PositionClass, TableKernel,
+    UNIFORM_PHASE_CAP,
+};
+pub use rounds::{
+    chi_support, step_absorption_cdf, step_absorption_cdf_mode, visit_survival_curve,
+    visit_survival_curve_mode,
+};
 
 /// Backend selector surfaced through workload specs and the CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -96,6 +107,80 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// Occupancy-table representation selector for the exact backend,
+/// surfaced as `dp_mode = "dense" | "sparse" | "auto"` on workload
+/// specs and `--dp-mode` on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DpMode {
+    /// Dense `(state, position)` tables over the full budget square —
+    /// fastest on small cells, refused past [`MAX_TABLE_ENTRIES`].
+    Dense,
+    /// Sparse frontier of occupied entries with symmetry folding — the
+    /// only representation past the dense guard.
+    Sparse,
+    /// Per-solve choice (the default): dense while the predicted table
+    /// stays at or below [`DENSE_BREAKEVEN_ENTRIES`], sparse beyond.
+    #[default]
+    Auto,
+}
+
+impl DpMode {
+    /// Parse a spec/CLI mode name.
+    pub fn parse(s: &str) -> Option<DpMode> {
+        match s {
+            "dense" => Some(DpMode::Dense),
+            "sparse" => Some(DpMode::Sparse),
+            "auto" => Some(DpMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// The spec/CLI name of this mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DpMode::Dense => "dense",
+            DpMode::Sparse => "sparse",
+            DpMode::Auto => "auto",
+        }
+    }
+
+    /// Resolve `Auto` against a predicted dense table shape
+    /// (`states × (2·span + 1)²` entries): dense at or below the
+    /// measured break-even, sparse beyond — but only while sparse is
+    /// *plausible*, i.e. a single state's full position square still
+    /// fits [`MAX_FRONTIER_ENTRIES`]. Past that, a worst-case (fully
+    /// diffusive) kernel would grind through billions of frontier
+    /// updates before the reactive cap could trip, so `Auto` stays
+    /// dense and fails fast on the dense guard instead; forcing
+    /// `dp_mode = "sparse"` explicitly remains an opt-in for kernels
+    /// whose live frontier is known to stay thin at huge budgets.
+    /// `Dense` and `Sparse` resolve to themselves.
+    pub fn resolve(self, states: usize, span: u64) -> DpMode {
+        match self {
+            DpMode::Auto => {
+                let width = (2 * span as u128 + 1).pow(2);
+                let dense_fits = (states as u128)
+                    .checked_mul(width)
+                    .is_some_and(|e| e <= DENSE_BREAKEVEN_ENTRIES as u128);
+                if dense_fits {
+                    DpMode::Dense
+                } else if width <= MAX_FRONTIER_ENTRIES as u128 {
+                    DpMode::Sparse
+                } else {
+                    DpMode::Dense
+                }
+            }
+            mode => mode,
+        }
+    }
+}
+
+impl std::fmt::Display for DpMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Largest internal-state space the per-move collapse will solve
 /// exactly (dense Gaussian elimination is cubic in this).
 pub const MAX_SOLVE_STATES: usize = 1024;
@@ -119,9 +204,27 @@ pub const CHI_MASS_FLOOR: f64 = 1e-12;
 /// [`TRUNCATION_TOL`].
 pub const PRUNE: f64 = 1e-20;
 
+/// Largest merged sparse frontier, in live `(state, position)` entries,
+/// before the sparse DP refuses ([`DpError::Guard`]). Matches the dense
+/// entry cap: sparse extends the reachable *budget*, not the reachable
+/// *occupancy*.
+pub const MAX_FRONTIER_ENTRIES: usize = 1 << 23;
+
+/// Largest move budget / round horizon the packed sparse frontier key
+/// can address (each offset coordinate gets 21 bits).
+pub const MAX_SPARSE_SPAN: u64 = (1 << 20) - 1;
+
+/// Auto-mode break-even, in predicted dense table entries: at or below
+/// this the dense table's branch-free inner loop wins; above it the
+/// sparse frontier's occupancy savings dominate. Measured on the
+/// bundled crosscheck grid (`BENCH_dp.json` v2: the dense and sparse
+/// `backend/*` medians cross between the 10⁵-entry single-state cells
+/// and the 10⁶-entry multi-state cells).
+pub const DENSE_BREAKEVEN_ENTRIES: usize = 1 << 18;
+
 #[cfg(test)]
 mod tests {
-    use super::Backend;
+    use super::{Backend, DpMode, DENSE_BREAKEVEN_ENTRIES};
 
     #[test]
     fn backend_names_round_trip() {
@@ -131,5 +234,33 @@ mod tests {
         }
         assert_eq!(Backend::parse("exact"), None);
         assert_eq!(Backend::default(), Backend::Mc);
+    }
+
+    #[test]
+    fn dp_mode_names_round_trip() {
+        for m in [DpMode::Dense, DpMode::Sparse, DpMode::Auto] {
+            assert_eq!(DpMode::parse(m.as_str()), Some(m));
+            assert_eq!(m.to_string(), m.as_str());
+        }
+        assert_eq!(DpMode::parse("hashed"), None);
+        assert_eq!(DpMode::default(), DpMode::Auto);
+    }
+
+    #[test]
+    fn auto_resolves_at_the_break_even() {
+        // 1 state at span 32: 65² = 4225 entries — dense.
+        assert_eq!(DpMode::Auto.resolve(1, 32), DpMode::Dense);
+        // Past the break-even with a plausible frontier: sparse.
+        assert_eq!(DpMode::Auto.resolve(DENSE_BREAKEVEN_ENTRIES, 32), DpMode::Sparse);
+        // A span whose single-state square cannot fit the frontier cap
+        // stays dense (and so fails fast on the dense guard) rather
+        // than grinding toward the reactive frontier cap: 2·1447+1
+        // squared is the last width at or under 2²³.
+        assert_eq!(DpMode::Auto.resolve(1, 1447), DpMode::Sparse);
+        assert_eq!(DpMode::Auto.resolve(1, 1448), DpMode::Dense);
+        assert_eq!(DpMode::Auto.resolve(1024, u64::MAX / 4), DpMode::Dense);
+        // Explicit modes resolve to themselves regardless of shape.
+        assert_eq!(DpMode::Dense.resolve(1024, 1 << 30), DpMode::Dense);
+        assert_eq!(DpMode::Sparse.resolve(1, 1), DpMode::Sparse);
     }
 }

@@ -50,6 +50,9 @@ fn first_landing_cdf(
                  horizon {horizon})"
             ),
             limit: crate::MAX_TABLE_ENTRIES,
+            hint: "set dp_mode = \"sparse\" (or --dp-mode sparse) to solve it on the sparse \
+                   frontier, shrink the cell, or use backend = \"mc\""
+                .into(),
         });
     }
     let mut is_trunc = vec![false; states];
@@ -143,13 +146,35 @@ pub fn step_absorption_cdf(
     target: Point,
     horizon: u64,
 ) -> Result<Vec<f64>, DpError> {
+    step_absorption_cdf_mode(kernel, label, target, horizon, crate::DpMode::Dense)
+}
+
+/// [`step_absorption_cdf`] with an explicit table representation
+/// (see [`crate::DpMode::resolve`] for how `Auto` picks).
+///
+/// # Errors
+///
+/// As [`step_absorption_cdf`], against the resolved solver.
+pub fn step_absorption_cdf_mode(
+    kernel: &dyn MarkovKernel,
+    label: &str,
+    target: Point,
+    horizon: u64,
+    mode: crate::DpMode,
+) -> Result<Vec<f64>, DpError> {
     if target == Point::ORIGIN {
         return Err(DpError::Unsupported {
             what: "a found-round curve for an origin target".into(),
             reason: "targets are never placed on the origin".into(),
         });
     }
-    first_landing_cdf(kernel, label, target, horizon)
+    match mode.resolve(kernel.num_states(), horizon) {
+        crate::DpMode::Sparse => {
+            crate::frontier::sparse_first_landing_cdf(kernel, label, target, horizon)
+                .map(|(cdf, _)| cdf)
+        }
+        _ => first_landing_cdf(kernel, label, target, horizon),
+    }
 }
 
 /// The per-cell survival curve: `out[r]` = P(`cell` is still unvisited
@@ -166,10 +191,31 @@ pub fn visit_survival_curve(
     cell: Point,
     horizon: u64,
 ) -> Result<Vec<f64>, DpError> {
+    visit_survival_curve_mode(kernel, label, cell, horizon, crate::DpMode::Dense)
+}
+
+/// [`visit_survival_curve`] with an explicit table representation
+/// (see [`crate::DpMode::resolve`] for how `Auto` picks).
+///
+/// # Errors
+///
+/// As [`visit_survival_curve`], against the resolved solver.
+pub fn visit_survival_curve_mode(
+    kernel: &dyn MarkovKernel,
+    label: &str,
+    cell: Point,
+    horizon: u64,
+    mode: crate::DpMode,
+) -> Result<Vec<f64>, DpError> {
     if cell == Point::ORIGIN {
         return Ok(vec![0.0; horizon as usize + 1]);
     }
-    let f = first_landing_cdf(kernel, label, cell, horizon)?;
+    let f = match mode.resolve(kernel.num_states(), horizon) {
+        crate::DpMode::Sparse => {
+            crate::frontier::sparse_first_landing_cdf(kernel, label, cell, horizon)?.0
+        }
+        _ => first_landing_cdf(kernel, label, cell, horizon)?,
+    };
     Ok(f.into_iter().map(|p| 1.0 - p).collect())
 }
 

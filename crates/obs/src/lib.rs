@@ -84,11 +84,17 @@ pub enum Counter {
     ServeHits,
     /// Submissions that ran the pool.
     ServeMisses,
+    /// Exact-backend cell evaluations (one per DP row solved).
+    DpSolves,
+    /// DP curve lookups answered by a cross-cell memo.
+    DpMemoHits,
+    /// DP curve lookups that ran a fresh solve.
+    DpMemoMisses,
 }
 
 impl Counter {
     /// Number of counters in the catalogue.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// Every counter, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -108,6 +114,9 @@ impl Counter {
         Counter::ServeShutdown,
         Counter::ServeHits,
         Counter::ServeMisses,
+        Counter::DpSolves,
+        Counter::DpMemoHits,
+        Counter::DpMemoMisses,
     ];
 
     /// Stable snake_case name (the NDJSON field name family).
@@ -129,6 +138,9 @@ impl Counter {
             Counter::ServeShutdown => "serve_shutdown",
             Counter::ServeHits => "serve_hits",
             Counter::ServeMisses => "serve_misses",
+            Counter::DpSolves => "dp_solves",
+            Counter::DpMemoHits => "dp_memo_hits",
+            Counter::DpMemoMisses => "dp_memo_misses",
         }
     }
 }
@@ -145,15 +157,17 @@ pub enum Phase {
     Reduce,
     /// Rendering and writing reports.
     Report,
+    /// Exact-backend cell evaluations (dense or sparse DP solves).
+    DpSolve,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] =
-        [Phase::Plan, Phase::Execute, Phase::Reduce, Phase::Report];
+        [Phase::Plan, Phase::Execute, Phase::Reduce, Phase::Report, Phase::DpSolve];
 
     /// Stable lowercase name.
     pub fn as_str(self) -> &'static str {
@@ -162,6 +176,7 @@ impl Phase {
             Phase::Execute => "execute",
             Phase::Reduce => "reduce",
             Phase::Report => "report",
+            Phase::DpSolve => "dp_solve",
         }
     }
 }

@@ -3,7 +3,8 @@
 //! NDJSON snapshot format.
 //!
 //! One snapshot serializes to [`SNAPSHOT_SCHEMA`]-stamped NDJSON — one
-//! line per subsystem (`pool`, `engine`, `phases`, `serve`, `plans`) — so
+//! line per subsystem (`pool`, `engine`, `phases`, `serve`, `dp`,
+//! `plans`) — so
 //! a `--telemetry <path>` file can be grepped per layer and a consumer
 //! can parse any single line without reading the rest. [`Snapshot::merge`]
 //! is a commutative, associative fold (counters add with saturation,
@@ -254,14 +255,23 @@ impl Snapshot {
         )
     }
 
+    fn dp_body(&self) -> String {
+        format!(
+            "\"solves\":{},\"memo_hits\":{},\"memo_misses\":{}",
+            self.counter(Counter::DpSolves),
+            self.counter(Counter::DpMemoHits),
+            self.counter(Counter::DpMemoMisses),
+        )
+    }
+
     fn plans_body(&self) -> String {
         let items: Vec<String> = self.plans.iter().map(PlanDecision::to_json).collect();
         format!("\"decisions\":[{}]", items.join(","))
     }
 
     /// The NDJSON snapshot: one schema-stamped line per subsystem
-    /// (`pool`, `engine`, `phases`, `serve`, `plans`), each a complete
-    /// JSON object, newline-terminated.
+    /// (`pool`, `engine`, `phases`, `serve`, `dp`, `plans`), each a
+    /// complete JSON object, newline-terminated.
     pub fn to_ndjson(&self) -> String {
         let line = |subsystem: &str, body: String| {
             format!("{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"subsystem\":\"{subsystem}\",{body}}}\n")
@@ -271,6 +281,7 @@ impl Snapshot {
         out.push_str(&line("engine", self.engine_body()));
         out.push_str(&line("phases", self.phases_body()));
         out.push_str(&line("serve", self.serve_body()));
+        out.push_str(&line("dp", self.dp_body()));
         out.push_str(&line("plans", self.plans_body()));
         out
     }
@@ -281,11 +292,12 @@ impl Snapshot {
     pub fn to_inline_json(&self) -> String {
         format!(
             "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"pool\":{{{}}},\"engine\":{{{}}},\
-             \"phases\":{{{}}},\"serve\":{{{}}},\"plans\":{{{}}}}}",
+             \"phases\":{{{}}},\"serve\":{{{}}},\"dp\":{{{}}},\"plans\":{{{}}}}}",
             self.pool_body(),
             self.engine_body(),
             self.phases_body(),
             self.serve_body(),
+            self.dp_body(),
             self.plans_body()
         )
     }
@@ -320,8 +332,9 @@ impl Snapshot {
             match subsystem {
                 "pool" => snap.parse_pool(&doc)?,
                 "engine" => snap.parse_engine(&doc)?,
-                "phases" => snap.parse_phases(&doc)?,
+                "phases" => snap.parse_phases(&doc),
                 "serve" => snap.parse_serve(&doc)?,
+                "dp" => snap.parse_dp(&doc),
                 "plans" => snap.parse_plans(&doc)?,
                 _ => {}
             }
@@ -356,14 +369,14 @@ impl Snapshot {
         Ok(())
     }
 
-    fn parse_phases(&mut self, doc: &Jv) -> Result<(), String> {
+    fn parse_phases(&mut self, doc: &Jv) {
+        // Lenient on purpose: a snapshot written before a phase existed
+        // simply has no field for it, and parses as zero. (The `dp_solve`
+        // fields are absent from pre-dp files.)
         for phase in Phase::ALL {
-            self.phase_ns[phase as usize] =
-                req_u64(doc, "phases", &format!("{}_ns", phase.as_str()))?;
-            self.phase_count[phase as usize] =
-                req_u64(doc, "phases", &format!("{}_spans", phase.as_str()))?;
+            self.phase_ns[phase as usize] = opt_u64(doc, &format!("{}_ns", phase.as_str()));
+            self.phase_count[phase as usize] = opt_u64(doc, &format!("{}_spans", phase.as_str()));
         }
-        Ok(())
     }
 
     fn parse_serve(&mut self, doc: &Jv) -> Result<(), String> {
@@ -381,6 +394,14 @@ impl Snapshot {
         Ok(())
     }
 
+    fn parse_dp(&mut self, doc: &Jv) {
+        // Lenient like `parse_phases`: the whole line is absent from
+        // pre-dp snapshots, and fields default to zero.
+        self.counters[Counter::DpSolves as usize] = opt_u64(doc, "solves");
+        self.counters[Counter::DpMemoHits as usize] = opt_u64(doc, "memo_hits");
+        self.counters[Counter::DpMemoMisses as usize] = opt_u64(doc, "memo_misses");
+    }
+
     fn parse_plans(&mut self, doc: &Jv) -> Result<(), String> {
         let items =
             doc.get("decisions").and_then(Jv::as_array).ok_or("plans line missing 'decisions'")?;
@@ -392,6 +413,10 @@ impl Snapshot {
 fn int_array(values: &[u64]) -> String {
     let items: Vec<String> = values.iter().map(u64::to_string).collect();
     format!("[{}]", items.join(","))
+}
+
+fn opt_u64(doc: &Jv, key: &str) -> u64 {
+    doc.get(key).and_then(Jv::as_u64).unwrap_or(0)
 }
 
 fn req_u64(doc: &Jv, subsystem: &str, key: &str) -> Result<u64, String> {
@@ -459,7 +484,7 @@ mod tests {
     fn ndjson_round_trips() {
         let s = sample();
         let text = s.to_ndjson();
-        assert_eq!(text.lines().count(), 5, "one line per subsystem:\n{text}");
+        assert_eq!(text.lines().count(), 6, "one line per subsystem:\n{text}");
         for line in text.lines() {
             assert!(line.contains(SNAPSHOT_SCHEMA), "unstamped line: {line}");
         }
@@ -489,6 +514,46 @@ mod tests {
         assert_eq!(m.uptime_ns, 12_345);
         assert_eq!(m.plans.len(), 2);
         assert_eq!(m.phase_total_ns(Phase::Execute), 1_000);
+    }
+
+    #[test]
+    fn pre_dp_snapshots_still_parse() {
+        // A file written before the `dp` subsystem existed: no dp line,
+        // and a phases line without the `dp_solve` fields. It must parse,
+        // with every dp-era aggregate zero.
+        let mut s = sample();
+        s.counters[Counter::DpSolves as usize] = 4;
+        s.counters[Counter::DpMemoHits as usize] = 9;
+        s.phase_ns[Phase::DpSolve as usize] = 77;
+        s.phase_count[Phase::DpSolve as usize] = 2;
+        let old: String = s
+            .to_ndjson()
+            .lines()
+            .filter(|l| !l.contains("\"subsystem\":\"dp\""))
+            .map(|l| {
+                let l = l.replace(",\"dp_solve_ns\":77,\"dp_solve_spans\":2", "");
+                format!("{l}\n")
+            })
+            .collect();
+        assert!(!old.contains("dp_solve"), "{old}");
+        let parsed = Snapshot::parse_ndjson(&old).unwrap();
+        assert_eq!(parsed.counter(Counter::DpSolves), 0);
+        assert_eq!(parsed.counter(Counter::DpMemoHits), 0);
+        assert_eq!(parsed.phase_total_ns(Phase::DpSolve), 0);
+        assert_eq!(parsed.phase_count[Phase::DpSolve as usize], 0);
+        assert_eq!(parsed.counter(Counter::PoolUnits), 28, "pre-dp fields still load");
+    }
+
+    #[test]
+    fn dp_line_round_trips_counters() {
+        let mut s = sample();
+        s.counters[Counter::DpSolves as usize] = 11;
+        s.counters[Counter::DpMemoHits as usize] = 5;
+        s.counters[Counter::DpMemoMisses as usize] = 6;
+        let parsed = Snapshot::parse_ndjson(&s.to_ndjson()).unwrap();
+        assert_eq!(parsed, s);
+        let doc = Jv::parse(&s.to_inline_json()).unwrap();
+        assert_eq!(doc.get("dp").and_then(|d| d.get("memo_hits")).and_then(Jv::as_u64), Some(5));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! wire losslessly via the string sentinels.
 
 use ants_bench::{Effort, GateThresholds};
-use ants_dp::Backend;
+use ants_dp::{Backend, DpMode};
 use ants_sim::json::{escape, number, Json};
 use ants_sim::MetricSet;
 
@@ -82,6 +82,8 @@ pub struct Request {
     pub metrics: MetricSet,
     /// Backend override (`None` = respect per-cell spec keys).
     pub backend: Option<Backend>,
+    /// DP representation override (`None` = respect per-cell spec keys).
+    pub dp_mode: Option<DpMode>,
     /// Gate thresholds (`None` = [`GateThresholds::default`]).
     pub thresholds: Option<GateThresholds>,
 }
@@ -96,6 +98,7 @@ impl Request {
             seed: 0,
             metrics: MetricSet::empty(),
             backend: None,
+            dp_mode: None,
             thresholds: None,
         }
     }
@@ -120,6 +123,9 @@ impl Request {
         }
         if let Some(b) = self.backend {
             out.push_str(&format!(",\"backend\":\"{}\"", b.as_str()));
+        }
+        if let Some(m) = self.dp_mode {
+            out.push_str(&format!(",\"dp_mode\":\"{}\"", m.as_str()));
         }
         if let Some(t) = self.thresholds {
             out.push_str(&format!(
@@ -177,6 +183,13 @@ impl Request {
             }
             None => None,
         };
+        let dp_mode = match doc.get("dp_mode").and_then(Json::as_str) {
+            Some(m) => Some(
+                DpMode::parse(m)
+                    .ok_or_else(|| format!("unknown dp_mode '{m}' (dense|sparse|auto)"))?,
+            ),
+            None => None,
+        };
         let threshold = |key: &str| doc.get(key).and_then(|v| v.as_number());
         let thresholds = match (
             threshold("metric_rel_tol"),
@@ -193,7 +206,7 @@ impl Request {
                 })
             }
         };
-        Ok(Request { op, spec, effort, seed, metrics, backend, thresholds })
+        Ok(Request { op, spec, effort, seed, metrics, backend, dp_mode, thresholds })
     }
 }
 
@@ -236,6 +249,7 @@ mod tests {
         req.seed = 7;
         req.metrics = MetricSet::parse_list("coverage,chi").unwrap();
         req.backend = Some(Backend::Dp);
+        req.dp_mode = Some(DpMode::Sparse);
         req.thresholds = Some(GateThresholds { metric_rel_tol: 0.1, ..Default::default() });
         let line = req.to_json();
         assert!(!line.contains('\n'), "wire lines must be single lines: {line}");
@@ -245,6 +259,7 @@ mod tests {
         assert_eq!(back.effort, Effort::Smoke);
         assert_eq!(back.seed, 7);
         assert_eq!(back.backend, Some(Backend::Dp));
+        assert_eq!(back.dp_mode, Some(DpMode::Sparse));
         let names: Vec<&str> = back.metrics.iter().map(|m| m.as_str()).collect();
         assert_eq!(names, ["coverage", "chi"]);
         assert_eq!(back.thresholds.unwrap().metric_rel_tol, 0.1);
@@ -271,6 +286,7 @@ mod tests {
             "{\"op\":\"submit\",\"spec\":\"x\",\"seed\":-1}",
             "{\"op\":\"submit\",\"spec\":\"x\",\"seed\":1.5}",
             "{\"op\":\"submit\",\"spec\":\"x\",\"backend\":\"gpu\"}",
+            "{\"op\":\"submit\",\"spec\":\"x\",\"dp_mode\":\"frontier\"}",
             "{\"op\":\"submit\",\"spec\":\"x\",\"metrics\":\"bogus\"}",
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");

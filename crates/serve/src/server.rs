@@ -88,6 +88,11 @@ struct State {
     /// block of the `stats` event. Strictly observational: cache keys,
     /// report bytes, and the gate never read it.
     telemetry: Telemetry,
+    /// One DP curve memo for the daemon's lifetime: exact-backend cells
+    /// reuse solves *across* submissions (keyed by kernel fingerprint,
+    /// target, clock, and mode). Memoized reports are byte-identical to
+    /// fresh ones, so cached bodies never depend on request order.
+    dp_memo: ants_workload::dp::DpMemo,
     /// Misses serialize here; hits never take it.
     pool: Mutex<()>,
     requests: AtomicU64,
@@ -189,6 +194,7 @@ impl Server {
             addr,
             probe: Probe::new(),
             telemetry: Telemetry::new(),
+            dp_memo: ants_workload::dp::DpMemo::new(),
             pool: Mutex::new(()),
             requests: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -323,9 +329,14 @@ fn submit(out: &mut TcpStream, state: &State, req: &Request) -> Result<SubmitOut
         .with_seed(req.seed)
         .with_metrics(req.metrics)
         .with_backend(req.backend)
+        .with_dp_mode(req.dp_mode)
         .with_threads(state.opts.threads)
         .with_granularity(state.opts.granularity)
-        .with_chunk(state.opts.chunk);
+        .with_chunk(state.opts.chunk)
+        // Attaches the dp_solve span and memo counters to exact rows;
+        // cache keys never read the telemetry field, so this cannot
+        // fragment the cache.
+        .with_telemetry(Some(state.telemetry));
     let key = cache_key(&plan, &cfg, &state.opts.commit);
     let wkey = plan.key.clone();
     let entry = Entry::at(&state.opts.cache, &key);
@@ -370,7 +381,7 @@ fn submit(out: &mut TcpStream, state: &State, req: &Request) -> Result<SubmitOut
     let started = std::time::Instant::now();
     let mut body = String::new();
     let mut report = exp
-        .try_run_streamed(&cfg, &sweep, |i, cell, row| {
+        .try_run_streamed_with(&cfg, &sweep, &state.dp_memo, |i, cell, row| {
             let line = cell_event(i, &cell.label, row);
             // A client that hung up mid-stream must not abort the run:
             // the work is already scheduled and the entry is worth

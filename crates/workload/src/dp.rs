@@ -7,8 +7,67 @@
 
 use crate::plan::PlannedCell;
 use crate::WorkloadError;
-use ants_dp::{evaluate, target_support, DpCellReport, DpMetrics, DpRequest, DpStrategy};
+use ants_dp::{
+    evaluate_with, target_support, DpCellReport, DpMetrics, DpMode, DpRequest, DpStrategy,
+    SolveCache,
+};
 use ants_sim::{Metric, MetricSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cross-cell DP curve memo: the workload-side [`SolveCache`].
+///
+/// One memo can be shared across every cell of a sweep (and, in `ants
+/// serve`, across submissions): curves are keyed by kernel fingerprint,
+/// point, clock, and [`DpMode`], so cells that differ only in agent
+/// count or trial count reuse each other's solves byte-for-byte.
+/// Thread-safe; the counters feed the `dp_memo_hits` / `dp_memo_misses`
+/// telemetry.
+#[derive(Debug, Default)]
+pub struct DpMemo {
+    curves: Mutex<HashMap<String, Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DpMemo {
+    /// A fresh, empty memo.
+    pub fn new() -> DpMemo {
+        DpMemo::default()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of memoized curves.
+    pub fn len(&self) -> usize {
+        self.curves.lock().expect("memo lock").len()
+    }
+
+    /// Is the memo empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SolveCache for DpMemo {
+    fn get(&self, key: &str) -> Option<Arc<Vec<f64>>> {
+        let hit = self.curves.lock().expect("memo lock").get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn put(&self, key: &str, value: Arc<Vec<f64>>) {
+        self.curves.lock().expect("memo lock").insert(key.to_string(), value);
+    }
+}
 
 /// Build the exact-backend request for a cell.
 ///
@@ -55,6 +114,7 @@ pub fn dp_request(
         population,
         targets,
         metrics: dp_metrics,
+        mode: cell.dp_mode,
     })
 }
 
@@ -63,16 +123,38 @@ pub fn dp_request(
 /// # Errors
 ///
 /// Request-construction failures (see [`dp_request`]) plus the DP's own
-/// guards — state-space, table-size, and metric-work ceilings, and
-/// truncation mass beyond [`ants_dp::TRUNCATION_TOL`] — all labelled
-/// with the cell.
+/// guards — state-space, table-size, frontier-size, and metric-work
+/// ceilings, and truncation mass beyond [`ants_dp::TRUNCATION_TOL`] —
+/// all labelled with the cell.
 pub fn evaluate_cell(
     cell: &PlannedCell,
     smoke: bool,
     metrics: MetricSet,
 ) -> Result<DpCellReport, WorkloadError> {
-    let req = dp_request(cell, smoke, metrics)?;
-    evaluate(&req).map_err(|e| WorkloadError {
+    evaluate_cell_with(cell, smoke, metrics, None, None)
+}
+
+/// [`evaluate_cell`] with a [`DpMode`] override (`--dp-mode`) and an
+/// optional cross-cell [`DpMemo`]. The override takes precedence over
+/// the cell's planned `dp_mode`; memoized evaluations are byte-identical
+/// to fresh ones (the memo returns the exact curves a fresh solve
+/// produces).
+///
+/// # Errors
+///
+/// As [`evaluate_cell`].
+pub fn evaluate_cell_with(
+    cell: &PlannedCell,
+    smoke: bool,
+    metrics: MetricSet,
+    mode_override: Option<DpMode>,
+    memo: Option<&DpMemo>,
+) -> Result<DpCellReport, WorkloadError> {
+    let mut req = dp_request(cell, smoke, metrics)?;
+    if let Some(mode) = mode_override {
+        req.mode = mode;
+    }
+    evaluate_with(&req, memo.map(|m| m as &dyn SolveCache)).map_err(|e| WorkloadError {
         context: format!("cell '{}'", cell.label),
         message: e.to_string(),
     })
@@ -138,6 +220,51 @@ population = [ { strategy = \"randomwalk\" } ]
         assert!(cov > 0.0 && cov <= 1.0, "{cov}");
         assert!(report.found_round.is_some());
         assert!(report.mean_first_visit.is_none(), "unrequested metrics stay None");
+    }
+
+    #[test]
+    fn memo_shares_curves_across_cells_and_stays_byte_identical() {
+        // Two cells over the same kernel/target/budget that differ only
+        // in agent count: the second cell's curves all come from the
+        // memo, and the reports match the unmemoized ones bit for bit.
+        let text = "\
+name = \"memo\"
+[defaults]
+trials = 64
+backend = \"dp\"
+[[cells]]
+name = \"walk\"
+move_budget = 24
+target = { model = \"fixed\", x = 1, y = 1 }
+population = [ { strategy = \"randomwalk\" } ]
+sweep = { agents = [1, 2, 4] }
+";
+        let plan = WorkloadPlan::expand(&WorkloadSpec::parse(text).unwrap()).unwrap();
+        assert_eq!(plan.cells.len(), 3);
+        let memo = DpMemo::new();
+        for cell in &plan.cells {
+            let fresh = evaluate_cell(cell, false, MetricSet::empty()).unwrap();
+            let memoized =
+                evaluate_cell_with(cell, false, MetricSet::empty(), None, Some(&memo)).unwrap();
+            assert_eq!(fresh.success.to_bits(), memoized.success.to_bits(), "{}", cell.label);
+            assert_eq!(fresh.mean_moves.to_bits(), memoized.mean_moves.to_bits(), "{}", cell.label);
+        }
+        let (hits, misses) = memo.stats();
+        assert_eq!(misses, 1, "one absorption solve covers the whole sweep");
+        assert_eq!(hits, 2, "the other two cells reuse it");
+        assert_eq!(memo.len(), 1);
+        // A mode override changes the key, so it never aliases.
+        let report = evaluate_cell_with(
+            &plan.cells[0],
+            false,
+            MetricSet::empty(),
+            Some(DpMode::Sparse),
+            Some(&memo),
+        )
+        .unwrap();
+        assert_eq!(memo.len(), 2);
+        let base = evaluate_cell(&plan.cells[0], false, MetricSet::empty()).unwrap();
+        assert!((report.success - base.success).abs() <= 1e-9);
     }
 
     #[test]
